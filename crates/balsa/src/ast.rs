@@ -1,0 +1,213 @@
+//! Abstract syntax of mini-Balsa.
+//!
+//! A faithful subset of the Balsa language [Bardsley & Edwards 1997]
+//! sufficient to express the paper's four benchmark designs: procedures
+//! with ports, variables and memories, sequential (`;`) and parallel (`||`)
+//! composition, `loop`, `while`, `if`, `case`, channel communication, sync
+//! channels, and `shared` procedures (which compile to call components).
+
+use bmbe_hsnet::{BinOp, UnOp};
+
+/// A compilation unit: one or more procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The procedures, in source order.
+    pub procedures: Vec<Procedure>,
+}
+
+/// Direction of a procedure port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// Data flows in (the design pulls from the environment).
+    Input,
+    /// Data flows out (the design pushes to the environment).
+    Output,
+    /// Dataless synchronization port.
+    Sync,
+}
+
+/// A procedure port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// Data width in bits (0 for sync ports).
+    pub width: u32,
+}
+
+/// A local declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    /// A storage variable.
+    Variable {
+        /// Name.
+        name: String,
+        /// Bit width.
+        width: u32,
+    },
+    /// A word-addressed memory.
+    Memory {
+        /// Name.
+        name: String,
+        /// Number of words.
+        words: usize,
+        /// Bit width of a word.
+        width: u32,
+    },
+    /// A shared procedure: one body, many call sites, merged by a call
+    /// component.
+    Shared {
+        /// Name.
+        name: String,
+        /// Body command.
+        body: Cmd,
+    },
+}
+
+/// A command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cmd {
+    /// Do nothing (acknowledge immediately).
+    Skip,
+    /// Handshake on a sync port.
+    Sync(String),
+    /// `var := expr`.
+    Assign {
+        /// Target variable.
+        var: String,
+        /// Source expression.
+        expr: Expr,
+    },
+    /// `mem[addr] := value`.
+    MemWrite {
+        /// Target memory.
+        mem: String,
+        /// Address expression.
+        addr: Expr,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `chan <- expr`: push on an output port.
+    Send {
+        /// The output port.
+        chan: String,
+        /// Value expression.
+        expr: Expr,
+    },
+    /// `chan -> var`: pull from an input port into a variable.
+    Receive {
+        /// The input port.
+        chan: String,
+        /// Target variable.
+        var: String,
+    },
+    /// Invoke a shared procedure.
+    CallShared(String),
+    /// Sequential composition.
+    Seq(Vec<Cmd>),
+    /// Parallel composition.
+    Par(Vec<Cmd>),
+    /// Repeat forever.
+    Loop(Box<Cmd>),
+    /// Guarded loop.
+    While {
+        /// 1-bit guard expression.
+        guard: Expr,
+        /// Body.
+        body: Box<Cmd>,
+    },
+    /// Two-way conditional.
+    If {
+        /// 1-bit condition.
+        cond: Expr,
+        /// Then branch.
+        then_cmd: Box<Cmd>,
+        /// Optional else branch.
+        else_cmd: Option<Box<Cmd>>,
+    },
+    /// Multi-way dispatch on an expression value. Arm labels must be
+    /// consecutive from 0; values past the last arm take the default.
+    Case {
+        /// Selector expression.
+        selector: Expr,
+        /// `(label, command)` arms.
+        arms: Vec<(u64, Cmd)>,
+        /// Optional default arm.
+        default: Option<Box<Cmd>>,
+    },
+}
+
+/// An expression (pull-style datapath).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Variable read.
+    Var(String),
+    /// Literal value.
+    Lit(u64),
+    /// Memory read `mem[addr]`.
+    MemRead {
+        /// The memory.
+        mem: String,
+        /// Address expression.
+        addr: Box<Expr>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+}
+
+/// A single procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// Name.
+    pub name: String,
+    /// Ports.
+    pub ports: Vec<Port>,
+    /// Local declarations.
+    pub decls: Vec<Decl>,
+    /// Body.
+    pub body: Cmd,
+}
+
+impl Expr {
+    /// Convenience: `lhs op rhs`.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Convenience: unary application.
+    pub fn un(op: UnOp, operand: Expr) -> Expr {
+        Expr::Un { op, operand: Box::new(operand) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_constructors() {
+        let e = Expr::bin(BinOp::Add, Expr::Var("a".into()), Expr::Lit(1));
+        match e {
+            Expr::Bin { op: BinOp::Add, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let u = Expr::un(UnOp::Not, Expr::Lit(0));
+        assert!(matches!(u, Expr::Un { op: UnOp::Not, .. }));
+    }
+}

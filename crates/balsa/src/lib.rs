@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # bmbe-balsa
+//!
+//! A mini-Balsa front end: lexer, parser and the syntax-directed
+//! translation from a Balsa-style CSP language to a handshake-component
+//! netlist (the `balsa-c` equivalent of Fig. 1 of the paper). The subset is
+//! rich enough to express the paper's four benchmark designs: ports,
+//! variables, memories, `;`/`||`, `loop`/`while`/`if`/`case`, channel
+//! communication, sync ports, and `shared` procedures (which compile to
+//! call components — the fodder for the paper's Call Distribution
+//! optimization).
+//!
+//! # Examples
+//!
+//! ```
+//! use bmbe_balsa::{parse, compile_procedure};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "procedure buf (input i : 8 bits; output o : 8 bits) is
+//!            variable x : 8 bits
+//!            begin loop i -> x ; o <- x end end";
+//! let program = parse(src)?;
+//! let design = compile_procedure(&program.procedures[0])?;
+//! assert!(design.netlist.partition().control.len() >= 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod parse;
+
+pub use ast::{Cmd, Decl, Expr, Port, PortDir, Procedure, Program};
+pub use compile::{compile_procedure, BalsaError, CompiledDesign};
+pub use parse::{parse, ParseError};

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the end-to-end flow and simulation on the
+//! benchmark designs (the Table 3 machinery itself).
+
+use bmbe_designs::scenarios::{stack, systolic_counter};
+use bmbe_flow::{run_control_flow, simulate, to_flow_scenario, FlowOptions};
+use bmbe_gates::Library;
+use bmbe_sim::prims::Delays;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_control_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control_flow");
+    g.sample_size(10);
+    let counter = systolic_counter().expect("design builds");
+    let lib = Library::cmos035();
+    g.bench_function("counter_unoptimized", |b| {
+        b.iter(|| {
+            run_control_flow(black_box(&counter.compiled), &FlowOptions::unoptimized(), &lib)
+                .expect("flow runs")
+        })
+    });
+    g.bench_function("counter_optimized", |b| {
+        b.iter(|| {
+            run_control_flow(black_box(&counter.compiled), &FlowOptions::optimized(), &lib)
+                .expect("flow runs")
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    let lib = Library::cmos035();
+    let delays = Delays::default();
+    let design = stack().expect("design builds");
+    let flow = run_control_flow(&design.compiled, &FlowOptions::optimized(), &lib)
+        .expect("flow runs");
+    let scenario = to_flow_scenario(&design.scenario);
+    g.bench_function("stack_benchmark_run", |b| {
+        b.iter(|| {
+            simulate(black_box(&design.compiled), &flow, &scenario, &delays).expect("simulates")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_control_flow, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the synthesis algorithms: CH-to-BMS
+//! compilation, hazard-free minimization, state assignment, clustering,
+//! and technology mapping.
+
+use bmbe_bm::synth::{synthesize, MinimizeMode};
+use bmbe_core::compile::compile_to_bm;
+use bmbe_core::components::{call, decision_wait, sequencer};
+use bmbe_core::opt::cluster::{ClusterOptions, CtrlNetlist};
+use bmbe_gates::{map, Library, MapObjective, MapStyle, SubjectGraph};
+use bmbe_logic::Cover;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn names(n: usize, prefix: &str) -> Vec<String> {
+    (0..n).map(|i| format!("{prefix}{i}")).collect()
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ch_to_bms");
+    for n in [2usize, 4, 8] {
+        let program = sequencer("p", &names(n, "a"));
+        g.bench_function(format!("sequencer_{n}"), |b| {
+            b.iter(|| compile_to_bm("seq", black_box(&program)).expect("compiles"))
+        });
+    }
+    let dw = decision_wait("a", &names(3, "i"), &names(3, "o"));
+    g.bench_function("decision_wait_3", |b| {
+        b.iter(|| compile_to_bm("dw", black_box(&dw)).expect("compiles"))
+    });
+    g.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hazard_free_synthesis");
+    g.sample_size(20);
+    for n in [2usize, 4, 8] {
+        let spec = compile_to_bm("seq", &sequencer("p", &names(n, "a"))).expect("compiles");
+        g.bench_function(format!("sequencer_{n}"), |b| {
+            b.iter(|| synthesize(black_box(&spec), MinimizeMode::Speed).expect("synthesizes"))
+        });
+    }
+    let spec = compile_to_bm("call", &call(&names(3, "a"), "b")).expect("compiles");
+    g.bench_function("call_3", |b| {
+        b.iter(|| synthesize(black_box(&spec), MinimizeMode::Speed).expect("synthesizes"))
+    });
+    g.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clustering");
+    g.sample_size(20);
+    g.bench_function("t2_seq_call_chain", |b| {
+        b.iter(|| {
+            let mut netlist = CtrlNetlist::new();
+            netlist.add("s1", sequencer("p", &names(2, "m")));
+            netlist.add("s2", sequencer("m0", &names(2, "x")));
+            netlist.add("s3", sequencer("m1", &names(2, "y")));
+            netlist.add("call", call(&["x1".into(), "y1".into()], "c"));
+            netlist.t2_clustering(black_box(&ClusterOptions::default()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_techmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("technology_mapping");
+    let spec = compile_to_bm("seq", &sequencer("p", &names(4, "a"))).expect("compiles");
+    let ctrl = synthesize(&spec, MinimizeMode::Speed).expect("synthesizes");
+    let functions: Vec<(String, &Cover)> = ctrl
+        .outputs
+        .iter()
+        .cloned()
+        .chain((0..ctrl.num_state_bits).map(|j| format!("y{j}")))
+        .zip(ctrl.output_covers.iter().chain(ctrl.next_state_covers.iter()))
+        .collect();
+    let subject = SubjectGraph::from_covers(ctrl.num_vars(), &functions);
+    let lib = Library::cmos035();
+    for (label, style) in [
+        ("split_modules", MapStyle::SplitModules),
+        ("whole_controller", MapStyle::WholeController),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| map(black_box(&subject), &lib, MapObjective::Delay, style))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_synthesis, bench_clustering, bench_techmap);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation: T1-only vs T1+T2 clustering — channels eliminated and final
+//! controller counts per design.
+
+use bmbe_core::{balsa_to_ch, ClusterOptions};
+use bmbe_designs::all_designs;
+
+fn main() {
+    println!("Ablation: clustering depth");
+    println!(
+        "{:<22} {:>6} {:>16} {:>16} {:>10}",
+        "design", "before", "T1 (elim/left)", "T1+T2 (elim/left)", "calls dist."
+    );
+    for design in all_designs().expect("designs build") {
+        let base = balsa_to_ch(&design.compiled.netlist).expect("translates");
+        let before = base.components.len();
+        let mut t1 = base.clone();
+        let r1 = t1.t1_clustering(&ClusterOptions::default());
+        let mut t2 = base.clone();
+        let r2 = t2.t2_clustering(&ClusterOptions::default());
+        println!(
+            "{:<22} {:>6} {:>9}/{:<6} {:>10}/{:<6} {:>10}",
+            design.name,
+            before,
+            r1.eliminated_channels.len(),
+            t1.components.len(),
+            r2.eliminated_channels.len(),
+            t2.components.len(),
+            r2.distributed_calls.len()
+        );
+    }
+}

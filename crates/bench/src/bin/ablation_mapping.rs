@@ -1,0 +1,41 @@
+//! Ablation for the paper's SS 5/6 observation: mapping the two logic
+//! levels separately (three Verilog modules) denies the mapper cross-level
+//! merges and costs area.
+
+use bmbe_bm::synth::{synthesize, MinimizeMode};
+use bmbe_core::{balsa_to_ch, compile_to_bm, ClusterOptions};
+use bmbe_designs::all_designs;
+use bmbe_gates::{map, Library, MapObjective, MapStyle, SubjectGraph};
+use bmbe_logic::Cover;
+
+fn main() {
+    let lib = Library::cmos035();
+    println!("Ablation: split-module vs whole-controller technology mapping (area um2)");
+    for design in all_designs().expect("designs build") {
+        let mut ctrl = balsa_to_ch(&design.compiled.netlist).expect("translates");
+        ctrl.t2_clustering(&ClusterOptions::default());
+        let mut split = 0.0;
+        let mut whole = 0.0;
+        for c in &ctrl.components {
+            let spec = compile_to_bm(&c.name, &c.program).expect("compiles");
+            let syn = synthesize(&spec, MinimizeMode::Speed).expect("synthesizes");
+            let functions: Vec<(String, &Cover)> = syn
+                .outputs
+                .iter()
+                .cloned()
+                .chain((0..syn.num_state_bits).map(|j| format!("y{j}")))
+                .zip(syn.output_covers.iter().chain(syn.next_state_covers.iter()))
+                .collect();
+            let subject = SubjectGraph::from_covers(syn.num_vars(), &functions);
+            split += map(&subject, &lib, MapObjective::Area, MapStyle::SplitModules).area;
+            whole += map(&subject, &lib, MapObjective::Area, MapStyle::WholeController).area;
+        }
+        println!(
+            "{:<22} split {:>8.0}  whole {:>8.0}  (split penalty {:+.1}%)",
+            design.name,
+            split,
+            whole,
+            100.0 * (split - whole) / whole.max(1.0)
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Ablation: Minimalist's speed mode (single-output minimization) vs area
+//! mode (shared identical products) — product and literal counts per
+//! benchmark controller set.
+
+use bmbe_bm::synth::{synthesize, MinimizeMode};
+use bmbe_core::{balsa_to_ch, compile_to_bm, ClusterOptions};
+use bmbe_designs::all_designs;
+
+fn main() {
+    println!("Ablation: minimization mode (products / distinct products)");
+    for design in all_designs().expect("designs build") {
+        let mut ctrl = balsa_to_ch(&design.compiled.netlist).expect("translates");
+        ctrl.t2_clustering(&ClusterOptions::default());
+        let mut total = 0usize;
+        let mut distinct = 0usize;
+        for c in &ctrl.components {
+            let spec = compile_to_bm(&c.name, &c.program).expect("compiles");
+            let syn = synthesize(&spec, MinimizeMode::Speed).expect("synthesizes");
+            total += syn.num_products();
+            distinct += syn.num_distinct_products();
+        }
+        println!(
+            "{:<22} speed-mode products {:>4}, shareable (area mode) {:>4}  ({:.1}% duplication)",
+            design.name,
+            total,
+            distinct,
+            100.0 * (total - distinct) as f64 / total.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 3: the Burst-Mode specifications of the sequencer,
+//! call and passivator compiled from their CH programs, with the paper's
+//! state counts checked.
+
+use bmbe_bench::paper::FIG3_STATES;
+use bmbe_core::compile::compile_to_bm;
+use bmbe_core::components::{call, passivator, sequencer};
+
+fn main() {
+    let progs = vec![
+        ("sequencer", sequencer("p", &["a1".into(), "a2".into()])),
+        ("call", call(&["a1".into(), "a2".into()], "b")),
+        ("passivator", passivator("a", "b")),
+    ];
+    for (name, ch) in progs {
+        let spec = compile_to_bm(name, &ch).expect("shipped programs compile");
+        let expected = FIG3_STATES.iter().find(|(n, _)| *n == name).expect("known").1;
+        println!("--- {name}: {} states (paper: {expected}) {}",
+            spec.num_states(),
+            if spec.num_states() == expected { "MATCH" } else { "MISMATCH" });
+        print!("{spec}");
+        println!();
+    }
+}

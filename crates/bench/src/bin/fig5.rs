@@ -1,0 +1,23 @@
+//! Regenerates Fig. 5: Call Distribution applied to a sequencer whose both
+//! branches activate a 2-way call.
+
+use bmbe_bench::paper::FIG5_RESULT_STATES;
+use bmbe_core::compile::compile_to_bm;
+use bmbe_core::components::{call, sequencer};
+use bmbe_core::opt::cluster::{ClusterOptions, CtrlNetlist};
+
+fn main() {
+    let mut netlist = CtrlNetlist::new();
+    netlist.add("seq", sequencer("a", &["b1".into(), "b2".into()]));
+    netlist.add("call", call(&["b1".into(), "b2".into()], "c"));
+    let report = netlist.t2_clustering(&ClusterOptions::default());
+    println!("clustering: {report}");
+    assert_eq!(netlist.components.len(), 1, "everything clusters into one controller");
+    let spec = compile_to_bm("result", &netlist.components[0].program).expect("compiles");
+    println!(
+        "--- result: {} states (paper: {FIG5_RESULT_STATES}) {}",
+        spec.num_states(),
+        if spec.num_states() == FIG5_RESULT_STATES { "MATCH" } else { "MISMATCH" }
+    );
+    print!("{spec}");
+}

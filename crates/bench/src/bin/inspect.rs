@@ -1,0 +1,34 @@
+//! Developer aid: prints the controller inventory of each benchmark design
+//! under the optimized flow.
+
+use bmbe_designs::all_designs;
+use bmbe_flow::{run_control_flow, FlowOptions};
+use bmbe_gates::Library;
+
+fn main() {
+    let lib = Library::cmos035();
+    for design in all_designs().expect("designs build") {
+        let opt = run_control_flow(&design.compiled, &FlowOptions::optimized(), &lib)
+            .unwrap_or_else(|e| panic!("{}: {e}", design.name));
+        println!(
+            "=== {} ({} components -> {} controllers)",
+            design.name,
+            opt.components_before,
+            opt.controllers.len()
+        );
+        if let Some(r) = &opt.cluster_report {
+            println!("  {r}");
+        }
+        for c in &opt.controllers {
+            println!(
+                "  {:<60} {:>3} states {:>3} vars {:>4} products {:>8.0} um2 {:>6.3} ns",
+                c.name,
+                c.bm_states,
+                c.controller.num_vars(),
+                c.controller.num_products(),
+                c.mapped.area,
+                c.mapped.critical_delay()
+            );
+        }
+    }
+}

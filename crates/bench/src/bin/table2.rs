@@ -1,0 +1,32 @@
+//! Regenerates Table 2: the four-phase expansion of each interleaving
+//! operator for every legal activity combination, shown on two fresh
+//! channels `a` and `b`.
+
+use bmbe_core::ast::{legal, ChActivity, ChExpr, InterleaveOp};
+use bmbe_core::expand::expand;
+
+fn chan(name: &str, act: ChActivity) -> ChExpr {
+    ChExpr::PToP { activity: act, name: name.into() }
+}
+
+fn main() {
+    use ChActivity::{Active, Passive};
+    println!("Table 2: The Four-Phase Expansion of CH Operators");
+    for op in InterleaveOp::ALL {
+        for (a, b, label) in [
+            (Active, Active, "active/active"),
+            (Active, Passive, "active/passive"),
+            (Passive, Active, "passive/active"),
+            (Passive, Passive, "passive/passive"),
+        ] {
+            if !legal(op, a, b) {
+                continue;
+            }
+            let e = ChExpr::op(op, chan("a", a), chan("b", b));
+            match expand(&e) {
+                Ok(x) => println!("{:<11} {:<16} {x}", op.keyword(), label),
+                Err(err) => println!("{:<11} {:<16} <{err}>", op.keyword(), label),
+            }
+        }
+    }
+}

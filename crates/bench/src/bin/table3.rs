@@ -1,0 +1,42 @@
+//! Regenerates Table 3: speed and area of the four benchmark designs,
+//! unoptimized vs optimized, with the paper's numbers alongside.
+//!
+//! Run with `--release`; the debug build is an order of magnitude slower.
+
+use bmbe_bench::paper::TABLE3;
+use bmbe_designs::all_designs;
+use bmbe_flow::run_design;
+use bmbe_gates::Library;
+use bmbe_sim::prims::Delays;
+
+fn main() {
+    let library = Library::cmos035();
+    let delays = Delays::default();
+    let designs = all_designs().expect("shipped designs build");
+    println!("Table 3: Experimental Results (measured vs paper)");
+    println!(
+        "{:<22} {:>10} {:>10} {:>8} {:>7} | {:>10} {:>10} {:>8} {:>7}",
+        "", "unopt ns", "opt ns", "impr %", "paper", "unopt um2", "opt um2", "ovhd %", "paper"
+    );
+    for (design, paper) in designs.iter().zip(TABLE3.iter()) {
+        let c = run_design(design, &library, &delays)
+            .unwrap_or_else(|e| panic!("{}: {e}", design.name));
+        println!(
+            "{:<22} {:>10.2} {:>10.2} {:>8.2} {:>7.2} | {:>10.0} {:>10.0} {:>8.2} {:>7.2}",
+            design.name,
+            c.unopt_run.time_ns,
+            c.opt_run.time_ns,
+            c.speed_improvement(),
+            paper.improvement,
+            c.unopt_area(),
+            c.opt_area(),
+            c.area_overhead(),
+            paper.overhead
+        );
+    }
+    println!();
+    println!("(absolute values are not comparable: the paper used the AMS 0.35um");
+    println!(" library with post-layout back-annotation; see DESIGN.md substitutions.");
+    println!(" The shape to check: positive improvements ordered control-dominated");
+    println!(" -> datapath-dominated, with area overhead on every design.)");
+}

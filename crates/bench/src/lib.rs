@@ -1,0 +1,10 @@
+#![warn(missing_docs)]
+//! # bmbe-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper
+//! (`table1`, `table2`, `fig3`, `fig4`, `fig5`, `verify43`, `table3`) plus
+//! ablations (`ablation_minmode`, `ablation_mapping`,
+//! `ablation_clustering`), and Criterion micro-benchmarks of the synthesis
+//! algorithms. Paper reference values live in [`paper`].
+
+pub mod paper;

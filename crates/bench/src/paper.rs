@@ -1,0 +1,38 @@
+//! Reference values from the paper, used when printing comparisons.
+
+/// One row of the paper's Table 3.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Row {
+    /// Design name as printed.
+    pub name: &'static str,
+    /// Unoptimized speed (ns).
+    pub unopt_ns: f64,
+    /// Optimized speed (ns).
+    pub opt_ns: f64,
+    /// Speed improvement (%).
+    pub improvement: f64,
+    /// Unoptimized area (the paper prints mm² ×10³).
+    pub unopt_area: f64,
+    /// Optimized area.
+    pub opt_area: f64,
+    /// Area overhead (%).
+    pub overhead: f64,
+}
+
+/// The paper's Table 3.
+pub const TABLE3: [Table3Row; 4] = [
+    Table3Row { name: "Systolic counter", unopt_ns: 51.29, opt_ns: 40.43, improvement: 21.16, unopt_area: 39.68, opt_area: 50.43, overhead: 27.09 },
+    Table3Row { name: "Wagging register", unopt_ns: 49.82, opt_ns: 42.43, improvement: 14.83, unopt_area: 228.93, opt_area: 283.71, overhead: 23.92 },
+    Table3Row { name: "Stack", unopt_ns: 121.58, opt_ns: 107.70, improvement: 11.41, unopt_area: 282.48, opt_area: 335.19, overhead: 18.66 },
+    Table3Row { name: "Microprocessor core", unopt_ns: 66.48, opt_ns: 60.65, improvement: 8.76, unopt_area: 453.76, opt_area: 563.47, overhead: 24.17 },
+];
+
+/// Fig. 3 state counts: sequencer, call, passivator.
+pub const FIG3_STATES: [(&str, usize); 3] =
+    [("sequencer", 6), ("call", 7), ("passivator", 2)];
+
+/// Fig. 4: the merged decision-wait + sequencer controller has 11 states.
+pub const FIG4_MERGED_STATES: usize = 11;
+
+/// Fig. 5: the distributed-call result has 6 states.
+pub const FIG5_RESULT_STATES: usize = 6;

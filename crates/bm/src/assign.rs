@@ -1,0 +1,391 @@
+//! Critical-race-free state assignment for burst-mode machines.
+//!
+//! Follows the CHASM-style approach of Minimalist: collect Tracey partition
+//! constraints (*dichotomies*) and cover them with a small number of state
+//! variables. In a burst-mode Huffman machine the state variables race from
+//! `code(s)` to `code(s')` while the inputs sit at the post-burst vector, so
+//! two transitions with the same post-burst input vector and different
+//! destinations must have disjoint state-transition cubes — i.e. some state
+//! variable takes value 0 on both endpoint codes of one transition and 1 on
+//! both endpoint codes of the other (Tracey's condition). Distinctness of
+//! all state codes is enforced with singleton dichotomies.
+
+use crate::spec::{BmError, BmSpec};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A partition constraint: some state bit must separate `zeros` from `ones`
+/// (in either orientation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dichotomy {
+    /// States that must share one value.
+    pub left: BTreeSet<usize>,
+    /// States that must all take the other value.
+    pub right: BTreeSet<usize>,
+}
+
+/// Errors raised by state assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssignError {
+    /// Two conflicting transitions share a state, which makes the Tracey
+    /// constraint unsatisfiable; valid burst-mode specs never produce this.
+    UnsatisfiableDichotomy {
+        /// The overlapping states.
+        states: Vec<usize>,
+    },
+    /// The underlying specification failed validation.
+    Spec(BmError),
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignError::UnsatisfiableDichotomy { states } => {
+                write!(f, "unsatisfiable dichotomy over states {states:?}")
+            }
+            AssignError::Spec(e) => write!(f, "invalid specification: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AssignError {}
+
+impl From<BmError> for AssignError {
+    fn from(e: BmError) -> Self {
+        AssignError::Spec(e)
+    }
+}
+
+/// A completed state assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateAssignment {
+    /// Number of state variables.
+    pub num_bits: usize,
+    /// `codes[s]` is the code of state `s`, bit `i` = state variable `i`.
+    pub codes: Vec<u64>,
+}
+
+impl StateAssignment {
+    /// Verifies the Tracey condition against a list of dichotomies.
+    pub fn satisfies(&self, d: &Dichotomy) -> bool {
+        (0..self.num_bits).any(|bit| {
+            let val = |s: usize| self.codes[s] >> bit & 1;
+            let l0 = d.left.iter().all(|&s| val(s) == 0);
+            let r1 = d.right.iter().all(|&s| val(s) == 1);
+            let l1 = d.left.iter().all(|&s| val(s) == 1);
+            let r0 = d.right.iter().all(|&s| val(s) == 0);
+            (l0 && r1) || (l1 && r0)
+        })
+    }
+}
+
+/// How aggressively state codes separate transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Separation {
+    /// Only Tracey-conflicting transition pairs (same post-burst input
+    /// vector, different destinations) are separated — minimal codes,
+    /// race-free.
+    Conflicts,
+    /// Every pair of arcs with disjoint state sets is separated. This is
+    /// the hazard-aware fallback (CHASM's concern): it guarantees that no
+    /// required cube of one arc can illegally intersect a privileged cube
+    /// of another, so hazard-free covers always exist.
+    AllArcs,
+}
+
+/// Collects the Tracey dichotomies of a specification.
+///
+/// # Errors
+///
+/// Propagates validation errors and reports unsatisfiable (overlapping)
+/// dichotomies.
+pub fn dichotomies(spec: &BmSpec) -> Result<Vec<Dichotomy>, AssignError> {
+    dichotomies_with(spec, Separation::Conflicts)
+}
+
+/// Collects dichotomies at the chosen separation level.
+///
+/// # Errors
+///
+/// See [`dichotomies`].
+pub fn dichotomies_with(
+    spec: &BmSpec,
+    separation: Separation,
+) -> Result<Vec<Dichotomy>, AssignError> {
+    let entry = spec.validate()?;
+    let input_ix = spec.input_index_map();
+    // Post-burst input vector of each arc.
+    let post: Vec<u64> = spec
+        .arcs()
+        .iter()
+        .map(|arc| {
+            let mut v = entry.entry_in[arc.from];
+            for e in &arc.inputs {
+                v ^= 1u64 << input_ix[&e.signal];
+            }
+            v
+        })
+        .collect();
+    let mut out: Vec<Dichotomy> = Vec::new();
+    let arcs = spec.arcs();
+    for i in 0..arcs.len() {
+        for j in i + 1..arcs.len() {
+            let (a, b) = (&arcs[i], &arcs[j]);
+            let left: BTreeSet<usize> = [a.from, a.to].into_iter().collect();
+            let right: BTreeSet<usize> = [b.from, b.to].into_iter().collect();
+            match separation {
+                Separation::Conflicts => {
+                    if a.to == b.to || post[i] != post[j] {
+                        continue;
+                    }
+                    if !left.is_disjoint(&right) {
+                        return Err(AssignError::UnsatisfiableDichotomy {
+                            states: left.intersection(&right).copied().collect(),
+                        });
+                    }
+                }
+                Separation::AllArcs => {
+                    if !left.is_disjoint(&right) {
+                        continue;
+                    }
+                }
+            }
+            out.push(Dichotomy { left, right });
+        }
+    }
+    // Distinct codes for all state pairs.
+    for s in 0..spec.num_states() {
+        for t in s + 1..spec.num_states() {
+            out.push(Dichotomy {
+                left: BTreeSet::from([s]),
+                right: BTreeSet::from([t]),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Computes a critical-race-free state assignment by greedy dichotomy
+/// covering: each state variable is grown to satisfy as many outstanding
+/// dichotomies as it consistently can.
+///
+/// # Errors
+///
+/// See [`dichotomies`].
+pub fn assign(spec: &BmSpec) -> Result<StateAssignment, AssignError> {
+    assign_with(spec, Separation::Conflicts)
+}
+
+/// Computes an assignment at the chosen separation level.
+///
+/// # Errors
+///
+/// See [`dichotomies`].
+pub fn assign_with(
+    spec: &BmSpec,
+    separation: Separation,
+) -> Result<StateAssignment, AssignError> {
+    let n = spec.num_states();
+    if n <= 1 {
+        return Ok(StateAssignment { num_bits: 0, codes: vec![0; n] });
+    }
+    let all = dichotomies_with(spec, separation)?;
+    let mut unsat: Vec<&Dichotomy> = all.iter().collect();
+    let mut columns: Vec<Vec<Option<bool>>> = Vec::new();
+    while !unsat.is_empty() {
+        // Seed a new column with the first outstanding dichotomy.
+        let mut col: Vec<Option<bool>> = vec![None; n];
+        let seed = unsat[0];
+        for &s in &seed.left {
+            col[s] = Some(false);
+        }
+        for &s in &seed.right {
+            col[s] = Some(true);
+        }
+        // Fold in as many other dichotomies as fit.
+        let mut satisfied_now: Vec<usize> = vec![0];
+        for (di, d) in unsat.iter().enumerate().skip(1) {
+            if let Some(newcol) = try_fold(&col, d) {
+                col = newcol;
+                satisfied_now.push(di);
+            }
+        }
+        // Complete unassigned states with 0.
+        let complete: Vec<bool> = col.iter().map(|v| v.unwrap_or(false)).collect();
+        columns.push(complete.iter().map(|&b| Some(b)).collect());
+        let keep: Vec<&Dichotomy> = unsat
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !satisfied_now.contains(i))
+            .map(|(_, d)| *d)
+            .collect();
+        unsat = keep;
+        // Drop dichotomies now satisfied by the completed column (zero
+        // completion may have satisfied extra ones).
+        let codes_partial = StateAssignment {
+            num_bits: columns.len(),
+            codes: (0..n)
+                .map(|s| {
+                    columns
+                        .iter()
+                        .enumerate()
+                        .fold(0u64, |acc, (bit, c)| acc | ((c[s] == Some(true)) as u64) << bit)
+                })
+                .collect(),
+        };
+        unsat.retain(|d| !codes_partial.satisfies(d));
+    }
+    let codes: Vec<u64> = (0..n)
+        .map(|s| {
+            columns
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (bit, c)| acc | ((c[s] == Some(true)) as u64) << bit)
+        })
+        .collect();
+    let assignment = StateAssignment { num_bits: columns.len(), codes };
+    debug_assert!(all.iter().all(|d| assignment.satisfies(d)));
+    Ok(assignment)
+}
+
+/// Attempts to merge dichotomy `d` into a partial column; returns the
+/// extended column on success.
+fn try_fold(col: &[Option<bool>], d: &Dichotomy) -> Option<Vec<Option<bool>>> {
+    for orientation in [false, true] {
+        let mut c = col.to_vec();
+        let mut ok = true;
+        for &s in &d.left {
+            match c[s] {
+                None => c[s] = Some(orientation),
+                Some(v) if v == orientation => {}
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            for &s in &d.right {
+                match c[s] {
+                    None => c[s] = Some(!orientation),
+                    Some(v) if v == !orientation => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if ok {
+            return Some(c);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SignalDir;
+
+    fn sequencer() -> BmSpec {
+        let mut s = BmSpec::new("sequencer");
+        let pr = s.add_signal("p_r", SignalDir::Input);
+        let a1a = s.add_signal("a1_a", SignalDir::Input);
+        let a2a = s.add_signal("a2_a", SignalDir::Input);
+        let pa = s.add_signal("p_a", SignalDir::Output);
+        let a1r = s.add_signal("a1_r", SignalDir::Output);
+        let a2r = s.add_signal("a2_r", SignalDir::Output);
+        for _ in 0..6 {
+            s.add_state();
+        }
+        s.add_arc(0, 1, &[(pr, true)], &[(a1r, true)]);
+        s.add_arc(1, 2, &[(a1a, true)], &[(a1r, false)]);
+        s.add_arc(2, 3, &[(a1a, false)], &[(a2r, true)]);
+        s.add_arc(3, 4, &[(a2a, true)], &[(a2r, false)]);
+        s.add_arc(4, 5, &[(a2a, false)], &[(pa, true)]);
+        s.add_arc(5, 0, &[(pr, false)], &[(pa, false)]);
+        s
+    }
+
+    #[test]
+    fn sequencer_assignment_is_race_free() {
+        let spec = sequencer();
+        let a = assign(&spec).unwrap();
+        assert_eq!(a.codes.len(), 6);
+        // all codes distinct
+        let mut codes = a.codes.clone();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 6);
+        for d in dichotomies(&spec).unwrap() {
+            assert!(a.satisfies(&d));
+        }
+        // 6 states need at least 3 bits.
+        assert!(a.num_bits >= 3);
+    }
+
+    #[test]
+    fn single_state_machine_needs_no_bits() {
+        let mut s = BmSpec::new("one");
+        let a = s.add_signal("a", SignalDir::Input);
+        let x = s.add_signal("x", SignalDir::Output);
+        let s0 = s.add_state();
+        let s1 = s.add_state();
+        s.add_arc(s0, s1, &[(a, true)], &[(x, true)]);
+        s.add_arc(s1, s0, &[(a, false)], &[(x, false)]);
+        let asg = assign(&s).unwrap();
+        assert_eq!(asg.codes.len(), 2);
+        assert_ne!(asg.codes[0], asg.codes[1]);
+    }
+
+    #[test]
+    fn zero_or_one_state() {
+        let mut s = BmSpec::new("trivial");
+        s.add_state();
+        let asg = assign(&s);
+        // one state: no bits at all (validation of an arc-free, 1-state
+        // machine passes: the state is initial hence reachable).
+        let asg = asg.unwrap();
+        assert_eq!(asg.num_bits, 0);
+    }
+
+    #[test]
+    fn dichotomy_satisfaction_logic() {
+        let a = StateAssignment { num_bits: 2, codes: vec![0b00, 0b01, 0b10, 0b11] };
+        let d_ok = Dichotomy {
+            left: BTreeSet::from([0, 1]),  // bit1 = 0
+            right: BTreeSet::from([2, 3]), // bit1 = 1
+        };
+        assert!(a.satisfies(&d_ok));
+        let d_bad = Dichotomy {
+            left: BTreeSet::from([0, 3]),
+            right: BTreeSet::from([1, 2]),
+        };
+        assert!(!a.satisfies(&d_bad));
+    }
+
+    #[test]
+    fn conflicting_transitions_get_separated() {
+        // A choice state: from s0, input a+ goes to s1, input b+ goes to s2;
+        // both return. Transitions s1->s0 (on a-) and s2->s0 (on b-) have
+        // different post-burst vectors, so no transition dichotomy between
+        // them; but pairwise distinctness still applies.
+        let mut s = BmSpec::new("choice");
+        let a = s.add_signal("a", SignalDir::Input);
+        let b = s.add_signal("b", SignalDir::Input);
+        let x = s.add_signal("x", SignalDir::Output);
+        let s0 = s.add_state();
+        let s1 = s.add_state();
+        let s2 = s.add_state();
+        s.add_arc(s0, s1, &[(a, true)], &[(x, true)]);
+        s.add_arc(s0, s2, &[(b, true)], &[(x, true)]);
+        s.add_arc(s1, s0, &[(a, false)], &[(x, false)]);
+        s.add_arc(s2, s0, &[(b, false)], &[(x, false)]);
+        let asg = assign(&s).unwrap();
+        let mut codes = asg.codes.clone();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 3);
+    }
+}

@@ -1,0 +1,181 @@
+//! Conservative state minimization for burst-mode specifications.
+//!
+//! Two states may merge when they enter with identical signal-value vectors
+//! and their outgoing arcs never conflict: arcs with equal input bursts must
+//! agree on output bursts and lead to states that merge as well (closure),
+//! and no arc's input burst may strictly contain another's (that would break
+//! the maximal set property of the merged state). This is a safe subset of
+//! Minimalist's compatible-based reduction.
+
+use crate::spec::{BmError, BmSpec};
+use std::collections::HashMap;
+
+/// Result of a state-minimization run.
+#[derive(Debug, Clone)]
+pub struct StateMinResult {
+    /// The reduced specification.
+    pub spec: BmSpec,
+    /// Mapping from old state index to new state index.
+    pub state_map: Vec<usize>,
+}
+
+/// Minimizes the number of states of a validated specification.
+///
+/// # Errors
+///
+/// Propagates validation errors from the input specification; the returned
+/// specification is re-validated before being returned.
+pub fn minimize_states(spec: &BmSpec) -> Result<StateMinResult, BmError> {
+    let entry = spec.validate()?;
+    let n = spec.num_states();
+    // Pairwise compatibility with iterative refinement.
+    let mut compatible = vec![vec![true; n]; n];
+    for s in 0..n {
+        for t in 0..n {
+            if entry.entry_in[s] != entry.entry_in[t] || entry.entry_out[s] != entry.entry_out[t]
+            {
+                compatible[s][t] = false;
+            }
+        }
+    }
+    let arcs_from = |s: usize| spec.arcs().iter().filter(move |a| a.from == s);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for s in 0..n {
+            for t in s + 1..n {
+                if !compatible[s][t] {
+                    continue;
+                }
+                let mut ok = true;
+                'outer: for a in arcs_from(s) {
+                    for b in arcs_from(t) {
+                        if a.inputs == b.inputs {
+                            if a.outputs != b.outputs
+                                || !compatible[a.to.min(b.to)][a.to.max(b.to)]
+                                || !compatible[a.to.max(b.to)][a.to.min(b.to)]
+                            {
+                                ok = false;
+                                break 'outer;
+                            }
+                        } else if a.inputs.is_subset(&b.inputs) || b.inputs.is_subset(&a.inputs) {
+                            ok = false;
+                            break 'outer;
+                        }
+                    }
+                }
+                if !ok {
+                    compatible[s][t] = false;
+                    compatible[t][s] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Greedy clique merging via class lists: add each state to the first
+    // class all of whose members it is compatible with.
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    let mut class_of = vec![usize::MAX; n];
+    for s in 0..n {
+        let mut placed = false;
+        for (ci, class) in classes.iter_mut().enumerate() {
+            if class.iter().all(|&t| compatible[s.min(t)][s.max(t)] && compatible[s.max(t)][s.min(t)]) {
+                class.push(s);
+                class_of[s] = ci;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            class_of[s] = classes.len();
+            classes.push(vec![s]);
+        }
+    }
+    // Rebuild the specification.
+    let mut reduced = BmSpec::new(spec.name());
+    for sig in spec.signals() {
+        reduced.add_signal(sig.name.clone(), sig.dir);
+    }
+    for _ in 0..classes.len() {
+        reduced.add_state();
+    }
+    reduced.set_initial(class_of[spec.initial()]);
+    let mut seen_arcs: HashMap<(usize, usize, String), ()> = HashMap::new();
+    for arc in spec.arcs() {
+        let from = class_of[arc.from];
+        let to = class_of[arc.to];
+        let key = (from, to, format!("{:?}", arc.inputs));
+        if seen_arcs.insert(key, ()).is_some() {
+            continue; // identical merged arc
+        }
+        let inputs: Vec<(usize, bool)> = arc.inputs.iter().map(|e| (e.signal, e.rising)).collect();
+        let outputs: Vec<(usize, bool)> =
+            arc.outputs.iter().map(|e| (e.signal, e.rising)).collect();
+        reduced.add_arc(from, to, &inputs, &outputs);
+    }
+    reduced.validate()?;
+    Ok(StateMinResult { spec: reduced, state_map: class_of })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SignalDir;
+
+    #[test]
+    fn duplicate_tail_states_merge() {
+        // Two parallel branches with identical suffix behaviour: after the
+        // branch-specific burst, both do x+ then return on the same burst.
+        let mut s = BmSpec::new("dup");
+        let a = s.add_signal("a", SignalDir::Input);
+        let x = s.add_signal("x", SignalDir::Output);
+        let s0 = s.add_state();
+        let s1 = s.add_state();
+        let s2 = s.add_state();
+        let s3 = s.add_state();
+        // s1 and s3 behave identically (entered with a=1, x=1; return on a-).
+        s.add_arc(s0, s1, &[(a, true)], &[(x, true)]);
+        s.add_arc(s1, s2, &[(a, false)], &[(x, false)]);
+        s.add_arc(s2, s3, &[(a, true)], &[(x, true)]);
+        s.add_arc(s3, s0, &[(a, false)], &[(x, false)]);
+        let result = minimize_states(&s).unwrap();
+        // s0 == s2 and s1 == s3 -> 2 states.
+        assert_eq!(result.spec.num_states(), 2);
+        result.spec.validate().unwrap();
+    }
+
+    #[test]
+    fn distinct_behaviour_not_merged() {
+        let mut s = BmSpec::new("seq2");
+        let p = s.add_signal("p", SignalDir::Input);
+        let x = s.add_signal("x", SignalDir::Output);
+        let y = s.add_signal("y", SignalDir::Output);
+        let s0 = s.add_state();
+        let s1 = s.add_state();
+        let s2 = s.add_state();
+        let s3 = s.add_state();
+        s.add_arc(s0, s1, &[(p, true)], &[(x, true)]);
+        s.add_arc(s1, s2, &[(p, false)], &[(x, false), (y, true)]);
+        s.add_arc(s2, s3, &[(p, true)], &[(y, false)]);
+        s.add_arc(s3, s0, &[(p, false)], &[]);
+        let result = minimize_states(&s).unwrap();
+        // Entry vectors all differ in outputs; nothing merges.
+        assert_eq!(result.spec.num_states(), 4);
+    }
+
+    #[test]
+    fn state_map_is_consistent() {
+        let mut s = BmSpec::new("loop");
+        let a = s.add_signal("a", SignalDir::Input);
+        let x = s.add_signal("x", SignalDir::Output);
+        let s0 = s.add_state();
+        let s1 = s.add_state();
+        s.add_arc(s0, s1, &[(a, true)], &[(x, true)]);
+        s.add_arc(s1, s0, &[(a, false)], &[(x, false)]);
+        let result = minimize_states(&s).unwrap();
+        assert_eq!(result.state_map.len(), 2);
+        assert_eq!(result.spec.num_states(), 2);
+        assert_eq!(result.state_map[s0], result.spec.initial());
+        let _ = s1;
+    }
+}

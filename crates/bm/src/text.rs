@@ -1,0 +1,258 @@
+//! Textual interchange for Burst-Mode specifications: a `.bms`-style format
+//! (following the Minimalist tool family) and Graphviz output.
+//!
+//! ```text
+//! name sequencer
+//! input p_r 0
+//! input a1_a 0
+//! output a1_r 0
+//! 0 1 p_r+ | a1_r+
+//! 1 0 a1_a+ | a1_r-
+//! ```
+
+use crate::spec::{BmError, BmSpec, SignalDir};
+use std::fmt;
+
+/// Errors raised while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BmsParseError {
+    /// A malformed line, with its (1-based) number.
+    BadLine {
+        /// Line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed machine failed validation.
+    Invalid(BmError),
+}
+
+impl fmt::Display for BmsParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BmsParseError::BadLine { line, message } => {
+                write!(f, "bms parse error at line {line}: {message}")
+            }
+            BmsParseError::Invalid(e) => write!(f, "parsed machine is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BmsParseError {}
+
+impl From<BmError> for BmsParseError {
+    fn from(e: BmError) -> Self {
+        BmsParseError::Invalid(e)
+    }
+}
+
+/// Serializes a specification to the `.bms`-style text format.
+pub fn to_bms(spec: &BmSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("name {}\n", spec.name()));
+    for sig in spec.signals() {
+        let kind = match sig.dir {
+            SignalDir::Input => "input",
+            SignalDir::Output => "output",
+        };
+        out.push_str(&format!("{kind} {} 0\n", sig.name));
+    }
+    for arc in spec.arcs() {
+        out.push_str(&format!(
+            "{} {} {} | {}\n",
+            arc.from,
+            arc.to,
+            spec.burst_string(&arc.inputs),
+            spec.burst_string(&arc.outputs)
+        ));
+    }
+    out
+}
+
+/// Parses the `.bms`-style text format produced by [`to_bms`]; the result
+/// is validated.
+///
+/// # Errors
+///
+/// See [`BmsParseError`].
+pub fn from_bms(text: &str) -> Result<BmSpec, BmsParseError> {
+    let mut spec = BmSpec::new("machine");
+    let mut max_state = 0usize;
+    let mut arcs: Vec<(usize, usize, Vec<(usize, bool)>, Vec<(usize, bool)>)> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("nonempty line");
+        match head {
+            "name" => {
+                let n = parts.next().ok_or_else(|| BmsParseError::BadLine {
+                    line: line_no,
+                    message: "missing machine name".into(),
+                })?;
+                spec = BmSpec::new(n);
+                // carry over any signals declared before the name line
+                for (i, s) in names.iter().enumerate() {
+                    let _ = (i, s);
+                }
+            }
+            "input" | "output" => {
+                let n = parts.next().ok_or_else(|| BmsParseError::BadLine {
+                    line: line_no,
+                    message: "missing signal name".into(),
+                })?;
+                let dir = if head == "input" { SignalDir::Input } else { SignalDir::Output };
+                spec.add_signal(n, dir);
+                names.push(n.to_string());
+            }
+            _ => {
+                // arc: FROM TO in-burst | out-burst
+                let from: usize = head.parse().map_err(|_| BmsParseError::BadLine {
+                    line: line_no,
+                    message: format!("bad source state {head}"),
+                })?;
+                let to_text = parts.next().ok_or_else(|| BmsParseError::BadLine {
+                    line: line_no,
+                    message: "missing destination state".into(),
+                })?;
+                let to: usize = to_text.parse().map_err(|_| BmsParseError::BadLine {
+                    line: line_no,
+                    message: format!("bad destination state {to_text}"),
+                })?;
+                max_state = max_state.max(from).max(to);
+                let rest: Vec<&str> = parts.collect();
+                let mut inputs = Vec::new();
+                let mut outputs = Vec::new();
+                let mut in_out = false;
+                for tok in rest {
+                    if tok == "|" {
+                        in_out = true;
+                        continue;
+                    }
+                    let (name, rising) = if let Some(n) = tok.strip_suffix('+') {
+                        (n, true)
+                    } else if let Some(n) = tok.strip_suffix('-') {
+                        (n, false)
+                    } else {
+                        return Err(BmsParseError::BadLine {
+                            line: line_no,
+                            message: format!("transition {tok} must end in + or -"),
+                        });
+                    };
+                    let sig = names.iter().position(|s| s == name).ok_or_else(|| {
+                        BmsParseError::BadLine {
+                            line: line_no,
+                            message: format!("undeclared signal {name}"),
+                        }
+                    })?;
+                    if in_out {
+                        outputs.push((sig, rising));
+                    } else {
+                        inputs.push((sig, rising));
+                    }
+                }
+                arcs.push((from, to, inputs, outputs));
+            }
+        }
+    }
+    for _ in 0..=max_state {
+        spec.add_state();
+    }
+    for (from, to, inputs, outputs) in arcs {
+        spec.add_arc(from, to, &inputs, &outputs);
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Renders a specification as a Graphviz digraph (the style of the paper's
+/// Fig. 3).
+pub fn to_dot(spec: &BmSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", spec.name()));
+    out.push_str("  rankdir=TB;\n  node [shape=circle];\n");
+    out.push_str(&format!("  {} [penwidth=2];\n", spec.initial()));
+    for arc in spec.arcs() {
+        out.push_str(&format!(
+            "  {} -> {} [label=\"{} /\\n{}\"];\n",
+            arc.from,
+            arc.to,
+            spec.burst_string(&arc.inputs),
+            spec.burst_string(&arc.outputs)
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sequencer() -> BmSpec {
+        let mut s = BmSpec::new("sequencer");
+        let pr = s.add_signal("p_r", SignalDir::Input);
+        let a1a = s.add_signal("a1_a", SignalDir::Input);
+        let pa = s.add_signal("p_a", SignalDir::Output);
+        let a1r = s.add_signal("a1_r", SignalDir::Output);
+        for _ in 0..4 {
+            s.add_state();
+        }
+        s.add_arc(0, 1, &[(pr, true)], &[(a1r, true)]);
+        s.add_arc(1, 2, &[(a1a, true)], &[(a1r, false)]);
+        s.add_arc(2, 3, &[(a1a, false)], &[(pa, true)]);
+        s.add_arc(3, 0, &[(pr, false)], &[(pa, false)]);
+        s
+    }
+
+    #[test]
+    fn bms_roundtrip() {
+        let s = sequencer();
+        let text = to_bms(&s);
+        let back = from_bms(&text).unwrap();
+        assert_eq!(back.num_states(), s.num_states());
+        assert_eq!(back.arcs().len(), s.arcs().len());
+        assert_eq!(back.name(), "sequencer");
+        assert_eq!(to_bms(&back), text);
+    }
+
+    #[test]
+    fn bms_rejects_bad_input() {
+        assert!(matches!(from_bms("0 x p_r+ |"), Err(BmsParseError::BadLine { .. })));
+        assert!(matches!(
+            from_bms("input a 0\n0 1 b+ |"),
+            Err(BmsParseError::BadLine { .. })
+        ));
+        assert!(matches!(
+            from_bms("input a 0\n0 1 a |"),
+            Err(BmsParseError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn bms_validates_machine() {
+        // An arc with an empty input burst must be rejected by validation.
+        let text = "name bad\ninput a 0\noutput x 0\n0 1 a+ | x+\n1 0 a- | x- x+\n";
+        assert!(matches!(from_bms(text), Err(BmsParseError::Invalid(_))));
+    }
+
+    #[test]
+    fn dot_mentions_all_arcs() {
+        let s = sequencer();
+        let dot = to_dot(&s);
+        assert!(dot.contains("digraph"));
+        assert_eq!(dot.matches("->").count(), 4);
+        assert!(dot.contains("p_r+"));
+    }
+
+    #[test]
+    fn comments_ignored()  {
+        let text = "; a comment\nname t\ninput a 0\noutput x 0\n0 1 a+ | x+ ; trailing\n1 0 a- | x-\n";
+        let s = from_bms(text).unwrap();
+        assert_eq!(s.num_states(), 2);
+    }
+}

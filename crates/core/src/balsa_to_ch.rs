@@ -1,0 +1,159 @@
+//! The Balsa-to-CH translator (Fig. 1 of the paper): turns the control
+//! partition of a handshake-component netlist into a [`CtrlNetlist`] of CH
+//! programs ready for clustering.
+//!
+//! Channel names in the CH programs are the netlist's channel names, so two
+//! components wired by a channel share the name — which is how the
+//! clustering algorithms discover internal channels.
+//!
+//! Data-carrying select channels (of `case`/`while` components) become
+//! mux-ack channels: the select demultiplexer that steers the acknowledge
+//! by value is datapath hardware, instantiated by the simulator.
+
+use crate::ast::ChExpr;
+use crate::components;
+use crate::opt::cluster::CtrlNetlist;
+use bmbe_hsnet::{ComponentKind, Netlist};
+use std::fmt;
+
+/// Errors raised during translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A control component kind without a CH model (none currently).
+    Unsupported {
+        /// The kind's mnemonic.
+        kind: String,
+    },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Unsupported { kind } => {
+                write!(f, "no CH model for component kind {kind}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translates the control partition of a netlist into CH programs.
+///
+/// # Errors
+///
+/// Returns [`TranslateError`] for control kinds without a CH model.
+pub fn balsa_to_ch(netlist: &Netlist) -> Result<CtrlNetlist, TranslateError> {
+    let mut out = CtrlNetlist::new();
+    for comp in netlist.components() {
+        if !comp.kind.is_control() {
+            continue;
+        }
+        let chan = |i: usize| netlist.channel(comp.channels[i]).name.clone();
+        let chans = |range: std::ops::Range<usize>| -> Vec<String> {
+            range.map(|i| netlist.channel(comp.channels[i]).name.clone()).collect()
+        };
+        let program: ChExpr = match &comp.kind {
+            ComponentKind::Sequence { branches } => {
+                components::sequencer(&chan(0), &chans(1..1 + branches))
+            }
+            ComponentKind::Concur { branches } => {
+                components::concur(&chan(0), &chans(1..1 + branches))
+            }
+            ComponentKind::Loop => components::loop_forever(&chan(0), &chan(1)),
+            ComponentKind::While => {
+                components::while_loop(&chan(0), &chan(1), &chan(2))
+            }
+            ComponentKind::Call { inputs } => {
+                components::call(&chans(0..*inputs), &chan(*inputs))
+            }
+            ComponentKind::DecisionWait { pairs } => components::decision_wait(
+                &chan(0),
+                &chans(1..1 + pairs),
+                &chans(1 + pairs..1 + 2 * pairs),
+            ),
+            ComponentKind::Fork { outputs } => {
+                components::fork(&chan(0), &chans(1..1 + outputs))
+            }
+            ComponentKind::Sync { inputs } => components::sync(&chans(0..*inputs)),
+            ComponentKind::Fetch => {
+                components::transferrer(&chan(0), &chan(1), &chan(2))
+            }
+            ComponentKind::Case { branches } => {
+                components::case(&chan(0), &chan(1), &chans(2..2 + branches))
+            }
+            ComponentKind::Skip => ChExpr::Rep(Box::new(ChExpr::passive(chan(0)))),
+            other => {
+                return Err(TranslateError::Unsupported { kind: other.mnemonic().to_string() })
+            }
+        };
+        out.add(format!("{}_{}", comp.kind.mnemonic(), comp.id.0), program);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_to_bm;
+    use bmbe_balsa::{compile_procedure, parse};
+
+    fn netlist_of(src: &str) -> Netlist {
+        let prog = parse(src).unwrap();
+        compile_procedure(&prog.procedures[0]).unwrap().netlist
+    }
+
+    #[test]
+    fn buffer_control_translates() {
+        let n = netlist_of(
+            "procedure buf (input i : 8 bits; output o : 8 bits) is\n\
+             variable x : 8 bits\n\
+             begin loop i -> x ; o <- x end end",
+        );
+        let ctrl = balsa_to_ch(&n).unwrap();
+        // loop + seq + 2 fetches.
+        assert_eq!(ctrl.components.len(), 4);
+        // Every program compiles to a valid BM spec.
+        for c in &ctrl.components {
+            compile_to_bm(&c.name, &c.program).unwrap();
+        }
+        // The loop->seq channel is internal.
+        assert!(!ctrl.internal_channels().is_empty());
+    }
+
+    #[test]
+    fn channel_names_are_shared() {
+        let n = netlist_of("procedure t (sync a; sync b) is begin loop sync a ; sync b end end");
+        let ctrl = balsa_to_ch(&n).unwrap();
+        let internal = ctrl.internal_channels();
+        // loop -> seq activation must be discovered as internal.
+        assert_eq!(internal.len(), 1);
+    }
+
+    #[test]
+    fn clustering_runs_on_translated_netlist() {
+        use crate::opt::cluster::ClusterOptions;
+        let n = netlist_of("procedure t (sync a; sync b) is begin loop sync a ; sync b end end");
+        let mut ctrl = balsa_to_ch(&n).unwrap();
+        let before = ctrl.components.len();
+        let report = ctrl.t1_clustering(&ClusterOptions::default());
+        assert!(!report.eliminated_channels.is_empty());
+        assert!(ctrl.components.len() < before);
+        for c in &ctrl.components {
+            compile_to_bm(&c.name, &c.program).unwrap();
+        }
+    }
+
+    #[test]
+    fn case_translates_with_mux_ack() {
+        let n = netlist_of(
+            "procedure t (input i : 1 bits; sync x) is\n\
+             variable v : 1 bits\n\
+             begin loop i -> v ; if v then sync x else continue end end end",
+        );
+        let ctrl = balsa_to_ch(&n).unwrap();
+        let case = ctrl.components.iter().find(|c| c.name.starts_with("case")).unwrap();
+        let spec = compile_to_bm("case", &case.program).unwrap();
+        spec.validate().unwrap();
+    }
+}

@@ -1,0 +1,530 @@
+//! Four-phase handshake expansion of CH expressions (§3 and Table 2).
+//!
+//! Every CH expression denotes an *expansion*: four "higher-level" atomic
+//! events, each a list of items — signal transitions, loop labels/gotos, and
+//! external-choice branches. Interleaving operators combine the four events
+//! of their arguments exactly per Table 2 of the paper; `rep`/`break` insert
+//! the label/goto machinery of §3.2; the mux channels insert `choice`.
+
+use crate::ast::{ChActivity, ChExpr, InterleaveOp};
+use std::fmt;
+
+/// Direction of a transition relative to the component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Io {
+    /// Received from the environment.
+    In,
+    /// Driven by the component.
+    Out,
+}
+
+/// A single signal transition, e.g. `(o a_r +)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Trans {
+    /// Input or output.
+    pub io: Io,
+    /// Wire name (e.g. `a_r`).
+    pub signal: String,
+    /// Rising (`+`) or falling (`-`).
+    pub rising: bool,
+}
+
+/// One item of an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A signal transition.
+    T(Trans),
+    /// A loop-head (or loop-exit) label.
+    Label(usize),
+    /// Jump back to a label (loop).
+    Goto(usize),
+    /// Jump out of the innermost loop (`break`).
+    BGoto(usize),
+    /// External mutually exclusive choice between linearized alternatives.
+    Choice(Vec<Vec<Item>>),
+}
+
+/// The four-event expansion of a CH expression.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Expansion {
+    /// The four atomic events.
+    pub events: [Vec<Item>; 4],
+}
+
+impl Expansion {
+    fn empty() -> Self {
+        Expansion::default()
+    }
+
+    /// Concatenates the four events into the linear intermediate form of
+    /// §3.6.
+    pub fn linearize(self) -> Vec<Item> {
+        let [a, b, c, d] = self.events;
+        let mut out = a;
+        out.extend(b);
+        out.extend(c);
+        out.extend(d);
+        out
+    }
+
+    /// The transitions of the expansion in linear order, descending into
+    /// choices.
+    pub fn transitions(&self) -> Vec<Trans> {
+        fn walk(items: &[Item], out: &mut Vec<Trans>) {
+            for item in items {
+                match item {
+                    Item::T(t) => out.push(t.clone()),
+                    Item::Choice(arms) => {
+                        for arm in arms {
+                            walk(arm, out);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for e in &self.events {
+            walk(e, &mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Expansion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            write!(f, "[")?;
+            let mut first = true;
+            for item in e {
+                if !first {
+                    write!(f, " ")?;
+                }
+                first = false;
+                match item {
+                    Item::T(t) => write!(
+                        f,
+                        "({} {} {})",
+                        if t.io == Io::In { "i" } else { "o" },
+                        t.signal,
+                        if t.rising { "+" } else { "-" }
+                    )?,
+                    Item::Label(l) => write!(f, "(label L{l})")?,
+                    Item::Goto(l) => write!(f, "(goto L{l})")?,
+                    Item::BGoto(l) => write!(f, "(bgoto L{l})")?,
+                    Item::Choice(arms) => write!(f, "(choice #{} arms)", arms.len())?,
+                }
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised during expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpandError {
+    /// `break` used outside any `rep`.
+    BreakOutsideLoop,
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpandError::BreakOutsideLoop => write!(f, "break used outside of a rep loop"),
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+/// Expands a CH expression into its four-phase expansion.
+///
+/// # Errors
+///
+/// Returns [`ExpandError::BreakOutsideLoop`] when a `break` has no
+/// enclosing `rep`.
+pub fn expand(expr: &ChExpr) -> Result<Expansion, ExpandError> {
+    let mut ctx = Ctx { next_label: 0, loop_exits: Vec::new() };
+    ctx.expand(expr)
+}
+
+struct Ctx {
+    next_label: usize,
+    loop_exits: Vec<usize>,
+}
+
+impl Ctx {
+    fn fresh_label(&mut self) -> usize {
+        self.next_label += 1;
+        self.next_label - 1
+    }
+
+    fn expand(&mut self, expr: &ChExpr) -> Result<Expansion, ExpandError> {
+        match expr {
+            ChExpr::PToP { activity, name } => Ok(ptop_expansion(name, *activity)),
+            ChExpr::MultAck { activity, name, n } => Ok(mult_ack_expansion(name, *activity, *n)),
+            ChExpr::MultReq { activity, name, n } => Ok(mult_req_expansion(name, *activity, *n)),
+            ChExpr::Void => Ok(Expansion::empty()),
+            ChExpr::Verb { events, .. } => {
+                let mut out = Expansion::empty();
+                for (i, ev) in events.iter().enumerate() {
+                    out.events[i] = ev
+                        .iter()
+                        .map(|t| {
+                            Item::T(Trans {
+                                io: if t.out { Io::Out } else { Io::In },
+                                signal: t.signal.clone(),
+                                rising: t.rising,
+                            })
+                        })
+                        .collect();
+                }
+                Ok(out)
+            }
+            ChExpr::Rep(inner) => {
+                let head = self.fresh_label();
+                let exit = self.fresh_label();
+                self.loop_exits.push(exit);
+                let body = self.expand(inner)?;
+                self.loop_exits.pop();
+                let mut e1 = vec![Item::Label(head)];
+                e1.extend(body.linearize());
+                e1.push(Item::Goto(head));
+                e1.push(Item::Label(exit));
+                Ok(Expansion { events: [e1, vec![], vec![], vec![]] })
+            }
+            ChExpr::Break => {
+                let exit = *self.loop_exits.last().ok_or(ExpandError::BreakOutsideLoop)?;
+                Ok(Expansion { events: [vec![Item::BGoto(exit)], vec![], vec![], vec![]] })
+            }
+            ChExpr::MuxAck { name, arms } => {
+                let mut compiled_arms = Vec::with_capacity(arms.len());
+                for (i, (op, arg)) in arms.iter().enumerate() {
+                    // The virtual channel: ack on wire i, shared return-to-
+                    // zero of the request; the r+ is hoisted out in front of
+                    // the choice.
+                    let vchan = Expansion {
+                        events: [
+                            vec![],
+                            vec![Item::T(Trans { io: Io::In, signal: format!("{name}_a{i}"), rising: true })],
+                            vec![Item::T(Trans { io: Io::Out, signal: format!("{name}_r"), rising: false })],
+                            vec![Item::T(Trans { io: Io::In, signal: format!("{name}_a{i}"), rising: false })],
+                        ],
+                    };
+                    let arg_exp = self.expand(arg)?;
+                    let combined =
+                        combine(*op, vchan, ChActivity::Active, arg_exp, arg.activity());
+                    compiled_arms.push(combined.linearize());
+                }
+                let e1 = vec![
+                    Item::T(Trans { io: Io::Out, signal: format!("{name}_r"), rising: true }),
+                    Item::Choice(compiled_arms),
+                ];
+                Ok(Expansion { events: [e1, vec![], vec![], vec![]] })
+            }
+            ChExpr::MuxReq { name, arms } => {
+                let mut compiled_arms = Vec::with_capacity(arms.len());
+                for (i, (op, arg)) in arms.iter().enumerate() {
+                    let vchan = Expansion {
+                        events: [
+                            vec![Item::T(Trans { io: Io::In, signal: format!("{name}_r{i}"), rising: true })],
+                            vec![Item::T(Trans { io: Io::Out, signal: format!("{name}_a"), rising: true })],
+                            vec![Item::T(Trans { io: Io::In, signal: format!("{name}_r{i}"), rising: false })],
+                            vec![Item::T(Trans { io: Io::Out, signal: format!("{name}_a"), rising: false })],
+                        ],
+                    };
+                    let arg_exp = self.expand(arg)?;
+                    let combined =
+                        combine(*op, vchan, ChActivity::Passive, arg_exp, arg.activity());
+                    compiled_arms.push(combined.linearize());
+                }
+                Ok(Expansion {
+                    events: [vec![Item::Choice(compiled_arms)], vec![], vec![], vec![]],
+                })
+            }
+            ChExpr::Op { op, a, b } => {
+                let ea = self.expand(a)?;
+                let eb = self.expand(b)?;
+                Ok(combine(*op, ea, a.activity(), eb, b.activity()))
+            }
+        }
+    }
+}
+
+fn trans(io: Io, signal: String, rising: bool) -> Item {
+    Item::T(Trans { io, signal, rising })
+}
+
+fn ptop_expansion(name: &str, activity: ChActivity) -> Expansion {
+    let (req_io, ack_io) = match activity {
+        ChActivity::Active => (Io::Out, Io::In),
+        _ => (Io::In, Io::Out),
+    };
+    Expansion {
+        events: [
+            vec![trans(req_io, format!("{name}_r"), true)],
+            vec![trans(ack_io, format!("{name}_a"), true)],
+            vec![trans(req_io, format!("{name}_r"), false)],
+            vec![trans(ack_io, format!("{name}_a"), false)],
+        ],
+    }
+}
+
+fn mult_ack_expansion(name: &str, activity: ChActivity, n: usize) -> Expansion {
+    let (req_io, ack_io) = match activity {
+        ChActivity::Active => (Io::Out, Io::In),
+        _ => (Io::In, Io::Out),
+    };
+    let acks = |rising: bool| -> Vec<Item> {
+        (0..n).map(|i| trans(ack_io, format!("{name}_a{i}"), rising)).collect()
+    };
+    Expansion {
+        events: [
+            vec![trans(req_io, format!("{name}_r"), true)],
+            acks(true),
+            vec![trans(req_io, format!("{name}_r"), false)],
+            acks(false),
+        ],
+    }
+}
+
+fn mult_req_expansion(name: &str, activity: ChActivity, n: usize) -> Expansion {
+    let (req_io, ack_io) = match activity {
+        ChActivity::Active => (Io::Out, Io::In),
+        _ => (Io::In, Io::Out),
+    };
+    let reqs = |rising: bool| -> Vec<Item> {
+        (0..n).map(|i| trans(req_io, format!("{name}_r{i}"), rising)).collect()
+    };
+    Expansion {
+        events: [
+            reqs(true),
+            vec![trans(ack_io, format!("{name}_a"), true)],
+            reqs(false),
+            vec![trans(ack_io, format!("{name}_a"), false)],
+        ],
+    }
+}
+
+/// Combines two expansions per Table 2. The activity arguments select the
+/// row variant (only `enc-early` differs between active and passive first
+/// arguments); `Neither` behaves as passive — its events are empty, so the
+/// placement collapses to the other argument's events.
+fn combine(
+    op: InterleaveOp,
+    a: Expansion,
+    a_act: ChActivity,
+    b: Expansion,
+    _b_act: ChActivity,
+) -> Expansion {
+    let [a1, a2, a3, a4] = a.events;
+    let [b1, b2, b3, b4] = b.events;
+    let cat = |parts: Vec<Vec<Item>>| -> Vec<Item> { parts.into_iter().flatten().collect() };
+    match op {
+        InterleaveOp::EncEarly => {
+            if a_act == ChActivity::Active {
+                // [a1][a2 b1 b2 b3 b4][a3][a4]
+                Expansion { events: [a1, cat(vec![a2, b1, b2, b3, b4]), a3, a4] }
+            } else {
+                // [a1 b1 b2 b3 b4][a2][a3][a4]
+                Expansion { events: [cat(vec![a1, b1, b2, b3, b4]), a2, a3, a4] }
+            }
+        }
+        InterleaveOp::EncLate => {
+            // [a1][a2][a3][b1 b2 b3 b4 a4]
+            Expansion { events: [a1, a2, a3, cat(vec![b1, b2, b3, b4, a4])] }
+        }
+        InterleaveOp::EncMiddle => {
+            // [a1 b1][b2 a2][a3 b3][b4 a4]
+            Expansion {
+                events: [
+                    cat(vec![a1, b1]),
+                    cat(vec![b2, a2]),
+                    cat(vec![a3, b3]),
+                    cat(vec![b4, a4]),
+                ],
+            }
+        }
+        InterleaveOp::Seq => {
+            // [a1 a2 a3 a4 b1][b2][b3][b4]
+            Expansion { events: [cat(vec![a1, a2, a3, a4, b1]), b2, b3, b4] }
+        }
+        InterleaveOp::SeqOv => {
+            // [a1 a2][b1 b2][a3 a4][b3 b4]
+            Expansion {
+                events: [
+                    cat(vec![a1, a2]),
+                    cat(vec![b1, b2]),
+                    cat(vec![a3, a4]),
+                    cat(vec![b3, b4]),
+                ],
+            }
+        }
+        InterleaveOp::Mutex => {
+            let arm_a = Expansion { events: [a1, a2, a3, a4] }.linearize();
+            let arm_b = Expansion { events: [b1, b2, b3, b4] }.linearize();
+            Expansion { events: [vec![Item::Choice(vec![arm_a, arm_b])], vec![], vec![], vec![]] }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ChExpr;
+    use InterleaveOp::*;
+
+    fn show(e: &Expansion) -> String {
+        e.to_string()
+    }
+
+    #[test]
+    fn passive_ptop_expansion_matches_paper() {
+        let e = expand(&ChExpr::passive("a")).unwrap();
+        assert_eq!(show(&e), "[(i a_r +)][(o a_a +)][(i a_r -)][(o a_a -)]");
+    }
+
+    #[test]
+    fn active_ptop_expansion_matches_paper() {
+        let e = expand(&ChExpr::active("b")).unwrap();
+        assert_eq!(show(&e), "[(o b_r +)][(i b_a +)][(o b_r -)][(i b_a -)]");
+    }
+
+    #[test]
+    fn enc_early_passive_active_matches_paper_example() {
+        // §3: (enc-early (p-to-p passive A) (p-to-p active B)) =
+        // [(i a_r+)(o b_r+)(i b_a+)(o b_r-)(i b_a-)][(o a_a+)][(i a_r-)][(o a_a-)]
+        let e = expand(&ChExpr::op(EncEarly, ChExpr::passive("a"), ChExpr::active("b"))).unwrap();
+        assert_eq!(
+            show(&e),
+            "[(i a_r +) (o b_r +) (i b_a +) (o b_r -) (i b_a -)][(o a_a +)][(i a_r -)][(o a_a -)]"
+        );
+    }
+
+    #[test]
+    fn mult_ack_active_matches_paper_example() {
+        // (mult-ack active c 2) -> [(o c_r+)][(i c_a0+)(i c_a1+)][(o c_r-)][...]
+        let e = expand(&ChExpr::MultAck {
+            activity: crate::ast::ChActivity::Active,
+            name: "c".into(),
+            n: 2,
+        })
+        .unwrap();
+        assert_eq!(
+            show(&e),
+            "[(o c_r +)][(i c_a0 +) (i c_a1 +)][(o c_r -)][(i c_a0 -) (i c_a1 -)]"
+        );
+    }
+
+    #[test]
+    fn seq_concatenates_first_argument() {
+        let e = expand(&ChExpr::op(Seq, ChExpr::active("x"), ChExpr::active("y"))).unwrap();
+        assert_eq!(
+            show(&e),
+            "[(o x_r +) (i x_a +) (o x_r -) (i x_a -) (o y_r +)][(i y_a +)][(o y_r -)][(i y_a -)]"
+        );
+    }
+
+    #[test]
+    fn enc_middle_interleaves_pairwise() {
+        let e =
+            expand(&ChExpr::op(EncMiddle, ChExpr::passive("a"), ChExpr::passive("b"))).unwrap();
+        assert_eq!(
+            show(&e),
+            "[(i a_r +) (i b_r +)][(o b_a +) (o a_a +)][(i a_r -) (i b_r -)][(o b_a -) (o a_a -)]"
+        );
+    }
+
+    #[test]
+    fn enc_late_encloses_in_return_phase() {
+        let e = expand(&ChExpr::op(EncLate, ChExpr::passive("a"), ChExpr::active("b"))).unwrap();
+        assert_eq!(
+            show(&e),
+            "[(i a_r +)][(o a_a +)][(i a_r -)][(o b_r +) (i b_a +) (o b_r -) (i b_a -) (o a_a -)]"
+        );
+    }
+
+    #[test]
+    fn seq_ov_overlaps() {
+        let e = expand(&ChExpr::op(SeqOv, ChExpr::active("a"), ChExpr::active("b"))).unwrap();
+        assert_eq!(
+            show(&e),
+            "[(o a_r +) (i a_a +)][(o b_r +) (i b_a +)][(o a_r -) (i a_a -)][(o b_r -) (i b_a -)]"
+        );
+    }
+
+    #[test]
+    fn rep_wraps_with_label_and_goto() {
+        let e = expand(&ChExpr::Rep(Box::new(ChExpr::passive("p")))).unwrap();
+        let items = e.linearize();
+        assert!(matches!(items[0], Item::Label(_)));
+        assert!(matches!(items[items.len() - 1], Item::Label(_)));
+        assert!(items.iter().any(|i| matches!(i, Item::Goto(_))));
+    }
+
+    #[test]
+    fn break_requires_loop() {
+        assert_eq!(expand(&ChExpr::Break).unwrap_err(), ExpandError::BreakOutsideLoop);
+        let ok = ChExpr::Rep(Box::new(ChExpr::op(Seq, ChExpr::passive("p"), ChExpr::Break)));
+        let e = expand(&ok).unwrap();
+        assert!(e.linearize().iter().any(|i| matches!(i, Item::BGoto(_))));
+    }
+
+    #[test]
+    fn mutex_produces_choice() {
+        let e = expand(&ChExpr::op(Mutex, ChExpr::passive("a"), ChExpr::passive("b"))).unwrap();
+        match &e.events[0][0] {
+            Item::Choice(arms) => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[0].len(), 4);
+            }
+            other => panic!("expected choice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn void_disappears_under_enclosure() {
+        // (enc-early void (seq c1 c2)) linearizes exactly like the seq.
+        let seq = ChExpr::op(Seq, ChExpr::active("c1"), ChExpr::active("c2"));
+        let enclosed = ChExpr::op(EncEarly, ChExpr::Void, seq.clone());
+        let a = expand(&enclosed).unwrap().linearize();
+        let b = expand(&seq).unwrap().linearize();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mux_ack_shape() {
+        let e = expand(&ChExpr::MuxAck {
+            name: "m".into(),
+            arms: vec![(EncEarly, ChExpr::active("x")), (EncEarly, ChExpr::active("y"))],
+        })
+        .unwrap();
+        // Event 1: m_r+ then the choice; events 2-4 null.
+        assert_eq!(e.events[0].len(), 2);
+        assert!(e.events[1].is_empty());
+        match &e.events[0][1] {
+            Item::Choice(arms) => {
+                assert_eq!(arms.len(), 2);
+                // Arm 0 mentions m_a0 and x wires.
+                let names: Vec<&str> = arms[0]
+                    .iter()
+                    .filter_map(|i| match i {
+                        Item::T(t) => Some(t.signal.as_str()),
+                        _ => None,
+                    })
+                    .collect();
+                assert!(names.contains(&"m_a0"));
+                assert!(names.contains(&"x_r"));
+            }
+            other => panic!("expected choice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transitions_enumerates_choice_arms() {
+        let e = expand(&ChExpr::op(Mutex, ChExpr::passive("a"), ChExpr::passive("b"))).unwrap();
+        let ts = e.transitions();
+        assert_eq!(ts.len(), 8); // both four-phase handshakes
+    }
+}

@@ -1,0 +1,206 @@
+//! Formal verification of Activation Channel Removal (§4.3).
+//!
+//! Reproduces the paper's AVER experiment: for a pair of CH programs
+//! sharing an activation channel, the composition of their trace structures
+//! with the activation channel hidden must be conformance-equivalent to the
+//! trace structure of the merged (optimized) program. The experiment is run
+//! over every legal combination of operators in the activating and
+//! activated programs.
+
+use crate::ast::{legal, ChActivity, ChExpr, InterleaveOp};
+use crate::opt::acr::{activation_channel_removal, AcrFailure};
+use crate::trace_gen::{trace_of, TraceGenError};
+use bmbe_trace::TraceError;
+use std::fmt;
+
+/// Outcome of verifying one Activation Channel Removal instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcrVerdict {
+    /// The optimized controller is conformance-equivalent to the composed
+    /// and hidden originals.
+    Equivalent,
+    /// The merge itself was (correctly) rejected by the optimizer.
+    MergeRejected(String),
+    /// Verification found a behavioural difference — an optimizer bug.
+    NotEquivalent,
+}
+
+impl fmt::Display for AcrVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcrVerdict::Equivalent => write!(f, "equivalent"),
+            AcrVerdict::MergeRejected(r) => write!(f, "merge rejected ({r})"),
+            AcrVerdict::NotEquivalent => write!(f, "NOT equivalent"),
+        }
+    }
+}
+
+/// Errors from the verification machinery itself (not verdicts).
+#[derive(Debug)]
+pub enum VerifyError {
+    /// Trace generation failed.
+    TraceGen(TraceGenError),
+    /// A trace-theory operation failed.
+    Trace(TraceError),
+    /// The composition of the two original components can fail on its own,
+    /// so hiding is unsound; this never happens for activation channels.
+    CompositionFails,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::TraceGen(e) => write!(f, "trace generation failed: {e}"),
+            VerifyError::Trace(e) => write!(f, "trace operation failed: {e}"),
+            VerifyError::CompositionFails => {
+                write!(f, "composition of the original components reaches a failure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<TraceGenError> for VerifyError {
+    fn from(e: TraceGenError) -> Self {
+        VerifyError::TraceGen(e)
+    }
+}
+
+impl From<TraceError> for VerifyError {
+    fn from(e: TraceError) -> Self {
+        VerifyError::Trace(e)
+    }
+}
+
+/// Verifies one Activation Channel Removal instance per §4.3:
+/// `compose(activating, activated)` with the activation channel hidden must
+/// be equivalent to the merged program.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] when the verification machinery cannot run;
+/// behavioural mismatches are reported through the [`AcrVerdict`].
+pub fn verify_acr(
+    activating: &ChExpr,
+    activated: &ChExpr,
+    channel: &str,
+) -> Result<AcrVerdict, VerifyError> {
+    let merged = match activation_channel_removal(activating, activated, channel, None) {
+        Ok(m) => m,
+        Err(e @ (AcrFailure::NotBmAware(_) | AcrFailure::NotSynthesizable(_))) => {
+            return Ok(AcrVerdict::MergeRejected(e.to_string()))
+        }
+        Err(e) => return Ok(AcrVerdict::MergeRejected(e.to_string())),
+    };
+    let ta = trace_of(activating)?;
+    let tb = trace_of(activated)?;
+    let composed = ta.compose(&tb)?;
+    if composed.failure_reachable {
+        return Err(VerifyError::CompositionFails);
+    }
+    let req = format!("{channel}_r");
+    let ack = format!("{channel}_a");
+    let hidden = composed.structure.hide(&[req.as_str(), ack.as_str()])?;
+    let tm = trace_of(&merged)?;
+    if hidden.equivalent_to(&tm)? {
+        Ok(AcrVerdict::Equivalent)
+    } else {
+        Ok(AcrVerdict::NotEquivalent)
+    }
+}
+
+/// One row of the §4.3 experiment: activating program
+/// `rep(op1(passive p, active c))`, activated `rep(op2(passive c, X))`
+/// where `X` is an active leaf (plus a `seq` body variant).
+#[derive(Debug, Clone)]
+pub struct ExperimentRow {
+    /// Operator in the activating component.
+    pub op_activating: InterleaveOp,
+    /// Operator in the activated component.
+    pub op_activated: InterleaveOp,
+    /// The verdict.
+    pub verdict: AcrVerdict,
+}
+
+/// Runs the full §4.3 experiment: all combinations of interleaving
+/// operators in the activating and activated components that are legal
+/// per Table 1 and structurally form an activation (the activated
+/// component's operator must be an enclosure).
+///
+/// # Errors
+///
+/// Propagates machinery errors; verdicts (including correct rejections)
+/// are collected in the rows.
+pub fn run_acr_experiment() -> Result<Vec<ExperimentRow>, VerifyError> {
+    let enclosures =
+        [InterleaveOp::EncEarly, InterleaveOp::EncMiddle, InterleaveOp::EncLate];
+    let mut rows = Vec::new();
+    for op1 in InterleaveOp::ALL {
+        // Activating component: rep(op1(passive p, active c)).
+        if !legal(op1, ChActivity::Passive, ChActivity::Active) {
+            continue;
+        }
+        let activating = ChExpr::Rep(Box::new(ChExpr::op(
+            op1,
+            ChExpr::passive("p"),
+            ChExpr::active("c"),
+        )));
+        for op2 in enclosures {
+            if !legal(op2, ChActivity::Passive, ChActivity::Active) {
+                continue;
+            }
+            // Activated component: rep(op2(passive c, seq(x, y))).
+            let activated = ChExpr::Rep(Box::new(ChExpr::op(
+                op2,
+                ChExpr::passive("c"),
+                ChExpr::op(InterleaveOp::Seq, ChExpr::active("x"), ChExpr::active("y")),
+            )));
+            let verdict = verify_acr(&activating, &activated, "c")?;
+            rows.push(ExperimentRow { op_activating: op1, op_activated: op2, verdict });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{decision_wait, sequencer};
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_example_verifies() {
+        let dw = decision_wait("a1", &names(&["i1", "i2"]), &names(&["o1", "o2"]));
+        let seq = sequencer("o2", &names(&["c1", "c2"]));
+        let verdict = verify_acr(&dw, &seq, "o2").unwrap();
+        assert_eq!(verdict, AcrVerdict::Equivalent);
+    }
+
+    #[test]
+    fn chained_sequencers_verify() {
+        let s1 = sequencer("p", &names(&["x", "m"]));
+        let s2 = sequencer("m", &names(&["y", "z"]));
+        assert_eq!(verify_acr(&s1, &s2, "m").unwrap(), AcrVerdict::Equivalent);
+    }
+
+    #[test]
+    fn full_experiment_has_no_inequivalences() {
+        let rows = run_acr_experiment().unwrap();
+        assert!(!rows.is_empty());
+        let bad: Vec<_> = rows
+            .iter()
+            .filter(|r| r.verdict == AcrVerdict::NotEquivalent)
+            .collect();
+        assert!(bad.is_empty(), "non-equivalent rows: {bad:?}");
+        // At least the all-enc-early row must be an accepted, verified merge.
+        assert!(rows.iter().any(|r| {
+            r.op_activating == InterleaveOp::EncEarly
+                && r.op_activated == InterleaveOp::EncEarly
+                && r.verdict == AcrVerdict::Equivalent
+        }));
+    }
+}

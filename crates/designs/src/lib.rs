@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # bmbe-designs
+//!
+//! The paper's four benchmark designs (§6) in mini-Balsa, with their
+//! benchmark scenarios:
+//!
+//! * an 8-handshake **systolic counter** [van Berkel 1993] — simulated for
+//!   one full 8-handshake cycle;
+//! * an 8-place 8-bit **wagging register** [van Berkel 1993] — simulated
+//!   for forward latency over one full rotation;
+//! * an 8-place 8-bit **stack** — simulated for three pushes followed by
+//!   three pops;
+//! * the **SSEM** (Manchester Baby) 32-bit non-pipelined microprocessor
+//!   core [Bardsley 1998] — simulated running the paper's program, which
+//!   writes the numbers 0 through 4 to consecutive memory locations.
+//!
+//! Each design provides its source, the compiled netlist, the scenario,
+//! and a result check.
+
+pub mod scenarios;
+pub mod sources;
+pub mod ssem;
+
+pub use scenarios::{all_designs, Design};
+pub use ssem::{assemble, Instr};

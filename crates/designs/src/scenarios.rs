@@ -1,0 +1,198 @@
+//! Benchmark scenarios and result checks for the four designs.
+
+use crate::sources;
+use crate::ssem;
+use bmbe_balsa::{compile_procedure, parse, BalsaError, CompiledDesign, ParseError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What the benchmark run must satisfy once complete.
+#[derive(Debug, Clone)]
+pub enum Check {
+    /// No functional check beyond completion.
+    None,
+    /// An output port must have delivered exactly these values.
+    OutputEquals {
+        /// The port.
+        port: String,
+        /// The expected sequence.
+        values: Vec<u64>,
+    },
+    /// Memory cells must hold these values.
+    MemoryEquals {
+        /// The memory name.
+        memory: String,
+        /// `(address, value)` expectations.
+        cells: Vec<(usize, u64)>,
+    },
+}
+
+/// The scenario parameters (mirrors `bmbe-flow`'s scenario type without
+/// depending on it, so this crate stays a leaf).
+#[derive(Debug, Clone)]
+pub struct DesignScenario {
+    /// Activation handshakes to drive.
+    pub activation_cycles: usize,
+    /// Scripted input values per port.
+    pub input_values: HashMap<String, Vec<u64>>,
+    /// Memory preloads.
+    pub memory_init: HashMap<String, Vec<u64>>,
+    /// Completion: `(kind, port, count)` where kind is `"sync"`,
+    /// `"output"`, or `"activations"`.
+    pub done: (String, String, usize),
+    /// Time limit in ps.
+    pub max_time: u64,
+    /// Functional check.
+    pub check: Check,
+}
+
+/// A named benchmark design.
+pub struct Design {
+    /// Display name (as in Table 3).
+    pub name: &'static str,
+    /// Mini-Balsa source.
+    pub source: &'static str,
+    /// The compiled netlist.
+    pub compiled: CompiledDesign,
+    /// Its benchmark scenario.
+    pub scenario: DesignScenario,
+}
+
+/// Errors constructing the designs.
+#[derive(Debug)]
+pub enum DesignError {
+    /// Parse failure (a bug in the shipped sources).
+    Parse(ParseError),
+    /// Compile failure.
+    Compile(BalsaError),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::Parse(e) => write!(f, "parse: {e}"),
+            DesignError::Compile(e) => write!(f, "compile: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+fn build(name: &'static str, source: &'static str) -> Result<CompiledDesign, DesignError> {
+    let _ = name;
+    let prog = parse(source).map_err(DesignError::Parse)?;
+    compile_procedure(&prog.procedures[0]).map_err(DesignError::Compile)
+}
+
+/// The systolic counter benchmark: one full 8-handshake cycle (one `done`).
+pub fn systolic_counter() -> Result<Design, DesignError> {
+    Ok(Design {
+        name: "Systolic counter",
+        source: sources::SYSTOLIC_COUNTER,
+        compiled: build("counter8", sources::SYSTOLIC_COUNTER)?,
+        scenario: DesignScenario {
+            activation_cycles: 1,
+            input_values: HashMap::new(),
+            memory_init: HashMap::new(),
+            done: ("sync".into(), "done".into(), 1),
+            max_time: 200_000_000,
+            check: Check::None,
+        },
+    })
+}
+
+/// The wagging register benchmark: forward latency over one full rotation
+/// (eight words through the register).
+pub fn wagging_register() -> Result<Design, DesignError> {
+    let mut input_values = HashMap::new();
+    input_values.insert("i".to_string(), (1..=16u64).collect());
+    Ok(Design {
+        name: "Wagging register",
+        source: sources::WAGGING_REGISTER,
+        compiled: build("wag8", sources::WAGGING_REGISTER)?,
+        scenario: DesignScenario {
+            activation_cycles: 1,
+            input_values,
+            memory_init: HashMap::new(),
+            done: ("output".into(), "o".into(), 8),
+            max_time: 200_000_000,
+            // The first four outputs drain the uninitialized half (zeros),
+            // then the first four input words emerge.
+            check: Check::OutputEquals { port: "o".into(), values: vec![0, 0, 0, 0, 1, 2, 3, 4] },
+        },
+    })
+}
+
+/// The stack benchmark: three pushes followed by three pops.
+pub fn stack() -> Result<Design, DesignError> {
+    let mut input_values = HashMap::new();
+    input_values.insert("cmd".to_string(), vec![0, 0, 0, 1, 1, 1]);
+    input_values.insert("din".to_string(), vec![11, 22, 33]);
+    Ok(Design {
+        name: "Stack",
+        source: sources::STACK,
+        compiled: build("stack8", sources::STACK)?,
+        scenario: DesignScenario {
+            activation_cycles: 1,
+            input_values,
+            memory_init: HashMap::new(),
+            done: ("output".into(), "dout".into(), 3),
+            max_time: 200_000_000,
+            check: Check::OutputEquals { port: "dout".into(), values: vec![33, 22, 11] },
+        },
+    })
+}
+
+/// The SSEM benchmark: the paper's program writing 0..4 to consecutive
+/// memory locations, run to the `STP` instruction.
+pub fn ssem_core() -> Result<Design, DesignError> {
+    let mut memory_init = HashMap::new();
+    memory_init.insert("m".to_string(), ssem::benchmark_program());
+    Ok(Design {
+        name: "Microprocessor core",
+        source: sources::SSEM,
+        compiled: build("ssem", sources::SSEM)?,
+        scenario: DesignScenario {
+            activation_cycles: 1,
+            input_values: HashMap::new(),
+            memory_init,
+            done: ("sync".into(), "halt".into(), 1),
+            max_time: 2_000_000_000,
+            check: Check::MemoryEquals { memory: "m".into(), cells: ssem::benchmark_expectation() },
+        },
+    })
+}
+
+/// All four designs in Table 3 order.
+///
+/// # Errors
+///
+/// Propagates construction failures (which indicate shipped-source bugs).
+pub fn all_designs() -> Result<Vec<Design>, DesignError> {
+    Ok(vec![systolic_counter()?, wagging_register()?, stack()?, ssem_core()?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_designs_build() {
+        let designs = all_designs().unwrap();
+        assert_eq!(designs.len(), 4);
+        assert_eq!(designs[0].name, "Systolic counter");
+        assert_eq!(designs[3].name, "Microprocessor core");
+    }
+
+    #[test]
+    fn control_dominance_ordering() {
+        // The systolic counter is pure control; the SSEM is datapath-heavy
+        // (the paper's explanation of the improvement gradient).
+        let designs = all_designs().unwrap();
+        let ratio = |d: &Design| {
+            let p = d.compiled.netlist.partition();
+            p.control.len() as f64 / (p.control.len() + p.datapath.len()).max(1) as f64
+        };
+        assert!(ratio(&designs[0]) > ratio(&designs[3]));
+    }
+}

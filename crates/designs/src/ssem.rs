@@ -1,0 +1,130 @@
+//! SSEM (Manchester Baby) assembler and the paper's benchmark program.
+
+/// One SSEM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `pc := m[a]` (absolute jump through memory).
+    Jmp(u32),
+    /// `pc := pc + m[a]` (relative jump through memory).
+    Jrp(u32),
+    /// `acc := -m[a]` (load negated — SSEM's only load).
+    Ldn(u32),
+    /// `m[a] := acc`.
+    Sto(u32),
+    /// `acc := acc - m[a]`.
+    Sub(u32),
+    /// Skip the next instruction when `acc < 0`.
+    Cmp,
+    /// Stop.
+    Stp,
+}
+
+impl Instr {
+    /// Encodes the instruction: opcode in bits 15:13, address in bits 4:0.
+    pub fn encode(&self) -> u64 {
+        let (op, addr) = match self {
+            Instr::Jmp(a) => (0u64, *a),
+            Instr::Jrp(a) => (1, *a),
+            Instr::Ldn(a) => (2, *a),
+            Instr::Sto(a) => (3, *a),
+            Instr::Sub(a) => (4, *a),
+            Instr::Cmp => (6, 0),
+            Instr::Stp => (7, 0),
+        };
+        op << 13 | u64::from(addr & 31)
+    }
+}
+
+/// Assembles a program into a 32-word store image.
+///
+/// # Panics
+///
+/// Panics when the program exceeds 32 words.
+pub fn assemble(instrs: &[Instr], data: &[(usize, u64)]) -> Vec<u64> {
+    assert!(instrs.len() <= 32);
+    let mut image = vec![0u64; 32];
+    for (i, ins) in instrs.iter().enumerate() {
+        image[i] = ins.encode();
+    }
+    for &(addr, value) in data {
+        image[addr] = value;
+    }
+    image
+}
+
+/// The paper's benchmark program: write the numbers 0 through 4 to the
+/// consecutive memory locations 16..=20, then stop. Constants -0..-4 are
+/// pre-loaded at 24..=28 (SSEM's `LDN` loads negated, so `LDN (24+k)`
+/// leaves `k` in the accumulator).
+pub fn benchmark_program() -> Vec<u64> {
+    let mut instrs = Vec::new();
+    for k in 0..5u32 {
+        instrs.push(Instr::Ldn(24 + k));
+        instrs.push(Instr::Sto(16 + k));
+    }
+    instrs.push(Instr::Stp);
+    let data: Vec<(usize, u64)> =
+        (0..5u64).map(|k| (24 + k as usize, k.wrapping_neg())).collect();
+    assemble(&instrs, &data)
+}
+
+/// The memory locations the benchmark writes, with their expected values.
+pub fn benchmark_expectation() -> Vec<(usize, u64)> {
+    (0..5u64).map(|k| (16 + k as usize, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_matches_fields() {
+        assert_eq!(Instr::Ldn(24).encode(), 2 << 13 | 24);
+        assert_eq!(Instr::Stp.encode(), 7 << 13);
+        assert_eq!(Instr::Jmp(31).encode(), 31);
+    }
+
+    #[test]
+    fn benchmark_image_is_well_formed() {
+        let image = benchmark_program();
+        assert_eq!(image.len(), 32);
+        // 11 instructions then zeroes until the constant pool.
+        assert_eq!(image[10], Instr::Stp.encode());
+        assert_eq!(image[24], 0);
+        assert_eq!(image[25], u64::MAX); // -1
+    }
+
+    /// A tiny reference interpreter cross-checking the encoding semantics
+    /// (and later the simulated core).
+    pub fn interpret(mut m: Vec<u64>, max_steps: usize) -> Vec<u64> {
+        let mut pc = 0u64;
+        let mut acc = 0u64;
+        for _ in 0..max_steps {
+            let ir = m[(pc as usize) % 32];
+            pc = pc.wrapping_add(1);
+            let a = (ir & 31) as usize;
+            match ir >> 13 & 7 {
+                0 => pc = m[a],
+                1 => pc = pc.wrapping_add(m[a]),
+                2 => acc = m[a].wrapping_neg(),
+                3 => m[a] = acc,
+                4 | 5 => acc = acc.wrapping_sub(m[a]),
+                6 => {
+                    if (acc as i64) < 0 {
+                        pc = pc.wrapping_add(1);
+                    }
+                }
+                _ => return m,
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn reference_interpreter_runs_benchmark() {
+        let final_mem = interpret(benchmark_program(), 100);
+        for (addr, value) in benchmark_expectation() {
+            assert_eq!(final_mem[addr], value, "m[{addr}]");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Datapath area model.
+//!
+//! The paper maps datapath components with the stock Balsa technology
+//! mapper; both the optimized and unoptimized circuits share the identical
+//! datapath, so the area *difference* in Table 3 comes from the control
+//! side. Here datapath area is estimated per component kind from its
+//! structural parameters with per-bit figures consistent with the synthetic
+//! cell library.
+
+use bmbe_hsnet::{BinOp, ComponentKind, Netlist, UnOp};
+
+/// Estimated area (µm²) of one datapath component.
+pub fn component_area(kind: &ComponentKind) -> f64 {
+    match kind {
+        ComponentKind::Variable { width, reads } => {
+            // A latch per bit plus read buffering per port.
+            60.0 + 95.0 * f64::from(*width) + 30.0 * f64::from(*width) * (*reads as f64)
+        }
+        ComponentKind::Constant { width, .. } => 20.0 + 2.0 * f64::from(*width),
+        ComponentKind::BinaryFunc { op, width } => {
+            let per_bit = match op {
+                BinOp::Add | BinOp::Sub => 180.0,
+                BinOp::Eq | BinOp::Lt | BinOp::SLt => 120.0,
+                BinOp::And | BinOp::Or | BinOp::Xor => 45.0,
+                BinOp::Shr => 15.0, // constant shifts are wiring; model a mux sliver
+            };
+            60.0 + per_bit * f64::from(*width)
+        }
+        ComponentKind::UnaryFunc { op, width } => match op {
+            UnOp::Id => 0.0,
+            UnOp::Not => 27.0 * f64::from(*width),
+            UnOp::Neg => 160.0 * f64::from(*width),
+            UnOp::IsNeg => 30.0,
+            UnOp::IsZero => 40.0 + 10.0 * f64::from(*width),
+        },
+        ComponentKind::CallMux { inputs, width } => {
+            60.0 + 40.0 * f64::from(*width) * (*inputs as f64 - 1.0).max(1.0)
+        }
+        ComponentKind::PullMux { clients, width } => {
+            60.0 + 40.0 * f64::from(*width) * (*clients as f64 - 1.0).max(1.0)
+        }
+        ComponentKind::Memory { words, width, reads, writes } => {
+            500.0
+                + 12.0 * (*words as f64) * f64::from(*width)
+                + 200.0 * (*reads + *writes) as f64
+        }
+        // Control components are costed by technology mapping instead.
+        _ => 0.0,
+    }
+}
+
+/// Total datapath area of a netlist (µm²).
+pub fn datapath_area(netlist: &Netlist) -> f64 {
+    netlist
+        .components()
+        .iter()
+        .filter(|c| !c.kind.is_control())
+        .map(|c| component_area(&c.kind))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_components_cost_more() {
+        let narrow = component_area(&ComponentKind::Variable { width: 8, reads: 1 });
+        let wide = component_area(&ComponentKind::Variable { width: 32, reads: 1 });
+        assert!(wide > narrow);
+        let adder = component_area(&ComponentKind::BinaryFunc { op: BinOp::Add, width: 32 });
+        let gate = component_area(&ComponentKind::BinaryFunc { op: BinOp::And, width: 32 });
+        assert!(adder > gate);
+    }
+
+    #[test]
+    fn control_components_are_free_here() {
+        assert_eq!(component_area(&ComponentKind::Sequence { branches: 3 }), 0.0);
+        assert_eq!(component_area(&ComponentKind::Fetch), 0.0);
+    }
+
+    #[test]
+    fn identity_bridge_is_free() {
+        assert_eq!(component_area(&ComponentKind::UnaryFunc { op: UnOp::Id, width: 0 }), 0.0);
+    }
+}

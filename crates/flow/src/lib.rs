@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # bmbe-flow
+//!
+//! The complete Balsa back-end of Fig. 1: starting from mini-Balsa source,
+//! compile to handshake components ([`bmbe_balsa`]), split control from
+//! datapath, translate control to CH, cluster (`T1`/`T2`), compile to
+//! Burst-Mode, synthesize hazard-free two-level logic, technology map,
+//! verify hazard freedom, and simulate the resulting circuit against a
+//! benchmark [`simbuild::Scenario`].
+//!
+//! [`experiment::compare`] runs the unoptimized and optimized flows on a
+//! design and reports the paper's Table 3 quantities (speed, area,
+//! improvement, overhead).
+
+pub mod area;
+pub mod experiment;
+pub mod pipeline;
+pub mod simbuild;
+pub mod table3;
+pub mod templates;
+
+pub use area::{component_area, datapath_area};
+pub use experiment::{compare, Comparison};
+pub use pipeline::{run_control_flow, ControllerArtifact, FlowError, FlowOptions, FlowResult};
+pub use templates::{template_of, template_table, Template};
+pub use table3::{check_outcome, run_design, to_flow_scenario, BenchError};
+pub use simbuild::{simulate, Done, Scenario, SimBuildError, SimOutcome};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,240 @@
+//! The back-end pipeline of Fig. 1: partition → Balsa-to-CH → clustering →
+//! CH-to-BMS → Minimalist synthesis → technology mapping → hazard analysis.
+
+use crate::templates::{template_table, Template};
+use bmbe_balsa::CompiledDesign;
+use bmbe_bm::statemin::minimize_states;
+use bmbe_bm::synth::{synthesize, Controller, MinimizeMode, SynthError};
+use bmbe_core::balsa_to_ch::{balsa_to_ch, TranslateError};
+use bmbe_core::compile::{compile_to_bm, CompileError};
+use bmbe_core::opt::cluster::{ClusterOptions, ClusterReport};
+use bmbe_gates::{
+    map as techmap, Library, MapObjective, MapStyle, MappedNetlist, SubjectGraph,
+};
+use bmbe_logic::Cover;
+use std::fmt;
+
+/// Flow configuration.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Run the clustering optimizations (`T1`+`T2`).
+    pub optimize: bool,
+    /// Minimization mode (Minimalist's speed/area split).
+    pub minimize_mode: MinimizeMode,
+    /// Technology-mapping objective.
+    pub map_objective: MapObjective,
+    /// Mapping style (the paper's split-module flow vs whole-controller).
+    pub map_style: MapStyle,
+    /// Clustering options.
+    pub cluster: ClusterOptions,
+    /// Annotate unclustered components with hand-optimized template
+    /// area/latency (stock Balsa's baseline, §6) instead of the figures of
+    /// their individually synthesized controllers.
+    pub use_templates: bool,
+}
+
+impl FlowOptions {
+    /// The paper's optimized flow: clustering + speed scripts + split-module
+    /// delay-oriented mapping.
+    pub fn optimized() -> Self {
+        FlowOptions {
+            optimize: true,
+            minimize_mode: MinimizeMode::Speed,
+            map_objective: MapObjective::Delay,
+            map_style: MapStyle::SplitModules,
+            cluster: ClusterOptions::default(),
+            use_templates: false,
+        }
+    }
+
+    /// The unoptimized baseline: stock Balsa — one hand-optimized template
+    /// component per handshake component, no clustering.
+    pub fn unoptimized() -> Self {
+        FlowOptions { optimize: false, use_templates: true, ..Self::optimized() }
+    }
+}
+
+/// Errors raised by the flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Balsa-to-CH translation failed.
+    Translate(TranslateError),
+    /// CH-to-BMS compilation failed for a component.
+    Compile {
+        /// The component.
+        component: String,
+        /// The underlying error.
+        error: CompileError,
+    },
+    /// Controller synthesis failed.
+    Synth {
+        /// The component.
+        component: String,
+        /// The underlying error.
+        error: SynthError,
+    },
+    /// The synthesized controller failed ternary hazard verification.
+    Hazard {
+        /// The component.
+        component: String,
+        /// Description.
+        detail: String,
+    },
+    /// The mapped controller failed post-mapping verification.
+    MappedHazard {
+        /// The component.
+        component: String,
+        /// Description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Translate(e) => write!(f, "translate: {e}"),
+            FlowError::Compile { component, error } => write!(f, "{component}: {error}"),
+            FlowError::Synth { component, error } => write!(f, "{component}: {error}"),
+            FlowError::Hazard { component, detail } => write!(f, "{component}: hazard: {detail}"),
+            FlowError::MappedHazard { component, detail } => {
+                write!(f, "{component}: mapped hazard: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<TranslateError> for FlowError {
+    fn from(e: TranslateError) -> Self {
+        FlowError::Translate(e)
+    }
+}
+
+/// One synthesized and mapped controller.
+pub struct ControllerArtifact {
+    /// Component (or cluster) name.
+    pub name: String,
+    /// Number of BM specification states.
+    pub bm_states: usize,
+    /// The synthesized two-level controller.
+    pub controller: Controller,
+    /// The technology-mapped netlist.
+    pub mapped: MappedNetlist,
+    /// The CH program it came from.
+    pub program: bmbe_core::ast::ChExpr,
+    /// Hand-optimized template annotation, when this artifact stands for a
+    /// stock Balsa component (the unoptimized baseline).
+    pub template: Option<Template>,
+}
+
+impl ControllerArtifact {
+    /// Cell area of the controller (µm²).
+    pub fn area(&self) -> f64 {
+        self.template.map_or(self.mapped.area, |t| t.area)
+    }
+
+    /// Worst input-to-output delay (ns).
+    pub fn critical_delay(&self) -> f64 {
+        self.template.map_or_else(|| self.mapped.critical_delay(), |t| t.delay_ns)
+    }
+}
+
+/// The result of running the control flow.
+pub struct FlowResult {
+    /// Design name.
+    pub design: String,
+    /// Control components before clustering.
+    pub components_before: usize,
+    /// Controllers after clustering (equal when unoptimized).
+    pub controllers: Vec<ControllerArtifact>,
+    /// The clustering report (when optimization ran).
+    pub cluster_report: Option<ClusterReport>,
+    /// Total control cell area (µm²).
+    pub control_area: f64,
+}
+
+impl FlowResult {
+    /// Total number of two-level products across controllers.
+    pub fn total_products(&self) -> usize {
+        self.controllers.iter().map(|c| c.controller.num_products()).sum()
+    }
+}
+
+/// Runs the control back-end on a compiled design.
+///
+/// # Errors
+///
+/// See [`FlowError`]; every stage re-verifies its output.
+pub fn run_control_flow(
+    design: &CompiledDesign,
+    options: &FlowOptions,
+    library: &Library,
+) -> Result<FlowResult, FlowError> {
+    let mut ctrl = balsa_to_ch(&design.netlist)?;
+    let components_before = ctrl.components.len();
+    let cluster_report = if options.optimize {
+        Some(ctrl.t2_clustering(&options.cluster))
+    } else {
+        None
+    };
+    let templates = if options.use_templates { template_table(&design.netlist) } else { Default::default() };
+    let mut controllers = Vec::new();
+    let mut control_area = 0.0;
+    for comp in &ctrl.components {
+        let spec = compile_to_bm(&comp.name, &comp.program).map_err(|error| {
+            FlowError::Compile { component: comp.name.clone(), error }
+        })?;
+        // State minimization (Minimalist's reduction step) before assignment.
+        let spec = minimize_states(&spec)
+            .map(|r| r.spec)
+            .map_err(|error| FlowError::Compile {
+                component: comp.name.clone(),
+                error: bmbe_core::CompileError::Bm(error),
+            })?;
+        let controller = synthesize(&spec, options.minimize_mode)
+            .map_err(|error| FlowError::Synth { component: comp.name.clone(), error })?;
+        controller.verify_ternary().map_err(|detail| FlowError::Hazard {
+            component: comp.name.clone(),
+            detail,
+        })?;
+        let functions: Vec<(String, &Cover)> = controller
+            .outputs
+            .iter()
+            .cloned()
+            .chain((0..controller.num_state_bits).map(|j| format!("y{j}")))
+            .zip(controller.output_covers.iter().chain(controller.next_state_covers.iter()))
+            .collect();
+        let subject = match options.minimize_mode {
+            MinimizeMode::Speed => SubjectGraph::from_covers(controller.num_vars(), &functions),
+            MinimizeMode::Area => {
+                SubjectGraph::from_covers_shared(controller.num_vars(), &functions)
+            }
+        };
+        let mapped = techmap(&subject, library, options.map_objective, options.map_style);
+        let violations = bmbe_gates::verify_mapped(&controller, &mapped);
+        if let Some(v) = violations.first() {
+            return Err(FlowError::MappedHazard {
+                component: comp.name.clone(),
+                detail: v.to_string(),
+            });
+        }
+        let template = templates.get(&comp.name).copied();
+        control_area += template.map_or(mapped.area, |t| t.area);
+        controllers.push(ControllerArtifact {
+            name: comp.name.clone(),
+            bm_states: spec.num_states(),
+            controller,
+            mapped,
+            program: comp.program.clone(),
+            template,
+        });
+    }
+    Ok(FlowResult {
+        design: design.netlist.name().to_string(),
+        components_before,
+        controllers,
+        cluster_report,
+        control_area,
+    })
+}

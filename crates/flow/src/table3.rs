@@ -1,0 +1,117 @@
+//! The Table 3 harness: runs the four benchmark designs through the
+//! unoptimized and optimized flows and checks functional results.
+
+use crate::experiment::{compare, Comparison, ExperimentError};
+use crate::simbuild::{Done, Scenario, SimOutcome};
+use bmbe_designs::scenarios::{Check, Design, DesignScenario};
+use bmbe_gates::Library;
+use bmbe_sim::prims::Delays;
+use std::fmt;
+
+/// Converts a design scenario into a flow scenario.
+pub fn to_flow_scenario(s: &DesignScenario) -> Scenario {
+    let done = match s.done.0.as_str() {
+        "sync" => Done::Syncs { port: s.done.1.clone(), count: s.done.2 },
+        "output" => Done::Outputs { port: s.done.1.clone(), count: s.done.2 },
+        _ => Done::Activations(s.done.2),
+    };
+    Scenario {
+        activation_cycles: s.activation_cycles,
+        input_values: s.input_values.clone(),
+        memory_init: s.memory_init.clone(),
+        done,
+        max_time: s.max_time,
+    }
+}
+
+/// A functional-check failure.
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    /// Which side failed.
+    pub side: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} run failed its functional check: {}", self.side, self.detail)
+    }
+}
+
+impl std::error::Error for CheckFailure {}
+
+/// Verifies a run outcome against the design's check.
+///
+/// # Errors
+///
+/// Describes the first mismatch.
+pub fn check_outcome(check: &Check, outcome: &SimOutcome) -> Result<(), String> {
+    match check {
+        Check::None => Ok(()),
+        Check::OutputEquals { port, values } => {
+            let got = outcome.outputs.get(port).cloned().unwrap_or_default();
+            if got == *values {
+                Ok(())
+            } else {
+                Err(format!("port {port}: expected {values:?}, got {got:?}"))
+            }
+        }
+        Check::MemoryEquals { memory, cells } => {
+            let mem = outcome
+                .memories
+                .get(memory)
+                .ok_or_else(|| format!("memory {memory} not found"))?;
+            for (addr, value) in cells {
+                if mem.get(*addr) != Some(value) {
+                    return Err(format!(
+                        "memory {memory}[{addr}]: expected {value}, got {:?}",
+                        mem.get(*addr)
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Errors from a full benchmark run.
+#[derive(Debug)]
+pub enum BenchError {
+    /// The underlying experiment failed.
+    Experiment(ExperimentError),
+    /// A functional check failed.
+    Check(CheckFailure),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Experiment(e) => write!(f, "{e}"),
+            BenchError::Check(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<ExperimentError> for BenchError {
+    fn from(e: ExperimentError) -> Self {
+        BenchError::Experiment(e)
+    }
+}
+
+/// Runs one design both ways, enforcing the functional check on both runs.
+///
+/// # Errors
+///
+/// See [`BenchError`].
+pub fn run_design(design: &Design, library: &Library, delays: &Delays) -> Result<Comparison, BenchError> {
+    let scenario = to_flow_scenario(&design.scenario);
+    let comparison = compare(&design.compiled, &scenario, library, delays)?;
+    check_outcome(&design.scenario.check, &comparison.unopt_run)
+        .map_err(|detail| BenchError::Check(CheckFailure { side: "unoptimized", detail }))?;
+    check_outcome(&design.scenario.check, &comparison.opt_run)
+        .map_err(|detail| BenchError::Check(CheckFailure { side: "optimized", detail }))?;
+    Ok(comparison)
+}

@@ -1,0 +1,109 @@
+//! Hand-optimized template models for the standard control components.
+//!
+//! The paper's *unoptimized* baseline is stock Balsa output, whose control
+//! components "are manually designed and they have highly-optimized
+//! implementations" (§6). This module models those templates: per-kind cell
+//! area and input-to-output latency derived from the classic gate-level
+//! implementations (S-element sequencers, C-element concurs and
+//! decision-waits, merge-gate calls), costed in the synthetic library's
+//! units. The *behaviour* of a baseline component in simulation still comes
+//! from its synthesized covers — provably protocol-equivalent — only the
+//! area/delay annotations use the template figures.
+
+use bmbe_hsnet::{ComponentKind, Netlist};
+use std::collections::HashMap;
+
+/// Template area (µm²) and latency (ns) of one control component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Template {
+    /// Cell area of the hand-optimized implementation.
+    pub area: f64,
+    /// Typical input-edge to output-edge latency.
+    pub delay_ns: f64,
+}
+
+/// The template model of a control component kind, if it has one.
+pub fn template_of(kind: &ComponentKind) -> Option<Template> {
+    let t = match kind {
+        // An S-element per sequenced branch.
+        ComponentKind::Sequence { branches } => Template {
+            area: 36.0 + 85.0 * (*branches as f64),
+            delay_ns: 0.26,
+        },
+        // A C-element completion tree plus request forks.
+        ComponentKind::Concur { branches } => Template {
+            area: 36.0 + 73.0 * (*branches as f64 - 1.0),
+            delay_ns: 0.30,
+        },
+        ComponentKind::Loop => Template { area: 80.0, delay_ns: 0.16 },
+        ComponentKind::While => Template { area: 250.0, delay_ns: 0.42 },
+        // Merge gates and a latch per caller.
+        ComponentKind::Call { inputs } => Template {
+            area: 40.0 + 90.0 * (*inputs as f64),
+            delay_ns: 0.30,
+        },
+        // A C-element per pair plus completion logic.
+        ComponentKind::DecisionWait { pairs } => Template {
+            area: 50.0 + 73.0 * (*pairs as f64),
+            delay_ns: 0.34,
+        },
+        ComponentKind::Fork { outputs } => Template {
+            area: 36.0 + 73.0 * (*outputs as f64 - 1.0),
+            delay_ns: 0.30,
+        },
+        ComponentKind::Sync { inputs } => Template {
+            area: 73.0 * (*inputs as f64 - 1.0).max(1.0),
+            delay_ns: 0.30,
+        },
+        ComponentKind::Fetch => Template { area: 75.0, delay_ns: 0.20 },
+        ComponentKind::Case { branches } => Template {
+            area: 120.0 + 60.0 * (*branches as f64),
+            delay_ns: 0.45,
+        },
+        ComponentKind::Skip => Template { area: 10.0, delay_ns: 0.06 },
+        _ => return None,
+    };
+    Some(t)
+}
+
+/// Builds the template table for every control component of a netlist,
+/// keyed by the component names the Balsa-to-CH translator produces
+/// (`<mnemonic>_<id>`).
+pub fn template_table(netlist: &Netlist) -> HashMap<String, Template> {
+    netlist
+        .components()
+        .iter()
+        .filter(|c| c.kind.is_control())
+        .filter_map(|c| {
+            template_of(&c.kind).map(|t| (format!("{}_{}", c.kind.mnemonic(), c.id.0), t))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_kinds_have_templates() {
+        assert!(template_of(&ComponentKind::Sequence { branches: 2 }).is_some());
+        assert!(template_of(&ComponentKind::Fetch).is_some());
+        assert!(template_of(&ComponentKind::Variable { width: 8, reads: 1 }).is_none());
+    }
+
+    #[test]
+    fn templates_are_far_smaller_than_synthesized_controllers() {
+        // A 2-branch sequencer template ~ 200 um^2; its BM synthesis runs
+        // to several hundred. The baseline must be the lean one.
+        let t = template_of(&ComponentKind::Sequence { branches: 2 }).expect("template");
+        assert!(t.area < 300.0);
+        assert!(t.delay_ns < 0.5);
+    }
+
+    #[test]
+    fn wider_components_cost_more() {
+        let s2 = template_of(&ComponentKind::Sequence { branches: 2 }).expect("t").area;
+        let s8 = template_of(&ComponentKind::Sequence { branches: 8 }).expect("t").area;
+        assert!(s8 > s2);
+    }
+}

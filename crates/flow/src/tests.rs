@@ -1,0 +1,156 @@
+//! End-to-end flow tests.
+
+use crate::pipeline::{run_control_flow, FlowOptions};
+use crate::simbuild::{simulate, Done, Scenario};
+use bmbe_balsa::{compile_procedure, parse, CompiledDesign};
+use bmbe_gates::Library;
+use bmbe_sim::prims::Delays;
+use std::collections::HashMap;
+
+fn design(src: &str) -> CompiledDesign {
+    let prog = parse(src).unwrap();
+    compile_procedure(&prog.procedures[0]).unwrap()
+}
+
+#[test]
+fn two_sync_loop_runs_unoptimized() {
+    let d = design("procedure t (sync a; sync b) is begin loop sync a ; sync b end end");
+    let flow = run_control_flow(&d, &FlowOptions::unoptimized(), &Library::cmos035()).unwrap();
+    assert_eq!(flow.controllers.len(), 2); // loop + seq
+    let scenario = Scenario {
+        activation_cycles: 1,
+        input_values: HashMap::new(),
+        memory_init: HashMap::new(),
+        done: Done::Syncs { port: "b".into(), count: 4 },
+        max_time: 10_000_000,
+    };
+    let run = simulate(&d, &flow, &scenario, &Delays::default()).unwrap();
+    assert!(run.completed, "stalled at {} ns after {} events", run.time_ns, run.events);
+    assert!(run.sync_counts["a"] >= 4);
+}
+
+#[test]
+fn two_sync_loop_runs_optimized_and_faster() {
+    let d = design("procedure t (sync a; sync b) is begin loop sync a ; sync b end end");
+    let lib = Library::cmos035();
+    let unopt = run_control_flow(&d, &FlowOptions::unoptimized(), &lib).unwrap();
+    let opt = run_control_flow(&d, &FlowOptions::optimized(), &lib).unwrap();
+    assert!(opt.controllers.len() < unopt.controllers.len());
+    let scenario = Scenario {
+        activation_cycles: 1,
+        input_values: HashMap::new(),
+        memory_init: HashMap::new(),
+        done: Done::Syncs { port: "b".into(), count: 8 },
+        max_time: 10_000_000,
+    };
+    let run_u = simulate(&d, &unopt, &scenario, &Delays::default()).unwrap();
+    let run_o = simulate(&d, &opt, &scenario, &Delays::default()).unwrap();
+    assert!(run_u.completed && run_o.completed);
+    assert!(
+        run_o.time_ns < run_u.time_ns,
+        "optimized {} ns vs unoptimized {} ns",
+        run_o.time_ns,
+        run_u.time_ns
+    );
+}
+
+#[test]
+fn buffer_moves_data_end_to_end() {
+    let d = design(
+        "procedure buf (input i : 8 bits; output o : 8 bits) is\n\
+         variable x : 8 bits\n\
+         begin loop i -> x ; o <- x end end",
+    );
+    let flow = run_control_flow(&d, &FlowOptions::unoptimized(), &Library::cmos035()).unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert("i".to_string(), vec![11, 22, 33]);
+    let scenario = Scenario {
+        activation_cycles: 1,
+        input_values: inputs,
+        memory_init: HashMap::new(),
+        done: Done::Outputs { port: "o".into(), count: 3 },
+        max_time: 10_000_000,
+    };
+    let run = simulate(&d, &flow, &scenario, &Delays::default()).unwrap();
+    assert!(run.completed, "stalled at {} ns after {} events", run.time_ns, run.events);
+    assert_eq!(run.outputs["o"], vec![11, 22, 33]);
+}
+
+#[test]
+fn conditional_design_simulates() {
+    // Echo every input; additionally sync x when the value is 1.
+    let d = design(
+        "procedure t (input i : 1 bits; sync x) is\n\
+         variable v : 1 bits\n\
+         begin loop i -> v ; if v = 1 then sync x else continue end end end",
+    );
+    let flow = run_control_flow(&d, &FlowOptions::unoptimized(), &Library::cmos035()).unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert("i".to_string(), vec![1, 0, 1, 1]);
+    let scenario = Scenario {
+        activation_cycles: 1,
+        input_values: inputs,
+        memory_init: HashMap::new(),
+        done: Done::Syncs { port: "x".into(), count: 3 },
+        max_time: 50_000_000,
+    };
+    let run = simulate(&d, &flow, &scenario, &Delays::default()).unwrap();
+    assert!(run.completed, "stalled at {} ns after {} events", run.time_ns, run.events);
+}
+
+#[test]
+fn optimized_flow_preserves_buffer_behaviour() {
+    let d = design(
+        "procedure buf (input i : 8 bits; output o : 8 bits) is\n\
+         variable x : 8 bits\n\
+         begin loop i -> x ; o <- x end end",
+    );
+    let flow = run_control_flow(&d, &FlowOptions::optimized(), &Library::cmos035()).unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert("i".to_string(), vec![5, 6]);
+    let scenario = Scenario {
+        activation_cycles: 1,
+        input_values: inputs,
+        memory_init: HashMap::new(),
+        done: Done::Outputs { port: "o".into(), count: 2 },
+        max_time: 10_000_000,
+    };
+    let run = simulate(&d, &flow, &scenario, &Delays::default()).unwrap();
+    assert!(run.completed, "stalled at {} ns after {} events", run.time_ns, run.events);
+    assert_eq!(run.outputs["o"], vec![5, 6]);
+}
+
+#[test]
+fn systolic_counter_benchmark_runs_both_ways() {
+    let d = bmbe_designs::scenarios::systolic_counter().unwrap();
+    let comparison =
+        crate::table3::run_design(&d, &Library::cmos035(), &Delays::default()).unwrap();
+    assert!(
+        comparison.speed_improvement() > 0.0,
+        "expected optimized faster: {comparison}"
+    );
+}
+
+#[test]
+fn wagging_register_benchmark_runs_both_ways() {
+    let d = bmbe_designs::scenarios::wagging_register().unwrap();
+    let comparison =
+        crate::table3::run_design(&d, &Library::cmos035(), &Delays::default()).unwrap();
+    assert!(comparison.speed_improvement() > 0.0, "{comparison}");
+}
+
+#[test]
+fn stack_benchmark_runs_both_ways() {
+    let d = bmbe_designs::scenarios::stack().unwrap();
+    let comparison =
+        crate::table3::run_design(&d, &Library::cmos035(), &Delays::default()).unwrap();
+    assert!(comparison.speed_improvement() > 0.0, "{comparison}");
+}
+
+#[test]
+fn ssem_benchmark_runs_both_ways() {
+    let d = bmbe_designs::scenarios::ssem_core().unwrap();
+    let comparison =
+        crate::table3::run_design(&d, &Library::cmos035(), &Delays::default()).unwrap();
+    assert!(comparison.speed_improvement() > 0.0, "{comparison}");
+}

@@ -1,0 +1,199 @@
+//! The standard-cell library.
+//!
+//! A synthetic stand-in for the AMS 0.35 µm library the paper mapped to:
+//! representative cell areas (µm²) and pin-to-output delays (ns). Absolute
+//! values are not calibrated against the real library; they only need to be
+//! mutually consistent, since every experiment compares circuits mapped to
+//! the *same* library (see DESIGN.md, substitutions).
+
+use std::fmt;
+
+/// The available cell kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 4-input NAND.
+    Nand4,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NOR.
+    Nor2,
+    /// AND-OR `a·b + c`.
+    Ao21,
+    /// AND-OR `a·b + c·d`.
+    Ao22,
+    /// Constant 0.
+    Tie0,
+    /// Constant 1.
+    Tie1,
+    /// Two-input Muller C-element (used by handshake datapath templates).
+    Celem2,
+}
+
+impl CellKind {
+    /// Number of input pins.
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            CellKind::Tie0 | CellKind::Tie1 => 0,
+            CellKind::Inv | CellKind::Buf => 1,
+            CellKind::Nand2
+            | CellKind::And2
+            | CellKind::Or2
+            | CellKind::Nor2
+            | CellKind::Celem2 => 2,
+            CellKind::Nand3 | CellKind::Ao21 => 3,
+            CellKind::Nand4 | CellKind::Ao22 => 4,
+        }
+    }
+
+    /// Library cell name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CellKind::Inv => "INV",
+            CellKind::Buf => "BUF",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nand3 => "NAND3",
+            CellKind::Nand4 => "NAND4",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Ao21 => "AO21",
+            CellKind::Ao22 => "AO22",
+            CellKind::Tie0 => "TIE0",
+            CellKind::Tie1 => "TIE1",
+            CellKind::Celem2 => "C2",
+        }
+    }
+
+    /// Combinational evaluation (the C-element needs state and is evaluated
+    /// by the simulator instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong input count or on `Celem2`.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.num_inputs(), "{self:?}");
+        match self {
+            CellKind::Inv => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => {
+                !inputs.iter().all(|&b| b)
+            }
+            CellKind::And2 => inputs[0] && inputs[1],
+            CellKind::Or2 => inputs[0] || inputs[1],
+            CellKind::Nor2 => !(inputs[0] || inputs[1]),
+            CellKind::Ao21 => (inputs[0] && inputs[1]) || inputs[2],
+            CellKind::Ao22 => (inputs[0] && inputs[1]) || (inputs[2] && inputs[3]),
+            CellKind::Tie0 => false,
+            CellKind::Tie1 => true,
+            CellKind::Celem2 => panic!("C-element is stateful"),
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Area and delay figures for the cells.
+#[derive(Debug, Clone)]
+pub struct Library {
+    name: String,
+}
+
+impl Library {
+    /// The default synthetic 0.35 µm-class library.
+    pub fn cmos035() -> Self {
+        Library { name: "synthetic-0.35um".to_string() }
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cell area in µm².
+    pub fn area(&self, cell: CellKind) -> f64 {
+        match cell {
+            CellKind::Inv => 27.0,
+            CellKind::Buf => 36.0,
+            CellKind::Nand2 => 36.0,
+            CellKind::Nand3 => 55.0,
+            CellKind::Nand4 => 73.0,
+            CellKind::And2 => 45.0,
+            CellKind::Or2 => 45.0,
+            CellKind::Nor2 => 36.0,
+            CellKind::Ao21 => 55.0,
+            CellKind::Ao22 => 64.0,
+            CellKind::Tie0 | CellKind::Tie1 => 18.0,
+            CellKind::Celem2 => 73.0,
+        }
+    }
+
+    /// Worst-case pin-to-output delay in ns.
+    pub fn delay(&self, cell: CellKind) -> f64 {
+        match cell {
+            CellKind::Inv => 0.08,
+            CellKind::Buf => 0.12,
+            CellKind::Nand2 => 0.12,
+            CellKind::Nand3 => 0.16,
+            CellKind::Nand4 => 0.21,
+            CellKind::And2 => 0.18,
+            CellKind::Or2 => 0.20,
+            CellKind::Nor2 => 0.15,
+            CellKind::Ao21 => 0.20,
+            CellKind::Ao22 => 0.23,
+            CellKind::Tie0 | CellKind::Tie1 => 0.0,
+            CellKind::Celem2 => 0.24,
+        }
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Library::cmos035()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basics() {
+        assert!(CellKind::Inv.eval(&[false]));
+        assert!(!CellKind::Nand2.eval(&[true, true]));
+        assert!(CellKind::Nand3.eval(&[true, false, true]));
+        assert!(CellKind::Ao21.eval(&[true, true, false]));
+        assert!(!CellKind::Ao21.eval(&[true, false, false]));
+        assert!(CellKind::Ao22.eval(&[false, true, true, true]));
+        assert!(CellKind::Tie1.eval(&[]));
+    }
+
+    #[test]
+    fn complex_cells_are_cheaper_than_composition() {
+        let lib = Library::cmos035();
+        // AO21 must beat NAND2 + NAND2 + INV for area and delay, otherwise
+        // the mapper would never pick it.
+        assert!(lib.area(CellKind::Ao21) < 2.0 * lib.area(CellKind::Nand2) + lib.area(CellKind::Inv));
+        assert!(lib.delay(CellKind::Ao21) < 2.0 * lib.delay(CellKind::Nand2) + lib.delay(CellKind::Inv));
+    }
+
+    #[test]
+    fn input_counts() {
+        assert_eq!(CellKind::Nand4.num_inputs(), 4);
+        assert_eq!(CellKind::Tie0.num_inputs(), 0);
+        assert_eq!(CellKind::Ao21.num_inputs(), 3);
+    }
+}

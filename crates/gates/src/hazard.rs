@@ -1,0 +1,282 @@
+//! Hazard analysis of mapped controllers (§5 of the paper).
+//!
+//! Two independent checks stand in for the paper's "formally analysed for
+//! hazard-freedom conditions":
+//!
+//! 1. **Functional equivalence** of the mapped netlist against the
+//!    two-level covers (exhaustive up to 2^20 points, sampled beyond) — the
+//!    algebraic transforms used by the mapper must not change the function.
+//! 2. **Eichelberger ternary simulation** of every specified
+//!    multiple-input-change transition on the mapped gates: changing inputs
+//!    are driven to `X`; a static transition that reads `X` at any output
+//!    has a potential glitch, and every transition must settle at its
+//!    specified final value.
+
+use crate::map::MappedNetlist;
+use bmbe_bm::synth::Controller;
+use bmbe_logic::Tv;
+use std::collections::HashMap;
+
+/// A reported hazard-analysis violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HazardViolation {
+    /// The mapped netlist computes a different function.
+    NotEquivalent {
+        /// Function name.
+        function: String,
+        /// A witness input point.
+        point: u64,
+    },
+    /// A static transition can glitch (output reads `X` mid-burst).
+    StaticGlitch {
+        /// Function name.
+        function: String,
+        /// Transition start point.
+        start: u64,
+        /// Transition end point.
+        end: u64,
+    },
+    /// A transition does not settle at its specified final value.
+    WrongSettle {
+        /// Function name.
+        function: String,
+        /// Transition start point.
+        start: u64,
+        /// Transition end point.
+        end: u64,
+    },
+}
+
+impl std::fmt::Display for HazardViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HazardViolation::NotEquivalent { function, point } => {
+                write!(f, "{function}: mapped netlist differs at {point:#x}")
+            }
+            HazardViolation::StaticGlitch { function, start, end } => {
+                write!(f, "{function}: static transition {start:#x}->{end:#x} can glitch")
+            }
+            HazardViolation::WrongSettle { function, start, end } => {
+                write!(f, "{function}: transition {start:#x}->{end:#x} settles wrong")
+            }
+        }
+    }
+}
+
+fn tv_and(a: Tv, b: Tv) -> Tv {
+    match (a, b) {
+        (Tv::Zero, _) | (_, Tv::Zero) => Tv::Zero,
+        (Tv::One, Tv::One) => Tv::One,
+        _ => Tv::X,
+    }
+}
+
+fn tv_or(a: Tv, b: Tv) -> Tv {
+    match (a, b) {
+        (Tv::One, _) | (_, Tv::One) => Tv::One,
+        (Tv::Zero, Tv::Zero) => Tv::Zero,
+        _ => Tv::X,
+    }
+}
+
+fn tv_not(a: Tv) -> Tv {
+    match a {
+        Tv::Zero => Tv::One,
+        Tv::One => Tv::Zero,
+        Tv::X => Tv::X,
+    }
+}
+
+/// Ternary evaluation of a mapped netlist; returns root values in root
+/// order.
+pub fn eval_ternary(netlist: &MappedNetlist, inputs: &[Tv]) -> Vec<Tv> {
+    use crate::cell::CellKind;
+    use crate::subject::SubjectNode;
+    let mut values: HashMap<usize, Tv> = HashMap::new();
+    for (i, &v) in inputs.iter().enumerate() {
+        values.insert(i, v);
+    }
+    for (i, n) in netlist.subject.nodes.iter().enumerate() {
+        match n {
+            SubjectNode::Zero => {
+                values.insert(i, Tv::Zero);
+            }
+            SubjectNode::One => {
+                values.insert(i, Tv::One);
+            }
+            _ => {}
+        }
+    }
+    for g in &netlist.gates {
+        let ins: Vec<Tv> = g.inputs.iter().map(|n| values[n]).collect();
+        let out = match g.cell {
+            CellKind::Inv => tv_not(ins[0]),
+            CellKind::Buf => ins[0],
+            CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => {
+                tv_not(ins.iter().copied().fold(Tv::One, tv_and))
+            }
+            CellKind::And2 => tv_and(ins[0], ins[1]),
+            CellKind::Or2 => tv_or(ins[0], ins[1]),
+            CellKind::Nor2 => tv_not(tv_or(ins[0], ins[1])),
+            CellKind::Ao21 => tv_or(tv_and(ins[0], ins[1]), ins[2]),
+            CellKind::Ao22 => tv_or(tv_and(ins[0], ins[1]), tv_and(ins[2], ins[3])),
+            CellKind::Tie0 => Tv::Zero,
+            CellKind::Tie1 => Tv::One,
+            CellKind::Celem2 => unreachable!("no C-elements in mapped controllers"),
+        };
+        values.insert(g.output, out);
+    }
+    netlist.subject.roots.iter().map(|(_, r)| values[r]).collect()
+}
+
+/// Verifies a mapped controller: functional equivalence against the
+/// synthesized covers and Eichelberger ternary analysis of every specified
+/// transition. Returns all violations found (empty = clean).
+pub fn verify_mapped(controller: &Controller, netlist: &MappedNetlist) -> Vec<HazardViolation> {
+    let mut out = Vec::new();
+    let n = controller.num_vars();
+    let covers: Vec<(&str, &bmbe_logic::Cover)> = controller
+        .outputs
+        .iter()
+        .map(|s| s.as_str())
+        .chain((0..controller.num_state_bits).map(|_| "y"))
+        .zip(
+            controller
+                .output_covers
+                .iter()
+                .chain(controller.next_state_covers.iter()),
+        )
+        .collect();
+    // 1. Functional equivalence.
+    let points: Vec<u64> = if n <= 14 {
+        (0..(1u64 << n)).collect()
+    } else {
+        // Deterministic sample.
+        let mut seed = 0x2545f4914f6cdd1du64;
+        (0..1u64 << 12)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed & ((1u64 << n) - 1)
+            })
+            .collect()
+    };
+    for &p in &points {
+        let mapped = netlist.eval(p);
+        for (fi, (name, cover)) in covers.iter().enumerate() {
+            if mapped[fi] != cover.eval(p) {
+                out.push(HazardViolation::NotEquivalent { function: name.to_string(), point: p });
+                return out; // one witness suffices
+            }
+        }
+    }
+    // 2. Ternary transition analysis.
+    for (fi, spec) in controller.function_specs.iter().enumerate() {
+        let name = covers[fi].0.to_string();
+        for t in spec.transitions() {
+            let changing = t.start ^ t.end;
+            let mid: Vec<Tv> = (0..n)
+                .map(|i| {
+                    if changing >> i & 1 == 1 {
+                        Tv::X
+                    } else {
+                        Tv::from_bool(t.start >> i & 1 == 1)
+                    }
+                })
+                .collect();
+            let v_mid = eval_ternary(netlist, &mid)[fi];
+            if t.from == t.to && v_mid != Tv::from_bool(t.from) {
+                out.push(HazardViolation::StaticGlitch {
+                    function: name.clone(),
+                    start: t.start,
+                    end: t.end,
+                });
+            }
+            let fin: Vec<Tv> = (0..n).map(|i| Tv::from_bool(t.end >> i & 1 == 1)).collect();
+            let v_fin = eval_ternary(netlist, &fin)[fi];
+            if v_fin != Tv::from_bool(t.to) {
+                out.push(HazardViolation::WrongSettle {
+                    function: name.clone(),
+                    start: t.start,
+                    end: t.end,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Library;
+    use crate::map::{map, MapObjective, MapStyle};
+    use crate::subject::SubjectGraph;
+    use bmbe_bm::spec::{BmSpec, SignalDir};
+    use bmbe_bm::synth::{synthesize, MinimizeMode};
+    use bmbe_logic::{Cover, Cube};
+
+    fn sequencer_spec() -> BmSpec {
+        let mut s = BmSpec::new("sequencer");
+        let pr = s.add_signal("p_r", SignalDir::Input);
+        let a1a = s.add_signal("a1_a", SignalDir::Input);
+        let a2a = s.add_signal("a2_a", SignalDir::Input);
+        let pa = s.add_signal("p_a", SignalDir::Output);
+        let a1r = s.add_signal("a1_r", SignalDir::Output);
+        let a2r = s.add_signal("a2_r", SignalDir::Output);
+        for _ in 0..6 {
+            s.add_state();
+        }
+        s.add_arc(0, 1, &[(pr, true)], &[(a1r, true)]);
+        s.add_arc(1, 2, &[(a1a, true)], &[(a1r, false)]);
+        s.add_arc(2, 3, &[(a1a, false)], &[(a2r, true)]);
+        s.add_arc(3, 4, &[(a2a, true)], &[(a2r, false)]);
+        s.add_arc(4, 5, &[(a2a, false)], &[(pa, true)]);
+        s.add_arc(5, 0, &[(pr, false)], &[(pa, false)]);
+        s
+    }
+
+    #[test]
+    fn sequencer_maps_hazard_free_in_both_styles() {
+        let ctrl = synthesize(&sequencer_spec(), MinimizeMode::Speed).unwrap();
+        let functions: Vec<(String, &Cover)> = ctrl
+            .outputs
+            .iter()
+            .cloned()
+            .chain((0..ctrl.num_state_bits).map(|j| format!("y{j}")))
+            .zip(ctrl.output_covers.iter().chain(ctrl.next_state_covers.iter()))
+            .collect();
+        let subject = SubjectGraph::from_covers(ctrl.num_vars(), &functions);
+        for style in [MapStyle::SplitModules, MapStyle::WholeController] {
+            let m = map(&subject, &Library::cmos035(), MapObjective::Delay, style);
+            let violations = verify_mapped(&ctrl, &m);
+            assert!(violations.is_empty(), "{style:?}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn ternary_detects_classic_static_hazard() {
+        // Hand-build the hazardous 2-product consensus function and check
+        // the ternary evaluator sees the X.
+        let f: Cover = [Cube::parse("10-").unwrap(), Cube::parse("-11").unwrap()]
+            .into_iter()
+            .collect();
+        let g = SubjectGraph::from_covers(3, &[("f".into(), &f)]);
+        let m = map(&g, &Library::cmos035(), MapObjective::Area, MapStyle::WholeController);
+        let v = eval_ternary(&m, &[Tv::One, Tv::X, Tv::One]);
+        assert_eq!(v[0], Tv::X);
+        // With the consensus product the X disappears.
+        let f2: Cover = [
+            Cube::parse("10-").unwrap(),
+            Cube::parse("-11").unwrap(),
+            Cube::parse("1-1").unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let g2 = SubjectGraph::from_covers(3, &[("f".into(), &f2)]);
+        let m2 = map(&g2, &Library::cmos035(), MapObjective::Area, MapStyle::WholeController);
+        let v2 = eval_ternary(&m2, &[Tv::One, Tv::X, Tv::One]);
+        assert_eq!(v2[0], Tv::One);
+    }
+}

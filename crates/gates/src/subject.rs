@@ -1,0 +1,341 @@
+//! The generic two-level netlist and its NAND2/INV subject graph.
+//!
+//! Mirrors the paper's §5: each synthesized controller's two-level
+//! nand-nand implementation is modelled structurally in three modules — one
+//! per logic level plus a top module — before technology mapping. The
+//! subject graph decomposes everything into 2-input NANDs and inverters,
+//! the canonical base for tree-covering technology mapping.
+
+use bmbe_logic::{Cover, Cube};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Module tag matching the paper's three-Verilog-module split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Module {
+    /// First logic level: input inverters and product NANDs.
+    Level1,
+    /// Second logic level: output NANDs.
+    Level2,
+}
+
+/// A node of the subject graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubjectNode {
+    /// Primary input `i` of the controller logic (including state bits).
+    Input(usize),
+    /// Constant 0 (for empty covers).
+    Zero,
+    /// Constant 1.
+    One,
+    /// Inverter over a node.
+    Inv(usize),
+    /// 2-input NAND over two nodes.
+    Nand2(usize, usize),
+}
+
+/// The subject graph of one controller: a DAG of [`SubjectNode`]s with one
+/// root per logic function.
+#[derive(Debug, Clone)]
+pub struct SubjectGraph {
+    /// The nodes; `Input` nodes come first.
+    pub nodes: Vec<SubjectNode>,
+    /// Module tag per node (inputs tagged `Level1`; tags drive the split-
+    /// module mapping restriction).
+    pub modules: Vec<Module>,
+    /// Root node of each function, with its name.
+    pub roots: Vec<(String, usize)>,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Fanout count per node.
+    pub fanout: Vec<usize>,
+}
+
+impl SubjectGraph {
+    /// Builds the subject graph of a set of single-output covers over a
+    /// common input space (the paper's nand-nand two-level form), with each
+    /// function's products private (Minimalist's single-output *speed*
+    /// mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cover references more variables than `num_inputs`.
+    pub fn from_covers(num_inputs: usize, functions: &[(String, &Cover)]) -> Self {
+        Self::build(num_inputs, functions, false)
+    }
+
+    /// Like [`SubjectGraph::from_covers`], but identical product terms are
+    /// shared across functions (the *area* mode: one NAND drives every
+    /// second-level gate that uses the product).
+    pub fn from_covers_shared(num_inputs: usize, functions: &[(String, &Cover)]) -> Self {
+        Self::build(num_inputs, functions, true)
+    }
+
+    fn build(num_inputs: usize, functions: &[(String, &Cover)], share: bool) -> Self {
+        let mut g = Builder {
+            nodes: (0..num_inputs).map(SubjectNode::Input).collect(),
+            modules: vec![Module::Level1; num_inputs],
+            inv_cache: HashMap::new(),
+            product_cache: if share { Some(HashMap::new()) } else { None },
+        };
+        let mut roots = Vec::new();
+        for (name, cover) in functions {
+            let root = g.build_function(num_inputs, cover);
+            roots.push((name.clone(), root));
+        }
+        let mut fanout = vec![0usize; g.nodes.len()];
+        for node in &g.nodes {
+            match node {
+                SubjectNode::Inv(a) => fanout[*a] += 1,
+                SubjectNode::Nand2(a, b) => {
+                    fanout[*a] += 1;
+                    fanout[*b] += 1;
+                }
+                _ => {}
+            }
+        }
+        for (_, r) in &roots {
+            fanout[*r] += 1; // roots are observed
+        }
+        SubjectGraph {
+            num_inputs,
+            nodes: g.nodes,
+            modules: g.modules,
+            roots,
+            fanout,
+        }
+    }
+
+    /// Two-valued evaluation of every node for an input assignment packed
+    /// into a `u64`.
+    pub fn eval(&self, inputs: u64) -> Vec<bool> {
+        let mut values = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match node {
+                SubjectNode::Input(k) => inputs >> k & 1 == 1,
+                SubjectNode::Zero => false,
+                SubjectNode::One => true,
+                SubjectNode::Inv(a) => !values[*a],
+                SubjectNode::Nand2(a, b) => !(values[*a] && values[*b]),
+            };
+        }
+        values
+    }
+
+    /// Number of NAND2/INV primitives (generic-netlist size).
+    pub fn num_primitives(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, SubjectNode::Inv(_) | SubjectNode::Nand2(..)))
+            .count()
+    }
+}
+
+impl fmt::Display for SubjectGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "subject graph: {} nodes, {} roots", self.nodes.len(), self.roots.len())?;
+        for (name, r) in &self.roots {
+            writeln!(f, "  {name} <- n{r}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Builder {
+    nodes: Vec<SubjectNode>,
+    modules: Vec<Module>,
+    inv_cache: HashMap<usize, usize>,
+    /// When sharing, maps each product cube to its level-1 NAND node.
+    product_cache: Option<HashMap<Cube, usize>>,
+}
+
+impl Builder {
+    fn push(&mut self, node: SubjectNode, module: Module) -> usize {
+        self.nodes.push(node);
+        self.modules.push(module);
+        self.nodes.len() - 1
+    }
+
+    /// A (cached) inverter over a node: input inverters are shared, as in a
+    /// real two-level structure.
+    fn inv(&mut self, a: usize, module: Module) -> usize {
+        if let Some(&n) = self.inv_cache.get(&a) {
+            return n;
+        }
+        let n = self.push(SubjectNode::Inv(a), module);
+        self.inv_cache.insert(a, n);
+        n
+    }
+
+    /// k-input NAND as a balanced tree: AND subtrees (NAND2+INV pairs)
+    /// joined by a root NAND2 (a single INV for k = 1), giving logarithmic
+    /// logic depth as a real wide-gate decomposition would.
+    fn nand_chain(&mut self, ins: Vec<usize>, module: Module) -> usize {
+        match ins.len() {
+            0 => self.push(SubjectNode::Zero, module),
+            1 => self.push(SubjectNode::Inv(ins[0]), module),
+            _ => {
+                let mid = ins.len() / 2;
+                let left = self.and_tree(&ins[..mid], module);
+                let right = self.and_tree(&ins[mid..], module);
+                self.push(SubjectNode::Nand2(left, right), module)
+            }
+        }
+    }
+
+    /// Balanced AND tree over the inputs.
+    fn and_tree(&mut self, ins: &[usize], module: Module) -> usize {
+        match ins.len() {
+            1 => ins[0],
+            _ => {
+                let mid = ins.len() / 2;
+                let left = self.and_tree(&ins[..mid], module);
+                let right = self.and_tree(&ins[mid..], module);
+                let nand = self.push(SubjectNode::Nand2(left, right), module);
+                self.push(SubjectNode::Inv(nand), module)
+            }
+        }
+    }
+
+    fn build_function(&mut self, num_inputs: usize, cover: &Cover) -> usize {
+        if cover.is_empty() {
+            return self.push(SubjectNode::Zero, Module::Level2);
+        }
+        // Level 1: one NAND per product (active-low product terms); in
+        // sharing mode identical products across functions reuse one gate.
+        let mut product_nets = Vec::new();
+        for cube in cover.cubes() {
+            if let Some(cache) = &self.product_cache {
+                if let Some(&node) = cache.get(cube) {
+                    product_nets.push(node);
+                    continue;
+                }
+            }
+            let mut lits = Vec::new();
+            for i in 0..num_inputs {
+                match cube.var_value(i) {
+                    Some(true) => lits.push(i),
+                    Some(false) => {
+                        let inv = self.inv(i, Module::Level1);
+                        lits.push(inv);
+                    }
+                    None => {}
+                }
+            }
+            if lits.is_empty() {
+                // The constant-1 product: function is a tautology.
+                return self.push(SubjectNode::One, Module::Level2);
+            }
+            let node = self.nand_chain(lits, Module::Level1);
+            if let Some(cache) = &mut self.product_cache {
+                cache.insert(*cube, node);
+            }
+            product_nets.push(node);
+        }
+        // Level 2: NAND of the product terms.
+        self.nand_chain(product_nets, Module::Level2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmbe_logic::Cube;
+
+    fn cover(strs: &[&str]) -> Cover {
+        strs.iter().map(|s| Cube::parse(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn two_level_function_evaluates() {
+        // f = x0 x1' + x2
+        let f = cover(&["10-", "--1"]);
+        let g = SubjectGraph::from_covers(3, &[("f".into(), &f)]);
+        let root = g.roots[0].1;
+        for point in 0..8u64 {
+            let expect = f.eval(point);
+            assert_eq!(g.eval(point)[root], expect, "point {point:#b}");
+        }
+    }
+
+    #[test]
+    fn empty_cover_is_constant_zero() {
+        let f = Cover::empty();
+        let g = SubjectGraph::from_covers(2, &[("f".into(), &f)]);
+        assert!(!g.eval(0b00)[g.roots[0].1]);
+        assert!(!g.eval(0b11)[g.roots[0].1]);
+    }
+
+    #[test]
+    fn single_product_is_and() {
+        let f = cover(&["11"]);
+        let g = SubjectGraph::from_covers(2, &[("f".into(), &f)]);
+        let root = g.roots[0].1;
+        assert!(g.eval(0b11)[root]);
+        assert!(!g.eval(0b01)[root]);
+    }
+
+    #[test]
+    fn input_inverters_are_shared() {
+        // Two products both using x0': one INV node.
+        let f = cover(&["01", "0-"]);
+        let g = SubjectGraph::from_covers(2, &[("f".into(), &f)]);
+        let inv_count = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, SubjectNode::Inv(a) if *a < 2))
+            .count();
+        assert_eq!(inv_count, 1);
+    }
+
+    #[test]
+    fn multiple_functions_share_inputs() {
+        let f = cover(&["1-"]);
+        let h = cover(&["-1"]);
+        let g = SubjectGraph::from_covers(2, &[("f".into(), &f), ("h".into(), &h)]);
+        assert_eq!(g.roots.len(), 2);
+        let vals = g.eval(0b01);
+        assert!(vals[g.roots[0].1]);
+        assert!(!vals[g.roots[1].1]);
+    }
+
+    #[test]
+    fn wide_products_decompose() {
+        let f = cover(&["11111"]);
+        let g = SubjectGraph::from_covers(5, &[("f".into(), &f)]);
+        let root = g.roots[0].1;
+        assert!(g.eval(0b11111)[root]);
+        assert!(!g.eval(0b11110)[root]);
+        assert!(g.num_primitives() > 3);
+    }
+}
+
+#[cfg(test)]
+mod sharing_tests {
+    use super::*;
+    use bmbe_logic::{Cover, Cube};
+
+    #[test]
+    fn shared_products_reduce_gate_count() {
+        // Two functions sharing the product x0 x1.
+        let f: Cover = [Cube::parse("11-").unwrap(), Cube::parse("--1").unwrap()]
+            .into_iter()
+            .collect();
+        let h: Cover = [Cube::parse("11-").unwrap()].into_iter().collect();
+        let fs = vec![("f".to_string(), &f), ("h".to_string(), &h)];
+        let private = SubjectGraph::from_covers(3, &fs);
+        let shared = SubjectGraph::from_covers_shared(3, &fs);
+        assert!(shared.num_primitives() < private.num_primitives());
+        // Functionality unchanged.
+        for p in 0..8u64 {
+            assert_eq!(
+                private.eval(p)[private.roots[0].1],
+                shared.eval(p)[shared.roots[0].1]
+            );
+            assert_eq!(
+                private.eval(p)[private.roots[1].1],
+                shared.eval(p)[shared.roots[1].1]
+            );
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Handshake component kinds and their port signatures.
+//!
+//! The vocabulary follows Balsa's component set [Bardsley 1998/2000; van
+//! Berkel 1993]: control components (sequencer, concur, call, decision-wait,
+//! loop, while, fork, sync, case, fetch/transferrer) and datapath components
+//! (variable, functions, constants, call-mux, memory).
+
+use std::fmt;
+
+/// Whether an endpoint initiates handshakes (`Active`) or awaits them
+/// (`Passive`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activity {
+    /// The endpoint drives the request and awaits the acknowledge.
+    Active,
+    /// The endpoint awaits the request and drives the acknowledge.
+    Passive,
+}
+
+impl Activity {
+    /// The opposite activity.
+    pub fn opposite(self) -> Activity {
+        match self {
+            Activity::Active => Activity::Passive,
+            Activity::Passive => Activity::Active,
+        }
+    }
+}
+
+impl fmt::Display for Activity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Activity::Active => write!(f, "active"),
+            Activity::Passive => write!(f, "passive"),
+        }
+    }
+}
+
+/// Binary datapath operations available to function components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Equality comparison (1-bit result).
+    Eq,
+    /// Unsigned less-than (1-bit result).
+    Lt,
+    /// Signed less-than (1-bit result).
+    SLt,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift right.
+    Shr,
+}
+
+/// Unary datapath operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Identity (used to bridge pull channels).
+    Id,
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// Sign test: 1 when the (signed) value is negative.
+    IsNeg,
+    /// Zero test: 1 when the value is zero.
+    IsZero,
+}
+
+/// The kind of a handshake component, with its structural parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// n-way sequencer (`;`): activation, then each output in order.
+    Sequence {
+        /// Number of sequenced activations.
+        branches: usize,
+    },
+    /// n-way concur (`||`): activation, all outputs in parallel.
+    Concur {
+        /// Number of parallel activations.
+        branches: usize,
+    },
+    /// Repeat-forever loop.
+    Loop,
+    /// Guarded loop: pulls a 1-bit guard, runs the body while true.
+    While,
+    /// n-way call: mutually exclusive passive inputs share one active output.
+    Call {
+        /// Number of callers.
+        inputs: usize,
+    },
+    /// Decision-wait: activation plus n (passive in, active out) pairs.
+    DecisionWait {
+        /// Number of in/out pairs.
+        pairs: usize,
+    },
+    /// Control fork: one passive input broadcast to n active outputs.
+    Fork {
+        /// Number of forked outputs.
+        outputs: usize,
+    },
+    /// n-way synchronizer (passivator family): all passive ends rendezvous.
+    Sync {
+        /// Number of synchronized ends.
+        inputs: usize,
+    },
+    /// Transferrer/fetch: on activation, pull data then push it onward.
+    Fetch,
+    /// n-way case: pull a selector, then activate the matching branch.
+    Case {
+        /// Number of branches.
+        branches: usize,
+    },
+    /// Storage variable with one write port and `reads` read ports.
+    Variable {
+        /// Bit width.
+        width: u32,
+        /// Number of read ports.
+        reads: usize,
+    },
+    /// Two-operand combinational function (pull style).
+    BinaryFunc {
+        /// The operation.
+        op: BinOp,
+        /// Result width.
+        width: u32,
+    },
+    /// One-operand combinational function (pull style).
+    UnaryFunc {
+        /// The operation.
+        op: UnOp,
+        /// Result width.
+        width: u32,
+    },
+    /// Constant source (pull style).
+    Constant {
+        /// The value.
+        value: u64,
+        /// Bit width.
+        width: u32,
+    },
+    /// Datapath call-mux: mutually exclusive pushes merged onto one output.
+    CallMux {
+        /// Number of writers.
+        inputs: usize,
+        /// Bit width.
+        width: u32,
+    },
+    /// Word-addressed memory with per-site read and write ports. A pull on
+    /// `read{i}` makes the memory pull the address on `raddr{i}` and answer
+    /// with the word; a push on `write{j}` makes it pull `waddr{j}` and
+    /// store.
+    Memory {
+        /// Number of words.
+        words: usize,
+        /// Bit width of a word.
+        width: u32,
+        /// Number of read sites.
+        reads: usize,
+        /// Number of write sites.
+        writes: usize,
+    },
+    /// Control skip: acknowledges its activation immediately.
+    Skip,
+    /// Datapath pull-side mux: several mutually exclusive pull clients
+    /// share one pulled source.
+    PullMux {
+        /// Number of client ports.
+        clients: usize,
+        /// Bit width.
+        width: u32,
+    },
+}
+
+/// Signature of one port of a component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortSpec {
+    /// Port name (unique within the component).
+    pub name: String,
+    /// Handshake activity of the component at this port.
+    pub activity: Activity,
+    /// Whether the channel is a pure control (dataless) channel.
+    pub control: bool,
+}
+
+impl PortSpec {
+    fn new(name: impl Into<String>, activity: Activity, control: bool) -> Self {
+        PortSpec { name: name.into(), activity, control }
+    }
+}
+
+impl ComponentKind {
+    /// Whether this is a control handshake component, i.e. part of the
+    /// netlist the burst-mode back-end optimizes. Datapath components are
+    /// synthesized by the existing (template) path.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            ComponentKind::Sequence { .. }
+                | ComponentKind::Concur { .. }
+                | ComponentKind::Loop
+                | ComponentKind::While
+                | ComponentKind::Call { .. }
+                | ComponentKind::DecisionWait { .. }
+                | ComponentKind::Fork { .. }
+                | ComponentKind::Sync { .. }
+                | ComponentKind::Fetch
+                | ComponentKind::Case { .. }
+                | ComponentKind::Skip
+        )
+    }
+
+    /// The ordered port signature of the component.
+    pub fn ports(&self) -> Vec<PortSpec> {
+        use Activity::{Active, Passive};
+        match self {
+            ComponentKind::Sequence { branches } | ComponentKind::Concur { branches } => {
+                let mut p = vec![PortSpec::new("activate", Passive, true)];
+                for i in 0..*branches {
+                    p.push(PortSpec::new(format!("out{i}"), Active, true));
+                }
+                p
+            }
+            ComponentKind::Loop => vec![
+                PortSpec::new("activate", Passive, true),
+                PortSpec::new("out", Active, true),
+            ],
+            ComponentKind::While => vec![
+                PortSpec::new("activate", Passive, true),
+                PortSpec::new("guard", Active, false),
+                PortSpec::new("out", Active, true),
+            ],
+            ComponentKind::Call { inputs } => {
+                let mut p: Vec<PortSpec> = (0..*inputs)
+                    .map(|i| PortSpec::new(format!("in{i}"), Passive, true))
+                    .collect();
+                p.push(PortSpec::new("out", Active, true));
+                p
+            }
+            ComponentKind::DecisionWait { pairs } => {
+                let mut p = vec![PortSpec::new("activate", Passive, true)];
+                for i in 0..*pairs {
+                    p.push(PortSpec::new(format!("in{i}"), Passive, true));
+                }
+                for i in 0..*pairs {
+                    p.push(PortSpec::new(format!("out{i}"), Active, true));
+                }
+                p
+            }
+            ComponentKind::Fork { outputs } => {
+                let mut p = vec![PortSpec::new("in", Passive, true)];
+                for i in 0..*outputs {
+                    p.push(PortSpec::new(format!("out{i}"), Active, true));
+                }
+                p
+            }
+            ComponentKind::Sync { inputs } => (0..*inputs)
+                .map(|i| PortSpec::new(format!("in{i}"), Passive, true))
+                .collect(),
+            ComponentKind::Fetch => vec![
+                PortSpec::new("activate", Passive, true),
+                PortSpec::new("pull", Active, false),
+                PortSpec::new("push", Active, false),
+            ],
+            ComponentKind::Case { branches } => {
+                let mut p = vec![
+                    PortSpec::new("activate", Passive, true),
+                    PortSpec::new("select", Active, false),
+                ];
+                for i in 0..*branches {
+                    p.push(PortSpec::new(format!("out{i}"), Active, true));
+                }
+                p
+            }
+            ComponentKind::Variable { reads, .. } => {
+                let mut p = vec![PortSpec::new("write", Passive, false)];
+                for i in 0..*reads {
+                    p.push(PortSpec::new(format!("read{i}"), Passive, false));
+                }
+                p
+            }
+            ComponentKind::BinaryFunc { .. } => vec![
+                PortSpec::new("result", Passive, false),
+                PortSpec::new("lhs", Active, false),
+                PortSpec::new("rhs", Active, false),
+            ],
+            ComponentKind::UnaryFunc { .. } => vec![
+                PortSpec::new("result", Passive, false),
+                PortSpec::new("operand", Active, false),
+            ],
+            ComponentKind::Constant { .. } => vec![PortSpec::new("out", Passive, false)],
+            ComponentKind::CallMux { inputs, .. } => {
+                let mut p: Vec<PortSpec> = (0..*inputs)
+                    .map(|i| PortSpec::new(format!("in{i}"), Passive, false))
+                    .collect();
+                p.push(PortSpec::new("out", Active, false));
+                p
+            }
+            ComponentKind::Memory { reads, writes, .. } => {
+                let mut p = Vec::new();
+                for i in 0..*reads {
+                    p.push(PortSpec::new(format!("read{i}"), Passive, false));
+                    p.push(PortSpec::new(format!("raddr{i}"), Active, false));
+                }
+                for j in 0..*writes {
+                    p.push(PortSpec::new(format!("write{j}"), Passive, false));
+                    p.push(PortSpec::new(format!("waddr{j}"), Active, false));
+                }
+                p
+            }
+            ComponentKind::Skip => vec![PortSpec::new("activate", Passive, true)],
+            ComponentKind::PullMux { clients, .. } => {
+                let mut p: Vec<PortSpec> = (0..*clients)
+                    .map(|i| PortSpec::new(format!("client{i}"), Passive, false))
+                    .collect();
+                p.push(PortSpec::new("source", Active, false));
+                p
+            }
+        }
+    }
+
+    /// Short mnemonic used in printed netlists.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            ComponentKind::Sequence { .. } => "seq",
+            ComponentKind::Concur { .. } => "concur",
+            ComponentKind::Loop => "loop",
+            ComponentKind::While => "while",
+            ComponentKind::Call { .. } => "call",
+            ComponentKind::DecisionWait { .. } => "dw",
+            ComponentKind::Fork { .. } => "fork",
+            ComponentKind::Sync { .. } => "sync",
+            ComponentKind::Fetch => "fetch",
+            ComponentKind::Case { .. } => "case",
+            ComponentKind::Variable { .. } => "var",
+            ComponentKind::BinaryFunc { .. } => "binfunc",
+            ComponentKind::UnaryFunc { .. } => "unfunc",
+            ComponentKind::Constant { .. } => "const",
+            ComponentKind::CallMux { .. } => "callmux",
+            ComponentKind::Memory { .. } => "mem",
+            ComponentKind::Skip => "skip",
+            ComponentKind::PullMux { .. } => "pullmux",
+        }
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_classification() {
+        assert!(ComponentKind::Sequence { branches: 2 }.is_control());
+        assert!(ComponentKind::Call { inputs: 2 }.is_control());
+        assert!(ComponentKind::Fetch.is_control());
+        assert!(!ComponentKind::Variable { width: 8, reads: 1 }.is_control());
+        assert!(!ComponentKind::Constant { value: 0, width: 1 }.is_control());
+    }
+
+    #[test]
+    fn sequencer_port_shape() {
+        let ports = ComponentKind::Sequence { branches: 3 }.ports();
+        assert_eq!(ports.len(), 4);
+        assert_eq!(ports[0].activity, Activity::Passive);
+        assert!(ports[1..].iter().all(|p| p.activity == Activity::Active));
+        assert!(ports.iter().all(|p| p.control));
+    }
+
+    #[test]
+    fn decision_wait_port_shape() {
+        let ports = ComponentKind::DecisionWait { pairs: 2 }.ports();
+        assert_eq!(ports.len(), 5);
+        assert_eq!(ports[0].name, "activate");
+        assert_eq!(ports[1].name, "in0");
+        assert_eq!(ports[3].name, "out0");
+    }
+
+    #[test]
+    fn fetch_is_control_with_data_sides() {
+        let ports = ComponentKind::Fetch.ports();
+        assert!(ports[0].control);
+        assert!(!ports[1].control);
+        assert!(!ports[2].control);
+    }
+
+    #[test]
+    fn activity_opposite() {
+        assert_eq!(Activity::Active.opposite(), Activity::Passive);
+        assert_eq!(Activity::Passive.opposite(), Activity::Active);
+    }
+
+    #[test]
+    fn port_names_unique_per_component() {
+        for kind in [
+            ComponentKind::Sequence { branches: 4 },
+            ComponentKind::DecisionWait { pairs: 3 },
+            ComponentKind::Call { inputs: 3 },
+            ComponentKind::Variable { width: 8, reads: 2 },
+        ] {
+            let ports = kind.ports();
+            let mut names: Vec<&str> = ports.iter().map(|p| p.name.as_str()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before, "{kind:?}");
+        }
+    }
+}

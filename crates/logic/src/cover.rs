@@ -1,0 +1,297 @@
+//! Covers: sums of product terms, with two- and three-valued evaluation.
+
+use crate::cube::{Cube, Point};
+use std::fmt;
+
+/// A three-valued (Kleene) logic value used by hazard analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tv {
+    /// Definitely 0.
+    Zero,
+    /// Definitely 1.
+    One,
+    /// Unknown / in transition.
+    X,
+}
+
+impl Tv {
+    /// Lifts a Boolean into a ternary value.
+    pub fn from_bool(b: bool) -> Tv {
+        if b { Tv::One } else { Tv::Zero }
+    }
+}
+
+impl fmt::Display for Tv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tv::Zero => write!(f, "0"),
+            Tv::One => write!(f, "1"),
+            Tv::X => write!(f, "X"),
+        }
+    }
+}
+
+/// A sum-of-products cover over a fixed Boolean space.
+///
+/// # Examples
+///
+/// ```
+/// use bmbe_logic::cover::Cover;
+/// use bmbe_logic::cube::Cube;
+/// let f = Cover::from_cubes(vec![
+///     Cube::parse("1-").unwrap(),
+///     Cube::parse("-1").unwrap(),
+/// ]); // f = x0 + x1
+/// assert!(f.eval(0b01));
+/// assert!(!f.eval(0b00));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Cover {
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty cover (constant 0).
+    pub fn empty() -> Self {
+        Cover { cubes: Vec::new() }
+    }
+
+    /// Builds a cover from product terms.
+    pub fn from_cubes(cubes: Vec<Cube>) -> Self {
+        Cover { cubes }
+    }
+
+    /// The product terms of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Adds a product term.
+    pub fn push(&mut self, cube: Cube) {
+        self.cubes.push(cube);
+    }
+
+    /// Whether the cover has no product terms.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Number of product terms.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total number of literals over all products.
+    pub fn num_literals(&self) -> usize {
+        self.cubes.iter().map(Cube::num_literals).sum()
+    }
+
+    /// Two-valued evaluation at a point.
+    pub fn eval(&self, point: Point) -> bool {
+        self.cubes.iter().any(|c| c.contains_point(point))
+    }
+
+    /// Whether some product term contains `point`.
+    pub fn contains_point(&self, point: Point) -> bool {
+        self.eval(point)
+    }
+
+    /// Whether some single product term entirely contains `cube`.
+    pub fn some_cube_contains(&self, cube: &Cube) -> bool {
+        self.cubes.iter().any(|c| c.contains_cube(cube))
+    }
+
+    /// Whether any product term intersects `cube`.
+    pub fn intersects(&self, cube: &Cube) -> bool {
+        self.cubes.iter().any(|c| c.intersects(cube))
+    }
+
+    /// Whether the union of products covers every point of `cube`.
+    ///
+    /// Implemented by recursive Shannon splitting, so it is exact but
+    /// intended for the small spaces used in controller synthesis.
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        // Fast paths.
+        if self.some_cube_contains(cube) {
+            return true;
+        }
+        let relevant: Vec<&Cube> = self.cubes.iter().filter(|c| c.intersects(cube)).collect();
+        if relevant.is_empty() {
+            return false;
+        }
+        // Split on a variable that is free in `cube` but fixed in some
+        // relevant product.
+        for i in 0..cube.num_vars() {
+            if cube.is_fixed(i) {
+                continue;
+            }
+            if relevant.iter().any(|c| c.is_fixed(i)) {
+                return self.covers_cube(&cube.with_fixed(i, false))
+                    && self.covers_cube(&cube.with_fixed(i, true));
+            }
+        }
+        // Every relevant product is free on all of cube's free variables,
+        // and none contains the cube: then none fixes anything cube doesn't,
+        // contradiction with the fast path -- so at least one contains it.
+        // (Reaching here means a relevant product contains `cube`.)
+        true
+    }
+
+    /// Three-valued evaluation. `values[i]` is the value of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the space dimension of the
+    /// first product term (an empty cover accepts anything and returns 0).
+    pub fn eval_ternary(&self, values: &[Tv]) -> Tv {
+        let mut saw_x = false;
+        for cube in &self.cubes {
+            assert_eq!(values.len(), cube.num_vars(), "ternary vector dimension mismatch");
+            match eval_cube_ternary(cube, values) {
+                Tv::One => return Tv::One,
+                Tv::X => saw_x = true,
+                Tv::Zero => {}
+            }
+        }
+        if saw_x { Tv::X } else { Tv::Zero }
+    }
+
+    /// Removes product terms contained in other product terms.
+    pub fn make_irredundant_single_containment(&mut self) {
+        let mut keep = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.cubes.len() {
+                if i != j && keep[j] && self.cubes[j].contains_cube(&self.cubes[i]) {
+                    // cubes[i] inside cubes[j]
+                    if self.cubes[i] == self.cubes[j] && i < j {
+                        continue; // keep the first of equal cubes
+                    }
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+        let mut idx = 0;
+        self.cubes.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+}
+
+fn eval_cube_ternary(cube: &Cube, values: &[Tv]) -> Tv {
+    let mut saw_x = false;
+    for i in 0..cube.num_vars() {
+        if let Some(v) = cube.var_value(i) {
+            match (values[i], v) {
+                (Tv::One, true) | (Tv::Zero, false) => {}
+                (Tv::X, _) => saw_x = true,
+                _ => return Tv::Zero,
+            }
+        }
+    }
+    if saw_x { Tv::X } else { Tv::One }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cover[{self}]")
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        Cover { cubes: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        self.cubes.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(strs: &[&str]) -> Cover {
+        strs.iter().map(|s| Cube::parse(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn eval_or_of_products() {
+        let f = cover(&["1-", "-1"]);
+        assert!(f.eval(0b01));
+        assert!(f.eval(0b10));
+        assert!(f.eval(0b11));
+        assert!(!f.eval(0b00));
+    }
+
+    #[test]
+    fn covers_cube_requires_union() {
+        // x0 + !x0 covers the universe though no single cube does.
+        let f = cover(&["1-", "0-"]);
+        let u = Cube::universe(2);
+        assert!(!f.some_cube_contains(&u));
+        assert!(f.covers_cube(&u));
+    }
+
+    #[test]
+    fn covers_cube_detects_hole() {
+        let f = cover(&["11", "00"]);
+        assert!(!f.covers_cube(&Cube::universe(2)));
+        assert!(f.covers_cube(&Cube::parse("11").unwrap()));
+    }
+
+    #[test]
+    fn ternary_static_hazard_visible() {
+        // f = x0 x1' + x1 x2 has a static-1 hazard at x0=x2=1 when x1 changes:
+        // with x1 = X both products go X.
+        let f = cover(&["10-", "-11"]);
+        let v = [Tv::One, Tv::X, Tv::One];
+        assert_eq!(f.eval_ternary(&v), Tv::X);
+        // Adding the consensus product x0 x2 removes the hazard.
+        let g = cover(&["10-", "-11", "1-1"]);
+        assert_eq!(g.eval_ternary(&v), Tv::One);
+    }
+
+    #[test]
+    fn ternary_constant_zero() {
+        let f = Cover::empty();
+        assert_eq!(f.eval_ternary(&[]), Tv::Zero);
+    }
+
+    #[test]
+    fn irredundant_removes_contained() {
+        let mut f = cover(&["1-", "11", "0-"]);
+        f.make_irredundant_single_containment();
+        assert_eq!(f.len(), 2);
+        assert!(f.covers_cube(&Cube::universe(2)));
+    }
+
+    #[test]
+    fn literal_count() {
+        let f = cover(&["10-", "-11"]);
+        assert_eq!(f.num_literals(), 4);
+    }
+}

@@ -1,0 +1,463 @@
+//! Unate covering: choose a minimum-cost subset of columns covering all rows.
+//!
+//! Used by the two-level minimizers to select prime implicants. Provides an
+//! exact branch-and-bound solver with essential-column and dominance
+//! reductions, falling back to a greedy heuristic above a size threshold.
+
+/// A unate covering problem instance.
+///
+/// Rows are numbered `0..num_rows`; each column lists the rows it covers and
+/// carries an integer cost (with an optional secondary cost used to break
+/// ties, e.g. literal counts).
+#[derive(Debug, Clone)]
+pub struct CoveringProblem {
+    num_rows: usize,
+    columns: Vec<Column>,
+}
+
+#[derive(Debug, Clone)]
+struct Column {
+    rows: Vec<usize>,
+    cost: u64,
+    tiebreak: u64,
+}
+
+/// Outcome of solving a covering problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoveringSolution {
+    /// Indices of the selected columns (ascending).
+    pub columns: Vec<usize>,
+    /// Total primary cost of the selection.
+    pub cost: u64,
+    /// Whether the solution is provably minimum (exact search completed).
+    pub exact: bool,
+}
+
+impl CoveringProblem {
+    /// Creates a problem with `num_rows` rows and no columns yet.
+    pub fn new(num_rows: usize) -> Self {
+        CoveringProblem { num_rows, columns: Vec::new() }
+    }
+
+    /// Adds a column covering `rows` with the given costs; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of range.
+    pub fn add_column(&mut self, mut rows: Vec<usize>, cost: u64, tiebreak: u64) -> usize {
+        rows.sort_unstable();
+        rows.dedup();
+        for &r in &rows {
+            assert!(r < self.num_rows, "row {r} out of range");
+        }
+        self.columns.push(Column { rows, cost, tiebreak });
+        self.columns.len() - 1
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Solves the problem.
+    ///
+    /// Returns `None` when some row is covered by no column (infeasible).
+    /// The search is exact while the reduced problem stays within
+    /// `effort_limit` branch-and-bound nodes; afterwards the best solution
+    /// found so far (completed greedily) is returned with `exact == false`.
+    pub fn solve(&self, effort_limit: u64) -> Option<CoveringSolution> {
+        // Row -> covering columns.
+        let mut row_cols: Vec<Vec<usize>> = vec![Vec::new(); self.num_rows];
+        for (ci, col) in self.columns.iter().enumerate() {
+            for &r in &col.rows {
+                row_cols[r].push(ci);
+            }
+        }
+        if row_cols.iter().any(|cols| cols.is_empty()) && self.num_rows > 0 {
+            return None;
+        }
+        let mut solver = Solver {
+            problem: self,
+            row_cols,
+            best: None,
+            nodes: 0,
+            limit: effort_limit,
+            truncated: false,
+        };
+        let greedy = solver.greedy(&(0..self.num_rows).collect::<Vec<_>>(), &[]);
+        solver.best = Some(greedy);
+        let alive_rows: Vec<usize> = (0..self.num_rows).collect();
+        let alive_cols: Vec<usize> = (0..self.columns.len()).collect();
+        solver.search(alive_rows, alive_cols, Vec::new(), 0, 0);
+        let (sel, cost, tb) = solver.best.expect("greedy always yields a solution");
+        let _ = tb;
+        let mut columns = sel;
+        columns.sort_unstable();
+        columns.dedup();
+        Some(CoveringSolution { columns, cost, exact: !solver.truncated })
+    }
+}
+
+struct Solver<'a> {
+    problem: &'a CoveringProblem,
+    row_cols: Vec<Vec<usize>>,
+    best: Option<(Vec<usize>, u64, u64)>,
+    nodes: u64,
+    limit: u64,
+    truncated: bool,
+}
+
+impl<'a> Solver<'a> {
+    fn better(&self, cost: u64, tiebreak: u64) -> bool {
+        match &self.best {
+            None => true,
+            Some((_, bc, bt)) => cost < *bc || (cost == *bc && tiebreak < *bt),
+        }
+    }
+
+    /// Greedy completion: repeatedly pick the column covering the most
+    /// uncovered rows per unit cost.
+    fn greedy(&self, rows: &[usize], chosen: &[usize]) -> (Vec<usize>, u64, u64) {
+        let mut uncovered: Vec<usize> = rows.to_vec();
+        let mut sel = chosen.to_vec();
+        let mut cost: u64 = sel.iter().map(|&c| self.problem.columns[c].cost).sum();
+        let mut tb: u64 = sel.iter().map(|&c| self.problem.columns[c].tiebreak).sum();
+        while !uncovered.is_empty() {
+            let mut best_col = usize::MAX;
+            let mut best_score = f64::NEG_INFINITY;
+            for (ci, col) in self.problem.columns.iter().enumerate() {
+                let covered = col.rows.iter().filter(|r| uncovered.contains(r)).count();
+                if covered == 0 {
+                    continue;
+                }
+                let score = covered as f64 / (col.cost.max(1)) as f64;
+                if score > best_score {
+                    best_score = score;
+                    best_col = ci;
+                }
+            }
+            debug_assert_ne!(best_col, usize::MAX, "feasibility checked by caller");
+            sel.push(best_col);
+            cost += self.problem.columns[best_col].cost;
+            tb += self.problem.columns[best_col].tiebreak;
+            uncovered.retain(|r| !self.problem.columns[best_col].rows.contains(r));
+        }
+        (sel, cost, tb)
+    }
+
+    fn search(
+        &mut self,
+        mut rows: Vec<usize>,
+        mut cols: Vec<usize>,
+        mut chosen: Vec<usize>,
+        mut cost: u64,
+        mut tiebreak: u64,
+    ) {
+        self.nodes += 1;
+        if self.nodes > self.limit {
+            self.truncated = true;
+            return;
+        }
+        // Reduction loop: essentials + dominance.
+        loop {
+            if rows.is_empty() {
+                if self.better(cost, tiebreak) {
+                    self.best = Some((chosen.clone(), cost, tiebreak));
+                }
+                return;
+            }
+            if !self.better(cost, tiebreak) {
+                return; // bound
+            }
+            // Essential columns: a row covered by exactly one alive column.
+            let mut essential = None;
+            for &r in &rows {
+                let alive: Vec<usize> = self.row_cols[r]
+                    .iter()
+                    .copied()
+                    .filter(|c| cols.contains(c))
+                    .collect();
+                if alive.is_empty() {
+                    return; // infeasible branch
+                }
+                if alive.len() == 1 {
+                    essential = Some(alive[0]);
+                    break;
+                }
+            }
+            if let Some(ci) = essential {
+                chosen.push(ci);
+                cost += self.problem.columns[ci].cost;
+                tiebreak += self.problem.columns[ci].tiebreak;
+                rows.retain(|r| !self.problem.columns[ci].rows.contains(r));
+                cols.retain(|&c| c != ci);
+                continue;
+            }
+            // Column dominance: drop c1 if some c2 covers a superset of the
+            // alive rows of c1 at <= cost.
+            let alive_rows_of = |c: usize| -> Vec<usize> {
+                self.problem.columns[c]
+                    .rows
+                    .iter()
+                    .copied()
+                    .filter(|r| rows.contains(r))
+                    .collect::<Vec<_>>()
+            };
+            let mut removed_col = false;
+            let cols_snapshot = cols.clone();
+            cols.retain(|&c1| {
+                let r1 = alive_rows_of(c1);
+                if r1.is_empty() {
+                    removed_col = true;
+                    return false;
+                }
+                // A strict preference order prevents mutual domination.
+                let prefer = |c2: usize, c1: usize| {
+                    let (a, b) = (&self.problem.columns[c2], &self.problem.columns[c1]);
+                    (a.cost, a.tiebreak, c2) < (b.cost, b.tiebreak, c1)
+                };
+                let dominated = cols_snapshot.iter().any(|&c2| {
+                    c2 != c1
+                        && prefer(c2, c1)
+                        && r1.iter().all(|r| self.problem.columns[c2].rows.contains(r))
+                });
+                if dominated {
+                    removed_col = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if removed_col {
+                continue;
+            }
+            // Row dominance: if the alive columns of r1 are a subset of
+            // r2's, covering r1 forces covering r2, so drop r2. The strict
+            // preference (proper subset, or equal sets with lower index)
+            // prevents cyclic mutual domination.
+            let alive_cols_of = |r: usize| -> Vec<usize> {
+                self.row_cols[r].iter().copied().filter(|c| cols.contains(c)).collect()
+            };
+            let rows_snapshot = rows.clone();
+            let alive_sets: Vec<(usize, Vec<usize>)> =
+                rows_snapshot.iter().map(|&r| (r, alive_cols_of(r))).collect();
+            let mut removed_row = false;
+            rows.retain(|&r2| {
+                let a2 = alive_sets
+                    .iter()
+                    .find(|(r, _)| *r == r2)
+                    .map(|(_, a)| a)
+                    .expect("row in snapshot");
+                let dominated = alive_sets.iter().any(|(r1, a1)| {
+                    *r1 != r2
+                        && a1.iter().all(|c| a2.contains(c))
+                        && (a1.len() < a2.len() || *r1 < r2)
+                });
+                if dominated {
+                    removed_row = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if removed_row {
+                continue;
+            }
+            break;
+        }
+        // Branch on the hardest row (fewest alive columns).
+        let branch_row = *rows
+            .iter()
+            .min_by_key(|&&r| self.row_cols[r].iter().filter(|c| cols.contains(c)).count())
+            .expect("rows nonempty");
+        let choices: Vec<usize> = self.row_cols[branch_row]
+            .iter()
+            .copied()
+            .filter(|c| cols.contains(c))
+            .collect();
+        for ci in choices {
+            let mut nrows = rows.clone();
+            nrows.retain(|r| !self.problem.columns[ci].rows.contains(r));
+            let mut ncols = cols.clone();
+            ncols.retain(|&c| c != ci);
+            let mut nchosen = chosen.clone();
+            nchosen.push(ci);
+            self.search(
+                nrows,
+                ncols,
+                nchosen,
+                cost + self.problem.columns[ci].cost,
+                tiebreak + self.problem.columns[ci].tiebreak,
+            );
+            if self.truncated {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_single_column() {
+        let mut p = CoveringProblem::new(2);
+        p.add_column(vec![0, 1], 1, 0);
+        let s = p.solve(10_000).unwrap();
+        assert_eq!(s.columns, vec![0]);
+        assert_eq!(s.cost, 1);
+        assert!(s.exact);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let mut p = CoveringProblem::new(2);
+        p.add_column(vec![0], 1, 0);
+        assert!(p.solve(10_000).is_none());
+    }
+
+    #[test]
+    fn prefers_cheaper_cover() {
+        // Rows 0,1,2. Either {col0} covering all at cost 3, or
+        // {col1,col2} at cost 1 each.
+        let mut p = CoveringProblem::new(3);
+        p.add_column(vec![0, 1, 2], 3, 0);
+        p.add_column(vec![0, 1], 1, 0);
+        p.add_column(vec![2], 1, 0);
+        let s = p.solve(10_000).unwrap();
+        assert_eq!(s.cost, 2);
+        assert_eq!(s.columns, vec![1, 2]);
+    }
+
+    #[test]
+    fn essential_column_is_forced() {
+        let mut p = CoveringProblem::new(3);
+        p.add_column(vec![0], 5, 0); // only cover of row 0
+        p.add_column(vec![1, 2], 1, 0);
+        p.add_column(vec![1], 1, 0);
+        let s = p.solve(10_000).unwrap();
+        assert!(s.columns.contains(&0));
+        assert_eq!(s.cost, 6);
+    }
+
+    #[test]
+    fn exact_beats_greedy_trap() {
+        // Classic greedy trap: greedy takes the big column then needs two
+        // more; optimum is two disjoint columns.
+        let mut p = CoveringProblem::new(4);
+        p.add_column(vec![0, 1, 2], 1, 0); // greedy bait
+        p.add_column(vec![0, 1], 1, 0);
+        p.add_column(vec![2, 3], 1, 0);
+        let s = p.solve(100_000).unwrap();
+        assert_eq!(s.cost, 2);
+        assert!(s.exact);
+    }
+
+    #[test]
+    fn zero_rows_selects_nothing() {
+        let mut p = CoveringProblem::new(0);
+        p.add_column(vec![], 1, 0);
+        let s = p.solve(100).unwrap();
+        assert!(s.columns.is_empty());
+        assert_eq!(s.cost, 0);
+    }
+
+    #[test]
+    fn tiebreak_prefers_fewer_literals() {
+        let mut p = CoveringProblem::new(1);
+        p.add_column(vec![0], 1, 5);
+        p.add_column(vec![0], 1, 2);
+        let s = p.solve(10_000).unwrap();
+        assert_eq!(s.columns, vec![1]);
+    }
+
+    #[test]
+    fn large_random_instance_is_feasible() {
+        // 40 rows, 120 random columns; greedy or exact, must cover.
+        let mut p = CoveringProblem::new(40);
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for r in 0..40 {
+            p.add_column(vec![r], 3, 1); // guarantee feasibility
+        }
+        for _ in 0..80 {
+            let rows: Vec<usize> = (0..40).filter(|_| next() % 3 == 0).collect();
+            if !rows.is_empty() {
+                p.add_column(rows, 2, 1);
+            }
+        }
+        let s = p.solve(5_000).unwrap();
+        let mut covered = vec![false; 40];
+        for &c in &s.columns {
+            // reconstruct coverage through the public API by re-solving rows
+            for r in 0..40 {
+                if pcol_covers(&p, c, r) {
+                    covered[r] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
+    }
+
+    fn pcol_covers(p: &CoveringProblem, c: usize, r: usize) -> bool {
+        p.columns[c].rows.contains(&r)
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+
+    /// Randomized validity check: every returned solution must cover all
+    /// rows (regression test for a cyclic-domination bug found during
+    /// development).
+    #[test]
+    fn random_instances_yield_valid_covers() {
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for iter in 0..400 {
+            let nrows = (next() % 40 + 2) as usize;
+            let ncols = (next() % 60 + 2) as usize;
+            let mut p = CoveringProblem::new(nrows);
+            let mut colrows: Vec<Vec<usize>> = Vec::new();
+            let mut coverable = vec![false; nrows];
+            for _ in 0..ncols {
+                let rows: Vec<usize> = (0..nrows).filter(|_| next() % 4 == 0).collect();
+                for &r in &rows {
+                    coverable[r] = true;
+                }
+                p.add_column(rows.clone(), 1, next() % 20);
+                colrows.push(rows);
+            }
+            let sol = p.solve(50_000);
+            if !coverable.iter().all(|&b| b) {
+                assert!(sol.is_none(), "iter {iter}: expected infeasible");
+                continue;
+            }
+            let sol = sol.expect("feasible instance");
+            let mut covered = vec![false; nrows];
+            for &c in &sol.columns {
+                for &r in &colrows[c] {
+                    covered[r] = true;
+                }
+            }
+            assert!(covered.iter().all(|&b| b), "iter {iter}: invalid solution {sol:?}");
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Single-cube algebra over a Boolean space of up to 64 variables.
+//!
+//! A [`Cube`] is a product term: each variable is either fixed to a value or
+//! free (a "don't care" position, printed as `-`). Points of the space are
+//! packed into a `u64`, bit `i` holding the value of variable `i`.
+
+use std::fmt;
+
+/// A point of the Boolean space: bit `i` is the value of variable `i`.
+pub type Point = u64;
+
+/// A product term (cube) over `n` Boolean variables.
+///
+/// Internally a pair of bit masks: `care` marks the fixed variables and
+/// `value` holds their values (zero outside `care`).
+///
+/// # Examples
+///
+/// ```
+/// use bmbe_logic::cube::Cube;
+/// let c = Cube::parse("1-0").unwrap(); // x0=1, x1 free, x2=0
+/// assert!(c.contains_point(0b001));
+/// assert!(c.contains_point(0b011));
+/// assert!(!c.contains_point(0b101));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    n: u8,
+    care: u64,
+    value: u64,
+}
+
+impl Cube {
+    /// The full universe over `n` variables (every variable free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn universe(n: usize) -> Self {
+        assert!(n <= 64, "cube space limited to 64 variables");
+        Cube { n: n as u8, care: 0, value: 0 }
+    }
+
+    /// A minterm cube fixing every variable to the bits of `point`.
+    pub fn minterm(n: usize, point: Point) -> Self {
+        let mask = Self::space_mask(n);
+        Cube { n: n as u8, care: mask, value: point & mask }
+    }
+
+    /// Builds a cube from raw `care` and `value` masks.
+    ///
+    /// Bits of `value` outside `care` are cleared.
+    pub fn from_masks(n: usize, care: u64, value: u64) -> Self {
+        let mask = Self::space_mask(n);
+        let care = care & mask;
+        Cube { n: n as u8, care, value: value & care }
+    }
+
+    /// The smallest cube containing the two points `a` and `b`
+    /// (their transition cube).
+    pub fn spanning(n: usize, a: Point, b: Point) -> Self {
+        let mask = Self::space_mask(n);
+        let care = !(a ^ b) & mask;
+        Cube { n: n as u8, care, value: a & care }
+    }
+
+    fn space_mask(n: usize) -> u64 {
+        assert!(n <= 64, "cube space limited to 64 variables");
+        if n == 64 { u64::MAX } else { (1u64 << n) - 1 }
+    }
+
+    /// Number of variables of the space this cube lives in.
+    pub fn num_vars(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Mask of the fixed (cared-for) variables.
+    pub fn care_mask(&self) -> u64 {
+        self.care
+    }
+
+    /// Values of the fixed variables (zero outside the care mask).
+    pub fn value_mask(&self) -> u64 {
+        self.value
+    }
+
+    /// Number of literals (fixed variables) in the cube.
+    pub fn num_literals(&self) -> usize {
+        self.care.count_ones() as usize
+    }
+
+    /// Number of free variables.
+    pub fn num_free(&self) -> usize {
+        self.num_vars() - self.num_literals()
+    }
+
+    /// Whether `point` lies inside the cube.
+    pub fn contains_point(&self, point: Point) -> bool {
+        (point & self.care) == self.value
+    }
+
+    /// Whether `other` is entirely contained in `self`.
+    pub fn contains_cube(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.n, other.n);
+        (other.care & self.care) == self.care && (other.value & self.care) == self.value
+    }
+
+    /// Whether the two cubes share at least one point.
+    pub fn intersects(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.n, other.n);
+        (self.value ^ other.value) & (self.care & other.care) == 0
+    }
+
+    /// The intersection cube, if non-empty.
+    pub fn intersection(&self, other: &Cube) -> Option<Cube> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Cube {
+            n: self.n,
+            care: self.care | other.care,
+            value: self.value | other.value,
+        })
+    }
+
+    /// The smallest cube containing both cubes.
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        debug_assert_eq!(self.n, other.n);
+        let care = self.care & other.care & !(self.value ^ other.value);
+        Cube { n: self.n, care, value: self.value & care }
+    }
+
+    /// Whether variable `i` is fixed in this cube.
+    pub fn is_fixed(&self, i: usize) -> bool {
+        self.care >> i & 1 == 1
+    }
+
+    /// The value of variable `i`, if fixed.
+    pub fn var_value(&self, i: usize) -> Option<bool> {
+        if self.is_fixed(i) {
+            Some(self.value >> i & 1 == 1)
+        } else {
+            None
+        }
+    }
+
+    /// A copy of the cube with variable `i` freed.
+    pub fn with_free(&self, i: usize) -> Cube {
+        let bit = 1u64 << i;
+        Cube { n: self.n, care: self.care & !bit, value: self.value & !bit }
+    }
+
+    /// A copy of the cube with variable `i` fixed to `v`.
+    pub fn with_fixed(&self, i: usize, v: bool) -> Cube {
+        let bit = 1u64 << i;
+        Cube {
+            n: self.n,
+            care: self.care | bit,
+            value: if v { self.value | bit } else { self.value & !bit },
+        }
+    }
+
+    /// Number of points in the cube (`2^num_free`); saturates at `u64::MAX`.
+    pub fn num_points(&self) -> u64 {
+        let free = self.num_free();
+        if free >= 64 { u64::MAX } else { 1u64 << free }
+    }
+
+    /// Iterates over every point of the cube.
+    ///
+    /// Intended for small cubes; cost is `2^num_free`.
+    pub fn points(&self) -> Points {
+        let free_mask = !self.care & Self::space_mask(self.num_vars());
+        Points { base: self.value, free_mask, sub: 0, done: false }
+    }
+
+    /// Parses a cube from a string of `0`, `1` and `-` characters,
+    /// variable 0 first.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on an invalid character or a length over 64.
+    pub fn parse(s: &str) -> Option<Cube> {
+        if s.len() > 64 {
+            return None;
+        }
+        let mut care = 0u64;
+        let mut value = 0u64;
+        for (i, ch) in s.chars().enumerate() {
+            match ch {
+                '0' => care |= 1 << i,
+                '1' => {
+                    care |= 1 << i;
+                    value |= 1 << i;
+                }
+                '-' => {}
+                _ => return None,
+            }
+        }
+        Some(Cube { n: s.len() as u8, care, value })
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.num_vars() {
+            let ch = match self.var_value(i) {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => '-',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube({self})")
+    }
+}
+
+/// Iterator over the points of a [`Cube`], produced by [`Cube::points`].
+#[derive(Debug, Clone)]
+pub struct Points {
+    base: u64,
+    free_mask: u64,
+    sub: u64,
+    done: bool,
+}
+
+impl Iterator for Points {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        if self.done {
+            return None;
+        }
+        let p = self.base | self.sub;
+        // Enumerate submasks of free_mask in increasing order via the
+        // standard (sub - mask) & mask trick run in reverse.
+        if self.sub == self.free_mask {
+            self.done = true;
+        } else {
+            self.sub = (self.sub.wrapping_sub(self.free_mask)) & self.free_mask;
+        }
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["1-0", "---", "0101", "1"] {
+            let c = Cube::parse(s).unwrap();
+            assert_eq!(c.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Cube::parse("10x").is_none());
+    }
+
+    #[test]
+    fn containment_basics() {
+        let u = Cube::universe(3);
+        let c = Cube::parse("1-0").unwrap();
+        let m = Cube::minterm(3, 0b001);
+        assert!(u.contains_cube(&c));
+        assert!(c.contains_cube(&m));
+        assert!(!m.contains_cube(&c));
+        assert!(c.contains_cube(&c));
+    }
+
+    #[test]
+    fn intersection_and_supercube() {
+        let a = Cube::parse("1--").unwrap();
+        let b = Cube::parse("-0-").unwrap();
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.to_string(), "10-");
+        let s = Cube::parse("100").unwrap().supercube(&Cube::parse("111").unwrap());
+        assert_eq!(s.to_string(), "1--");
+    }
+
+    #[test]
+    fn disjoint_cubes_do_not_intersect() {
+        let a = Cube::parse("1--").unwrap();
+        let b = Cube::parse("0--").unwrap();
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn spanning_cube_is_transition_cube() {
+        let t = Cube::spanning(4, 0b0011, 0b0110);
+        // bits 0,2 differ -> free; bits 1,3 fixed to a's values.
+        assert_eq!(t.to_string(), "-1-0");
+        assert!(t.contains_point(0b0011));
+        assert!(t.contains_point(0b0110));
+    }
+
+    #[test]
+    fn point_enumeration_covers_cube() {
+        let c = Cube::parse("1--0").unwrap();
+        let pts: Vec<_> = c.points().collect();
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!(c.contains_point(*p));
+        }
+        // all distinct
+        let mut sorted = pts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn literal_counts() {
+        let c = Cube::parse("1-0-").unwrap();
+        assert_eq!(c.num_literals(), 2);
+        assert_eq!(c.num_free(), 2);
+        assert_eq!(c.num_points(), 4);
+    }
+
+    #[test]
+    fn free_and_fix() {
+        let c = Cube::parse("10-").unwrap();
+        assert_eq!(c.with_free(0).to_string(), "-0-");
+        assert_eq!(c.with_fixed(2, true).to_string(), "101");
+        assert_eq!(c.var_value(1), Some(false));
+        assert_eq!(c.var_value(2), None);
+    }
+
+    #[test]
+    fn sixty_four_variable_space() {
+        let u = Cube::universe(64);
+        assert_eq!(u.num_free(), 64);
+        let m = Cube::minterm(64, u64::MAX);
+        assert!(u.contains_cube(&m));
+    }
+}

@@ -1,0 +1,570 @@
+//! Hazard-free two-level minimization for multiple-input-change transitions.
+//!
+//! This is the engine behind the Minimalist-equivalent synthesizer: the exact
+//! hazard-free minimization theory of Nowick and Dill. A Boolean function is
+//! specified *only* through a set of multiple-input-change (MIC)
+//! [`SpecTransition`]s; everything outside the transition cubes is a don't
+//! care. The minimizer returns a sum-of-products cover that is free of logic
+//! hazards for every specified transition:
+//!
+//! * every **required cube** (1→1 transition cubes; the maximal start-point ON
+//!   subcubes of 1→0 transitions; the end point of 0→1 transitions) is
+//!   contained in a *single* product, and
+//! * no product **illegally intersects** a *privileged cube* (the transition
+//!   cube of a dynamic transition) — a product touching a 1→0 cube must
+//!   contain its start point, and one touching a 0→1 cube must contain its
+//!   end point.
+
+use crate::cover::Cover;
+use crate::covering::CoveringProblem;
+use crate::cube::{Cube, Point};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Variable-count ceiling for exhaustive DHF-prime enumeration; larger
+/// functions use greedy expansion orders (see [`FunctionSpec::dhf_primes`]).
+pub const EXACT_PRIME_VARS: usize = 14;
+
+/// One specified multiple-input-change transition of a single-output
+/// function: the inputs move monotonically from `start` to `end` (each
+/// variable changing at most once), and the function moves from `from`
+/// to `to`. In burst-mode synthesis the function change happens only once
+/// the full input burst has arrived, i.e. at `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpecTransition {
+    /// Input vector at the start of the transition.
+    pub start: Point,
+    /// Input vector once every changing input has arrived.
+    pub end: Point,
+    /// Function value at `start` (and throughout the cube except `end`,
+    /// when `from != to`).
+    pub from: bool,
+    /// Function value at `end`.
+    pub to: bool,
+}
+
+impl SpecTransition {
+    /// The transition cube spanned by the start and end points.
+    pub fn cube(&self, n: usize) -> Cube {
+        Cube::spanning(n, self.start, self.end)
+    }
+
+    /// Whether the function value changes across this transition.
+    pub fn is_dynamic(&self) -> bool {
+        self.from != self.to
+    }
+}
+
+/// A single-output function specified by MIC transitions over `n` variables.
+#[derive(Debug, Clone)]
+pub struct FunctionSpec {
+    n: usize,
+    transitions: Vec<SpecTransition>,
+}
+
+/// A dynamic transition cube together with its privileged point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrivilegedCube {
+    /// The transition cube no product may illegally intersect.
+    pub cube: Cube,
+    /// The point a product intersecting `cube` must contain.
+    pub point: Point,
+}
+
+/// Errors produced by the hazard-free minimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HfminError {
+    /// Two transitions assign contradictory values to a common point.
+    ConflictingSpec {
+        /// A point receiving both values.
+        point: Point,
+    },
+    /// A required cube is not a hazard-free implicant, so no hazard-free
+    /// cover exists (Nowick–Dill infeasibility condition).
+    NoHazardFreeCover {
+        /// The offending required cube.
+        required: Cube,
+    },
+    /// A transition's start equals its end but `from != to`.
+    DegenerateDynamic {
+        /// The offending transition.
+        transition: SpecTransition,
+    },
+}
+
+impl fmt::Display for HfminError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HfminError::ConflictingSpec { point } => {
+                write!(f, "conflicting function values specified at point {point:#b}")
+            }
+            HfminError::NoHazardFreeCover { required } => {
+                write!(f, "no hazard-free cover exists: required cube {required} is not a dhf-implicant")
+            }
+            HfminError::DegenerateDynamic { transition } => {
+                write!(f, "dynamic transition with no changing inputs at {:#b}", transition.start)
+            }
+        }
+    }
+}
+
+impl std::error::Error for HfminError {}
+
+/// Result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct HfminResult {
+    /// The selected hazard-free cover.
+    pub cover: Cover,
+    /// Whether the covering step was solved exactly.
+    pub exact: bool,
+    /// Number of DHF-prime implicants generated.
+    pub num_primes: usize,
+}
+
+impl FunctionSpec {
+    /// Creates an empty specification over `n` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 64);
+        FunctionSpec { n, transitions: Vec::new() }
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// The specified transitions.
+    pub fn transitions(&self) -> &[SpecTransition] {
+        &self.transitions
+    }
+
+    /// Adds a specified transition.
+    pub fn add_transition(&mut self, t: SpecTransition) {
+        self.transitions.push(t);
+    }
+
+    /// Convenience: add a static transition holding value `v` across the
+    /// cube spanned by `start`/`end`.
+    pub fn add_static(&mut self, start: Point, end: Point, v: bool) {
+        self.add_transition(SpecTransition { start, end, from: v, to: v });
+    }
+
+    /// Convenience: add a dynamic transition.
+    pub fn add_dynamic(&mut self, start: Point, end: Point, from: bool) {
+        self.add_transition(SpecTransition { start, end, from, to: !from });
+    }
+
+    /// The ON-set as a cover (union of the points where the function is 1).
+    pub fn on_set(&self) -> Cover {
+        let mut on = Cover::empty();
+        for t in &self.transitions {
+            let cube = t.cube(self.n);
+            match (t.from, t.to) {
+                (true, true) => on.push(cube),
+                (false, false) => {}
+                (false, true) => on.push(Cube::minterm(self.n, t.end)),
+                (true, false) => on.extend(self.cube_minus_end(t)),
+            }
+        }
+        on
+    }
+
+    /// The OFF-set as a cover.
+    pub fn off_set(&self) -> Cover {
+        let mut off = Cover::empty();
+        for t in &self.transitions {
+            let cube = t.cube(self.n);
+            match (t.from, t.to) {
+                (true, true) => {}
+                (false, false) => off.push(cube),
+                (false, true) => off.extend(self.cube_minus_end(t)),
+                (true, false) => off.push(Cube::minterm(self.n, t.end)),
+            }
+        }
+        off
+    }
+
+    /// The transition cube with the end point removed, expressed as the
+    /// union of the maximal subcubes that fix one changing variable at its
+    /// start value. Empty when the transition is degenerate.
+    fn cube_minus_end(&self, t: &SpecTransition) -> Vec<Cube> {
+        let cube = t.cube(self.n);
+        let changing = t.start ^ t.end;
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            if changing >> i & 1 == 1 {
+                out.push(cube.with_fixed(i, t.start >> i & 1 == 1));
+            }
+        }
+        out
+    }
+
+    /// Required cubes per the Nowick–Dill conditions.
+    pub fn required_cubes(&self) -> Vec<Cube> {
+        let mut req = Vec::new();
+        for t in &self.transitions {
+            let cube = t.cube(self.n);
+            match (t.from, t.to) {
+                (true, true) => req.push(cube),
+                (false, false) => {}
+                // Rising transition: only its end point is ON; it must lie in
+                // a product (which the privileged condition then forces to be
+                // on for the remainder of the burst).
+                (false, true) => req.push(Cube::minterm(self.n, t.end)),
+                // Falling transition: each maximal ON subcube containing the
+                // start point must be held by a single product.
+                (true, false) => req.extend(self.cube_minus_end(t)),
+            }
+        }
+        // Dedup while preserving order.
+        let mut seen = HashSet::new();
+        req.retain(|c| seen.insert(*c));
+        req
+    }
+
+    /// Privileged cubes of the dynamic transitions.
+    pub fn privileged_cubes(&self) -> Vec<PrivilegedCube> {
+        let mut priv_cubes = Vec::new();
+        for t in &self.transitions {
+            if !t.is_dynamic() {
+                continue;
+            }
+            let cube = t.cube(self.n);
+            let point = if t.from { t.start } else { t.end };
+            priv_cubes.push(PrivilegedCube { cube, point });
+        }
+        let mut seen = HashSet::new();
+        priv_cubes.retain(|p| seen.insert((p.cube, p.point)));
+        priv_cubes
+    }
+
+    /// Checks that no point is assigned both 0 and 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HfminError::ConflictingSpec`] on contradiction and
+    /// [`HfminError::DegenerateDynamic`] for a dynamic transition whose
+    /// start equals its end.
+    pub fn check_consistency(&self) -> Result<(), HfminError> {
+        for t in &self.transitions {
+            if t.is_dynamic() && t.start == t.end {
+                return Err(HfminError::DegenerateDynamic { transition: *t });
+            }
+        }
+        let on = self.on_set();
+        let off = self.off_set();
+        for c_on in on.cubes() {
+            for c_off in off.cubes() {
+                if let Some(ix) = c_on.intersection(c_off) {
+                    let point = ix.points().next().expect("nonempty intersection");
+                    return Err(HfminError::ConflictingSpec { point });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `cube` is a DHF-implicant: an implicant (no OFF point) with no
+    /// illegal privileged-cube intersection.
+    pub fn is_dhf_implicant(&self, cube: &Cube, off: &Cover, privileged: &[PrivilegedCube]) -> bool {
+        if off.intersects(cube) {
+            return false;
+        }
+        privileged
+            .iter()
+            .all(|p| !cube.intersects(&p.cube) || cube.contains_point(p.point))
+    }
+
+    /// Generates DHF-prime implicants containing at least one required cube
+    /// (sufficient for covering, since the ON-set is the union of the
+    /// required cubes).
+    ///
+    /// Up to [`EXACT_PRIME_VARS`] variables the enumeration is exhaustive
+    /// (exact minimization, as in Minimalist); beyond that a set of greedy
+    /// expansion orders is used per required cube — still hazard-free by
+    /// construction, possibly not minimum (this is the synthesis run-time
+    /// pressure the paper's §4.4 size restrictions exist to contain).
+    pub fn dhf_primes(&self) -> Result<Vec<Cube>, HfminError> {
+        let off = self.off_set();
+        let privileged = self.privileged_cubes();
+        let required = self.required_cubes();
+        let mut primes: HashSet<Cube> = HashSet::new();
+        let exact = self.n <= EXACT_PRIME_VARS;
+        let mut visited: HashSet<Cube> = HashSet::new();
+        for r in &required {
+            if !self.is_dhf_implicant(r, &off, &privileged) {
+                return Err(HfminError::NoHazardFreeCover { required: *r });
+            }
+            if exact {
+                self.expand_to_primes(*r, &off, &privileged, &mut visited, &mut primes);
+            } else {
+                self.expand_heuristic(*r, &off, &privileged, &mut primes);
+            }
+        }
+        let mut out: Vec<Cube> = primes.into_iter().collect();
+        // Keep only maximal cubes.
+        out.sort_by_key(|c| c.num_literals());
+        let mut maximal: Vec<Cube> = Vec::new();
+        for c in out {
+            if !maximal.iter().any(|m| m.contains_cube(&c) && *m != c) {
+                maximal.push(c);
+            }
+        }
+        maximal.sort_unstable();
+        Ok(maximal)
+    }
+
+    /// Greedy maximal expansion under several variable orders.
+    fn expand_heuristic(
+        &self,
+        seed: Cube,
+        off: &Cover,
+        privileged: &[PrivilegedCube],
+        primes: &mut HashSet<Cube>,
+    ) {
+        let n = self.n;
+        let starts: Vec<usize> = (0..n).step_by((n / 8).max(1)).collect();
+        for (pass, &start) in starts.iter().enumerate() {
+            let mut cube = seed;
+            for k in 0..n {
+                let i = if pass % 2 == 0 { (start + k) % n } else { (start + n - k) % n };
+                if !cube.is_fixed(i) {
+                    continue;
+                }
+                let bigger = cube.with_free(i);
+                if self.is_dhf_implicant(&bigger, off, privileged) {
+                    cube = bigger;
+                }
+            }
+            primes.insert(cube);
+        }
+    }
+
+    fn expand_to_primes(
+        &self,
+        cube: Cube,
+        off: &Cover,
+        privileged: &[PrivilegedCube],
+        visited: &mut HashSet<Cube>,
+        primes: &mut HashSet<Cube>,
+    ) {
+        if !visited.insert(cube) {
+            return;
+        }
+        let mut grew = false;
+        for i in 0..self.n {
+            if !cube.is_fixed(i) {
+                continue;
+            }
+            let bigger = cube.with_free(i);
+            if self.is_dhf_implicant(&bigger, off, privileged) {
+                grew = true;
+                self.expand_to_primes(bigger, off, privileged, visited, primes);
+            }
+        }
+        if !grew {
+            primes.insert(cube);
+        }
+    }
+
+    /// Runs the complete hazard-free minimization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates specification inconsistencies and hazard-free
+    /// infeasibility; see [`HfminError`].
+    pub fn minimize(&self) -> Result<HfminResult, HfminError> {
+        self.check_consistency()?;
+        let required = self.required_cubes();
+        if required.is_empty() {
+            return Ok(HfminResult { cover: Cover::empty(), exact: true, num_primes: 0 });
+        }
+        let primes = self.dhf_primes()?;
+        let mut problem = CoveringProblem::new(required.len());
+        for p in &primes {
+            let rows: Vec<usize> = required
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| p.contains_cube(r))
+                .map(|(i, _)| i)
+                .collect();
+            problem.add_column(rows, 1, p.num_literals() as u64);
+        }
+        let solution = problem
+            .solve(200_000)
+            .expect("every required cube is a dhf-implicant contained in some prime");
+        let cover: Cover = solution.columns.iter().map(|&c| primes[c]).collect();
+        if let Some(bad) = required.iter().find(|r| !cover.some_cube_contains(r)) {
+            let holders = primes.iter().filter(|p| p.contains_cube(bad)).count();
+            panic!(
+                "DEBUG: required {bad} uncovered; {holders} primes contain it;                  exact={}, rows={}, cols={}",
+                solution.exact,
+                required.len(),
+                primes.len()
+            );
+        }
+        Ok(HfminResult { cover, exact: solution.exact, num_primes: primes.len() })
+    }
+
+    /// Verifies structurally that `cover` is a hazard-free cover of this
+    /// specification; returns a description of the first violation.
+    pub fn verify_cover(&self, cover: &Cover) -> Result<(), String> {
+        let off = self.off_set();
+        for c in cover.cubes() {
+            if off.intersects(c) {
+                return Err(format!("product {c} intersects the OFF-set"));
+            }
+        }
+        for r in self.required_cubes() {
+            if !cover.some_cube_contains(&r) {
+                return Err(format!("required cube {r} not contained in a single product"));
+            }
+        }
+        for p in self.privileged_cubes() {
+            for c in cover.cubes() {
+                if c.intersects(&p.cube) && !c.contains_point(p.point) {
+                    return Err(format!(
+                        "product {c} illegally intersects privileged cube {} (point {:#b})",
+                        p.cube, p.point
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::Tv;
+
+    /// The classic hazard example: f = x0 x1' + x1 x2 with a 1->1 transition
+    /// across x1 requires the consensus term.
+    fn consensus_spec() -> FunctionSpec {
+        let mut spec = FunctionSpec::new(3);
+        // The textbook f = x0 x1' + x1 x2 with its full ON/OFF sets.
+        spec.add_static(0b001, 0b101, true); // x0 x1' (x2 free)
+        spec.add_static(0b110, 0b111, true); // x1 x2 (x0 free)
+        spec.add_static(0b101, 0b111, true); // 1 -> 1 while x1 rises
+        for off in [0b000u64, 0b010, 0b011, 0b100] {
+            spec.add_static(off, off, false);
+        }
+        spec
+    }
+
+    #[test]
+    fn static11_requires_single_product() {
+        let spec = consensus_spec();
+        let result = spec.minimize().unwrap();
+        // Transition cube 1-1 must be inside one product; with the full
+        // OFF-set the only such implicant is the consensus term itself, so
+        // the hazard-free minimum has three products (vs two for QM).
+        let t = Cube::parse("1-1").unwrap();
+        assert!(result.cover.some_cube_contains(&t), "cover: {}", result.cover);
+        assert_eq!(result.cover.len(), 3, "cover: {}", result.cover);
+        spec.verify_cover(&result.cover).unwrap();
+        // And a ternary check agrees: with x1 = X, output stays 1.
+        assert_eq!(result.cover.eval_ternary(&[Tv::One, Tv::X, Tv::One]), Tv::One);
+    }
+
+    #[test]
+    fn conflicting_spec_detected() {
+        let mut spec = FunctionSpec::new(2);
+        spec.add_static(0b00, 0b00, true);
+        spec.add_static(0b00, 0b00, false);
+        assert!(matches!(spec.check_consistency(), Err(HfminError::ConflictingSpec { .. })));
+    }
+
+    #[test]
+    fn degenerate_dynamic_detected() {
+        let mut spec = FunctionSpec::new(2);
+        spec.add_dynamic(0b00, 0b00, false);
+        assert!(matches!(spec.check_consistency(), Err(HfminError::DegenerateDynamic { .. })));
+    }
+
+    #[test]
+    fn rising_transition_privilege() {
+        // 0 -> 1 transition from 00 to 11; function 1 only at 11.
+        let mut spec = FunctionSpec::new(2);
+        spec.add_dynamic(0b00, 0b11, false);
+        let privileged = spec.privileged_cubes();
+        assert_eq!(privileged.len(), 1);
+        assert_eq!(privileged[0].point, 0b11);
+        let result = spec.minimize().unwrap();
+        spec.verify_cover(&result.cover).unwrap();
+        // The single product must contain 11 and avoid 00,01,10 (OFF).
+        assert!(result.cover.eval(0b11));
+        assert!(!result.cover.eval(0b00));
+        assert!(!result.cover.eval(0b01));
+        assert!(!result.cover.eval(0b10));
+    }
+
+    #[test]
+    fn falling_transition_required_cubes() {
+        // 1 -> 0 from 00 to 11: ON at 00, 01, 10; OFF at 11.
+        let mut spec = FunctionSpec::new(2);
+        spec.add_dynamic(0b00, 0b11, true);
+        let req = spec.required_cubes();
+        // maximal ON subcubes containing start 00: 0- and -0.
+        assert_eq!(req.len(), 2);
+        let result = spec.minimize().unwrap();
+        spec.verify_cover(&result.cover).unwrap();
+        assert_eq!(result.cover.len(), 2);
+        assert!(result.cover.eval(0b00));
+        assert!(!result.cover.eval(0b11));
+    }
+
+    #[test]
+    fn privileged_blocks_merging() {
+        // Two functions of 3 vars. A falling transition [A=000,B=011]
+        // (cube 0--) is privileged with point 000; an unrelated stable ON
+        // region x0=1 (1--). A naive minimizer could merge ON points of the
+        // fall tail with the 1-- region; the dhf condition prevents covers
+        // whose products dip into the privileged cube without containing 000.
+        let mut spec = FunctionSpec::new(3);
+        spec.add_dynamic(0b000, 0b110, true); // changing vars 1,2 (bits1,2)
+        spec.add_static(0b001, 0b111, true); // x0=1 region all ON
+        let result = spec.minimize().unwrap();
+        spec.verify_cover(&result.cover).unwrap();
+        for c in result.cover.cubes() {
+            let pcube = Cube::spanning(3, 0b000, 0b110);
+            assert!(!c.intersects(&pcube) || c.contains_point(0b000), "bad product {c}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_gives_empty_cover() {
+        let spec = FunctionSpec::new(4);
+        let result = spec.minimize().unwrap();
+        assert!(result.cover.is_empty());
+    }
+
+    #[test]
+    fn verify_rejects_bad_cover() {
+        let spec = consensus_spec();
+        // Cover without consensus term violates the required cube.
+        let bad: Cover =
+            [Cube::parse("10-").unwrap(), Cube::parse("-11").unwrap()].into_iter().collect();
+        assert!(spec.verify_cover(&bad).is_err());
+    }
+
+    #[test]
+    fn off_and_on_sets_partition_transition_cubes() {
+        let mut spec = FunctionSpec::new(3);
+        spec.add_dynamic(0b000, 0b101, false);
+        let on = spec.on_set();
+        let off = spec.off_set();
+        let cube = Cube::spanning(3, 0b000, 0b101);
+        for p in cube.points() {
+            let in_on = on.eval(p);
+            let in_off = off.eval(p);
+            assert!(in_on ^ in_off, "point {p:#b} must be exactly one of ON/OFF");
+        }
+        assert!(on.eval(0b101));
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # bmbe-logic
+//!
+//! Two-level Boolean logic substrate for the burst-mode back-end: cube
+//! algebra, sum-of-products covers with ternary (hazard) evaluation, a unate
+//! covering solver, the Nowick–Dill **hazard-free two-level minimizer** (the
+//! core of the Minimalist-equivalent synthesizer), and a hazard-oblivious
+//! Quine–McCluskey baseline used for ablation experiments.
+//!
+//! # Examples
+//!
+//! Minimize a function with a static-1 multiple-input-change transition —
+//! the classic case where hazard-free synthesis must add a consensus term:
+//!
+//! ```
+//! use bmbe_logic::hfmin::FunctionSpec;
+//! use bmbe_logic::cover::Tv;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut spec = FunctionSpec::new(3);
+//! spec.add_static(0b001, 0b101, true); // x0 x1'
+//! spec.add_static(0b110, 0b111, true); // x1 x2
+//! spec.add_static(0b101, 0b111, true); // 1 -> 1 while x1 rises
+//! for off in [0b000u64, 0b010, 0b011, 0b100] { spec.add_static(off, off, false); }
+//! let result = spec.minimize()?;
+//! // The cover holds 1 even while x1 is mid-flight:
+//! assert_eq!(result.cover.eval_ternary(&[Tv::One, Tv::X, Tv::One]), Tv::One);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cover;
+pub mod covering;
+pub mod cube;
+pub mod hfmin;
+pub mod qm;
+
+pub use cover::{Cover, Tv};
+pub use covering::{CoveringProblem, CoveringSolution};
+pub use cube::{Cube, Point};
+pub use hfmin::{FunctionSpec, HfminError, HfminResult, PrivilegedCube, SpecTransition};

@@ -1,0 +1,154 @@
+//! A classic (hazard-oblivious) two-level minimizer, Quine–McCluskey style.
+//!
+//! Used as the baseline in the hazard ablation: minimizing the same
+//! burst-mode functions without the Nowick–Dill conditions produces smaller
+//! covers that ternary simulation then catches glitching.
+
+use crate::cover::Cover;
+use crate::covering::CoveringProblem;
+use crate::cube::Cube;
+use std::collections::HashSet;
+
+/// Minimizes a function given by ON-set and DC-set covers, ignoring hazards.
+///
+/// Generates all prime implicants of `on + dc` reachable by expanding the
+/// ON cubes, then solves the prime covering problem over the ON cubes.
+///
+/// Returns `None` if the ON-set and OFF-set (the complement of `on + dc`)
+/// cannot be separated, which cannot happen for well-formed inputs.
+pub fn minimize(n: usize, on: &Cover, dc: &Cover) -> Option<Cover> {
+    if on.is_empty() {
+        return Some(Cover::empty());
+    }
+    let is_implicant = |c: &Cube| -> bool {
+        // c must be inside on + dc.
+        let mut union = on.clone();
+        union.extend(dc.cubes().iter().copied());
+        union.covers_cube(c)
+    };
+    // Expand each ON cube to all maximal implicants.
+    let mut primes: HashSet<Cube> = HashSet::new();
+    let mut visited: HashSet<Cube> = HashSet::new();
+    for &c in on.cubes() {
+        expand(n, c, &is_implicant, &mut visited, &mut primes);
+    }
+    let primes: Vec<Cube> = {
+        let mut v: Vec<Cube> = primes.into_iter().collect();
+        v.sort_by_key(|c| c.num_literals());
+        let mut maximal: Vec<Cube> = Vec::new();
+        for c in v {
+            if !maximal.iter().any(|m| m.contains_cube(&c) && *m != c) {
+                maximal.push(c);
+            }
+        }
+        maximal.sort_unstable();
+        maximal
+    };
+    // Covering: each ON cube must be covered by the union of the selection.
+    // To keep the problem unate we require single-cube containment of each
+    // ON cube after splitting ON cubes against the primes; simplest correct
+    // approach for the small controller functions: cover ON minterms.
+    let mut rows: Vec<u64> = Vec::new();
+    for c in on.cubes() {
+        if c.num_free() > 20 {
+            return None; // guard against blowup; not hit by controllers
+        }
+        rows.extend(c.points());
+    }
+    rows.sort_unstable();
+    rows.dedup();
+    let mut problem = CoveringProblem::new(rows.len());
+    for p in &primes {
+        let covered: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| p.contains_point(m))
+            .map(|(i, _)| i)
+            .collect();
+        problem.add_column(covered, 1, p.num_literals() as u64);
+    }
+    let solution = problem.solve(200_000)?;
+    Some(solution.columns.iter().map(|&c| primes[c]).collect())
+}
+
+fn expand(
+    n: usize,
+    cube: Cube,
+    is_implicant: &dyn Fn(&Cube) -> bool,
+    visited: &mut HashSet<Cube>,
+    primes: &mut HashSet<Cube>,
+) {
+    if !visited.insert(cube) {
+        return;
+    }
+    let mut grew = false;
+    for i in 0..n {
+        if !cube.is_fixed(i) {
+            continue;
+        }
+        let bigger = cube.with_free(i);
+        if is_implicant(&bigger) {
+            grew = true;
+            expand(n, bigger, is_implicant, visited, primes);
+        }
+    }
+    if !grew {
+        primes.insert(cube);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(strs: &[&str]) -> Cover {
+        strs.iter().map(|s| Cube::parse(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn minimizes_xor_like_function() {
+        // ON = {01, 10}; OFF = {00, 11}: XOR has no merging; 2 products.
+        let on = cover(&["10", "01"]);
+        let result = minimize(2, &on, &Cover::empty()).unwrap();
+        assert_eq!(result.len(), 2);
+        assert!(result.eval(0b01));
+        assert!(result.eval(0b10));
+        assert!(!result.eval(0b00));
+        assert!(!result.eval(0b11));
+    }
+
+    #[test]
+    fn merges_adjacent_minterms() {
+        let on = cover(&["00", "10"]); // x1'=ON -> single cube -0
+        let result = minimize(2, &on, &Cover::empty()).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.cubes()[0].to_string(), "-0");
+    }
+
+    #[test]
+    fn uses_dont_cares() {
+        // ON = {11}; DC = {01, 10}: minimal cover can be x0 or x1 (1 literal).
+        let on = cover(&["11"]);
+        let dc = cover(&["01", "10"]);
+        let result = minimize(2, &on, &dc).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.cubes()[0].num_literals(), 1);
+        assert!(result.eval(0b11));
+        assert!(!result.eval(0b00));
+    }
+
+    #[test]
+    fn empty_on_set() {
+        let result = minimize(3, &Cover::empty(), &Cover::empty()).unwrap();
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn classic_consensus_function_needs_two_products_without_hazard_care() {
+        // f = x0 x1' + x1 x2 (ON minterms): hazard-oblivious minimum is 2
+        // products; the hazard-free version needs 3.
+        let on = cover(&["10-", "-11"]);
+        let result = minimize(3, &on, &Cover::empty()).unwrap();
+        assert_eq!(result.len(), 2);
+    }
+}

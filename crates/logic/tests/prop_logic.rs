@@ -1,0 +1,134 @@
+//! Property-based tests of the cube algebra and the hazard-free minimizer.
+
+use bmbe_logic::cube::Cube;
+use bmbe_logic::hfmin::FunctionSpec;
+use proptest::prelude::*;
+
+const N: usize = 6;
+
+fn arb_cube() -> impl Strategy<Value = Cube> {
+    (any::<u64>(), any::<u64>()).prop_map(|(care, value)| Cube::from_masks(N, care, value))
+}
+
+fn arb_point() -> impl Strategy<Value = u64> {
+    0u64..(1 << N)
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(c in arb_cube()) {
+        let text = c.to_string();
+        let back = Cube::parse(&text).expect("display emits valid syntax");
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn containment_is_pointwise(c in arb_cube(), d in arb_cube()) {
+        if c.contains_cube(&d) {
+            for p in d.points() {
+                prop_assert!(c.contains_point(p));
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_agrees_with_points(c in arb_cube(), d in arb_cube()) {
+        match c.intersection(&d) {
+            Some(ix) => {
+                // Every point of the intersection is in both.
+                for p in ix.points() {
+                    prop_assert!(c.contains_point(p) && d.contains_point(p));
+                }
+                prop_assert!(c.intersects(&d));
+            }
+            None => {
+                for p in c.points() {
+                    prop_assert!(!d.contains_point(p));
+                }
+                prop_assert!(!c.intersects(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn supercube_contains_both(c in arb_cube(), d in arb_cube()) {
+        let s = c.supercube(&d);
+        prop_assert!(s.contains_cube(&c));
+        prop_assert!(s.contains_cube(&d));
+    }
+
+    #[test]
+    fn spanning_cube_is_minimal(a in arb_point(), b in arb_point()) {
+        let t = Cube::spanning(N, a, b);
+        prop_assert!(t.contains_point(a));
+        prop_assert!(t.contains_point(b));
+        prop_assert_eq!(t.num_literals(), N - (a ^ b).count_ones() as usize);
+    }
+
+    #[test]
+    fn point_count_matches_enumeration(c in arb_cube()) {
+        let listed = c.points().count() as u64;
+        prop_assert_eq!(listed, c.num_points());
+    }
+}
+
+/// A burst-mode-like random function: a cycle of transitions alternating
+/// the function value, mimicking how the synthesizer specifies outputs.
+fn arb_spec() -> impl Strategy<Value = FunctionSpec> {
+    proptest::collection::vec((arb_point(), any::<bool>()), 2..8).prop_map(|steps| {
+        let mut spec = FunctionSpec::new(N);
+        let mut cur = 0u64;
+        let mut val = false;
+        // Walk a path of transitions; each step moves to a new point and
+        // may flip the function. Conflicts are avoided by the caller check.
+        for (target, flip) in steps {
+            let to_val = val ^ flip;
+            if target == cur && flip {
+                continue; // degenerate dynamic transition
+            }
+            spec.add_transition(bmbe_logic::hfmin::SpecTransition {
+                start: cur,
+                end: target,
+                from: val,
+                to: to_val,
+            });
+            cur = target;
+            val = to_val;
+        }
+        spec
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn minimizer_output_is_always_hazard_free(spec in arb_spec()) {
+        // Random walks can assign conflicting values to shared points;
+        // those are legitimately rejected. For consistent specs, the
+        // minimizer's cover must pass the independent structural check.
+        if spec.check_consistency().is_err() {
+            return Ok(());
+        }
+        match spec.minimize() {
+            Ok(result) => {
+                prop_assert!(spec.verify_cover(&result.cover).is_ok());
+            }
+            Err(bmbe_logic::hfmin::HfminError::NoHazardFreeCover { .. }) => {
+                // Theoretically possible for adversarial specs.
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn on_off_sets_never_overlap_for_consistent_specs(spec in arb_spec()) {
+        if spec.check_consistency().is_err() {
+            return Ok(());
+        }
+        let on = spec.on_set();
+        let off = spec.off_set();
+        for p in 0u64..(1 << N) {
+            prop_assert!(!(on.eval(p) && off.eval(p)), "point {:#b}", p);
+        }
+    }
+}

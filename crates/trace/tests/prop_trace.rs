@@ -1,0 +1,75 @@
+//! Property-based tests of the trace-structure engine.
+
+use bmbe_trace::{Dir, TraceStructure};
+use proptest::prelude::*;
+
+/// A random small deterministic trace structure: a handful of states with
+/// transitions over a fixed 4-symbol alphabet (2 in, 2 out).
+fn arb_ts() -> impl Strategy<Value = TraceStructure> {
+    let states = 1usize..5;
+    (states, proptest::collection::vec((0usize..4, 0usize..4, 0usize..4), 0..12)).prop_map(
+        |(n, edges)| {
+            let mut t = TraceStructure::new();
+            let i0 = t.add_symbol("i0", Dir::Input);
+            let i1 = t.add_symbol("i1", Dir::Input);
+            let o0 = t.add_symbol("o0", Dir::Output);
+            let o1 = t.add_symbol("o1", Dir::Output);
+            let syms = [i0, i1, o0, o1];
+            for _ in 1..n {
+                t.add_state();
+            }
+            for (from, sym, to) in edges {
+                t.add_transition(from % n, syms[sym], to % n);
+            }
+            t
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conformance is reflexive: every module can substitute for itself.
+    #[test]
+    fn conformance_is_reflexive(t in arb_ts()) {
+        prop_assert!(t.conforms_to(&t).expect("same alphabet"));
+    }
+
+    /// Mirroring twice is the identity on directions.
+    #[test]
+    fn mirror_is_an_involution(t in arb_ts()) {
+        let mm = t.mirror().mirror();
+        for (a, b) in t.symbols().iter().zip(mm.symbols()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Hiding all output symbols keeps input-only acceptance consistent:
+    /// any accepted visible trace of the original stays accepted.
+    #[test]
+    fn hiding_preserves_visible_acceptance(t in arb_ts()) {
+        let hidden = t.hide(&["o0", "o1"]).expect("outputs are hidable");
+        // A couple of short input-only traces.
+        for trace in [vec!["i0"], vec!["i1"], vec!["i0", "i1"]] {
+            if t.accepts(&trace).expect("alphabet") {
+                prop_assert!(hidden.accepts(&trace).expect("alphabet"),
+                    "hidden structure lost trace {trace:?}");
+            }
+        }
+    }
+
+    /// Composition with a universal partner (accepts everything) never
+    /// introduces output-choke failures.
+    #[test]
+    fn composing_with_chaos_is_failure_free(t in arb_ts()) {
+        // Chaos: one state, accepts every symbol as INPUT (it never drives).
+        let mut chaos = TraceStructure::new();
+        for (name, _) in t.symbols().to_vec() {
+            let s = chaos.add_symbol(name, Dir::Input);
+            chaos.add_transition(0, s, 0);
+        }
+        // Output conflicts can't happen: chaos only has inputs.
+        let composite = t.compose(&chaos).expect("no conflicts");
+        prop_assert!(!composite.failure_reachable);
+    }
+}

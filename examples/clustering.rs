@@ -1,0 +1,46 @@
+//! The paper's §4.1/§4.2 clustering examples, end to end: Activation
+//! Channel Removal on the decision-wait + sequencer pair (Fig. 4), and Call
+//! Distribution on the sequencer + call pair (Fig. 5), each verified by
+//! trace-theory conformance (§4.3).
+//!
+//! ```text
+//! cargo run --example clustering
+//! ```
+
+use bmbe::core::compile::compile_to_bm;
+use bmbe::core::components::{call, decision_wait, sequencer};
+use bmbe::core::opt::acr::activation_channel_removal;
+use bmbe::core::opt::cluster::{ClusterOptions, CtrlNetlist};
+use bmbe::core::opt::verify::verify_acr;
+use bmbe::core::parse::print_ch;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Fig. 4: Activation Channel Removal -----------------------------
+    let dw = decision_wait("a1", &["i1".into(), "i2".into()], &["o1".into(), "o2".into()]);
+    let seq = sequencer("o2", &["c1".into(), "c2".into()]);
+    println!("decision-wait: {}", print_ch(&dw));
+    println!("sequencer:     {}", print_ch(&seq));
+
+    let merged = activation_channel_removal(&dw, &seq, "o2", None)
+        .map_err(|e| format!("merge failed: {e}"))?;
+    println!("merged:        {}", print_ch(&merged));
+    let spec = compile_to_bm("merged", &merged)?;
+    println!("merged machine: {} states (Fig. 4 shows 11)", spec.num_states());
+
+    // §4.3-style verification: compose + hide must equal the merged program.
+    let verdict = verify_acr(&dw, &seq, "o2")?;
+    println!("trace-theory verdict: {verdict}");
+    println!();
+
+    // --- Fig. 5: Call Distribution ---------------------------------------
+    let mut netlist = CtrlNetlist::new();
+    netlist.add("seq", sequencer("a", &["b1".into(), "b2".into()]));
+    netlist.add("call", call(&["b1".into(), "b2".into()], "c"));
+    let report = netlist.t2_clustering(&ClusterOptions::default());
+    println!("call distribution: {report}");
+    let result = &netlist.components[0];
+    println!("result:        {}", print_ch(&result.program));
+    let spec = compile_to_bm("result", &result.program)?;
+    println!("result machine: {} states (Fig. 5 shows 6)", spec.num_states());
+    Ok(())
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+//! # bmbe — a Burst-Mode oriented back-end for a Balsa-like synthesis system
+//!
+//! A from-scratch Rust reproduction of *“A Burst-Mode Oriented Back-End for
+//! the Balsa Synthesis System”* (Chelcea, Bardsley, Edwards, Nowick —
+//! DATE 2002): the CH control-specification language, the clustering
+//! optimizations (Activation Channel Removal and Call Distribution), the
+//! CH-to-Burst-Mode compiler, a Minimalist-equivalent hazard-free
+//! synthesizer, a technology mapper with hazard analysis, a trace-theory
+//! verifier, a mini-Balsa front end, an event-driven simulator, and the
+//! paper's four benchmark designs.
+//!
+//! This crate re-exports the whole workspace; see the individual crates for
+//! details:
+//!
+//! * [`logic`] — cube algebra and hazard-free two-level minimization
+//! * [`hsnet`] — the handshake-component netlist IR
+//! * [`balsa`] — the mini-Balsa language and compiler
+//! * [`core`] — the CH language, CH-to-BMS, and the clustering optimizer
+//! * [`bm`] — Burst-Mode specifications and controller synthesis
+//! * [`gates`] — cell library, technology mapping, hazard analysis
+//! * [`sim`] — the discrete-event simulator
+//! * [`trace`] — Dill-style trace structures (the AVER stand-in)
+//! * [`designs`] — the four benchmark designs
+//! * [`flow`] — the end-to-end pipeline and Table 3 harness
+//!
+//! # Examples
+//!
+//! Model the paper's sequencer in CH, compile it to the six-state
+//! Burst-Mode machine of Fig. 3, and synthesize hazard-free logic:
+//!
+//! ```
+//! use bmbe::core::parse::parse_ch;
+//! use bmbe::core::compile::compile_to_bm;
+//! use bmbe::bm::synth::{synthesize, MinimizeMode};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ch = parse_ch(
+//!     "(rep (enc-early (p-to-p passive p)
+//!                      (seq (p-to-p active a1) (p-to-p active a2))))",
+//! )?;
+//! let spec = compile_to_bm("sequencer", &ch)?;
+//! assert_eq!(spec.num_states(), 6);
+//! let ctrl = synthesize(&spec, MinimizeMode::Speed)?;
+//! ctrl.verify_ternary().map_err(|e| format!("hazard: {e}"))?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub use bmbe_balsa as balsa;
+pub use bmbe_bm as bm;
+pub use bmbe_core as core;
+pub use bmbe_designs as designs;
+pub use bmbe_flow as flow;
+pub use bmbe_gates as gates;
+pub use bmbe_hsnet as hsnet;
+pub use bmbe_logic as logic;
+pub use bmbe_sim as sim;
+pub use bmbe_trace as trace;

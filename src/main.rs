@@ -1,0 +1,125 @@
+//! The `bmbe` command-line tool: drive the burst-mode back-end from files.
+//!
+//! ```text
+//! bmbe ch2bms  FILE.ch   [--dot]        compile CH to a burst-mode spec
+//! bmbe synth   FILE.ch                  ... and synthesize hazard-free logic
+//! bmbe flow    FILE.balsa [--no-opt]    run the full control flow
+//! bmbe table3                           run the paper's benchmark table
+//! ```
+
+use bmbe::bm::synth::{synthesize, MinimizeMode};
+use bmbe::bm::text::{to_bms, to_dot};
+use bmbe::core::compile::compile_to_bm;
+use bmbe::core::parse::parse_ch;
+use bmbe::designs::all_designs;
+use bmbe::flow::{run_control_flow, run_design, FlowOptions};
+use bmbe::gates::Library;
+use bmbe::sim::prims::Delays;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  bmbe ch2bms FILE.ch [--dot]\n  bmbe synth FILE.ch\n  \
+         bmbe flow FILE.balsa [--no-opt]\n  bmbe table3"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("ch2bms") => cmd_ch2bms(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("flow") => cmd_flow(&args[1..]),
+        Some("table3") => cmd_table3(),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_file(path: &str) -> Result<String, Box<dyn std::error::Error>> {
+    Ok(std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?)
+}
+
+fn cmd_ch2bms(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing CH file")?;
+    let dot = args.iter().any(|a| a == "--dot");
+    let program = parse_ch(&read_file(path)?)?;
+    let spec = compile_to_bm("machine", &program)?;
+    if dot {
+        print!("{}", to_dot(&spec));
+    } else {
+        print!("{}", to_bms(&spec));
+    }
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing CH file")?;
+    let program = parse_ch(&read_file(path)?)?;
+    let spec = compile_to_bm("machine", &program)?;
+    println!("; {} states, {} arcs", spec.num_states(), spec.arcs().len());
+    let ctrl = synthesize(&spec, MinimizeMode::Speed)?;
+    ctrl.verify_ternary().map_err(|e| format!("hazard: {e}"))?;
+    println!(
+        "; {} inputs, {} outputs, {} state bits, {} products ({} literals), hazard-free",
+        ctrl.inputs.len(),
+        ctrl.outputs.len(),
+        ctrl.num_state_bits,
+        ctrl.num_products(),
+        ctrl.num_literals()
+    );
+    for (name, cover) in ctrl.outputs.iter().zip(&ctrl.output_covers) {
+        println!("{name} = {cover}");
+    }
+    for (j, cover) in ctrl.next_state_covers.iter().enumerate() {
+        println!("y{j} = {cover}");
+    }
+    Ok(())
+}
+
+fn cmd_flow(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing mini-Balsa file")?;
+    let optimize = !args.iter().any(|a| a == "--no-opt");
+    let program = bmbe::balsa::parse(&read_file(path)?)?;
+    let design = bmbe::balsa::compile_procedure(&program.procedures[0])?;
+    let options = if optimize { FlowOptions::optimized() } else { FlowOptions::unoptimized() };
+    let flow = run_control_flow(&design, &options, &Library::cmos035())?;
+    println!(
+        "{}: {} control components -> {} controllers, {:.0} um^2 control area",
+        flow.design,
+        flow.components_before,
+        flow.controllers.len(),
+        flow.control_area
+    );
+    if let Some(report) = &flow.cluster_report {
+        println!("clustering: {report}");
+    }
+    for c in &flow.controllers {
+        println!(
+            "  {:<50} {:>3} states {:>4} products {:>8.1} um^2 {:>6.3} ns",
+            c.name,
+            c.bm_states,
+            c.controller.num_products(),
+            c.area(),
+            c.critical_delay()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_table3() -> Result<(), Box<dyn std::error::Error>> {
+    let library = Library::cmos035();
+    let delays = Delays::default();
+    for design in all_designs()? {
+        let comparison = run_design(&design, &library, &delays)?;
+        println!("{comparison}");
+    }
+    Ok(())
+}

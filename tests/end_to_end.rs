@@ -1,0 +1,70 @@
+//! End-to-end integration tests: every benchmark design through the full
+//! flow with functional checks, plus the §4.3 verification experiment.
+
+use bmbe::core::opt::verify::{run_acr_experiment, AcrVerdict};
+use bmbe::designs::all_designs;
+use bmbe::flow::{run_design, BenchError};
+use bmbe::gates::Library;
+use bmbe::sim::prims::Delays;
+
+#[test]
+fn all_four_benchmarks_run_and_check() {
+    let library = Library::cmos035();
+    let delays = Delays::default();
+    for design in all_designs().unwrap() {
+        let comparison = run_design(&design, &library, &delays)
+            .unwrap_or_else(|e: BenchError| panic!("{}: {e}", design.name));
+        assert!(
+            comparison.speed_improvement() > 0.0,
+            "{}: optimized must be faster ({comparison})",
+            design.name
+        );
+        assert!(
+            comparison.area_overhead() > 0.0,
+            "{}: the paper's area overhead must reproduce ({comparison})",
+            design.name
+        );
+    }
+}
+
+#[test]
+fn improvement_extremes_match_paper() {
+    // The paper's gradient: the control-dominated systolic counter gains
+    // the most; the datapath-dominated microprocessor core the least.
+    let library = Library::cmos035();
+    let delays = Delays::default();
+    let designs = all_designs().unwrap();
+    let improvements: Vec<(String, f64)> = designs
+        .iter()
+        .map(|d| {
+            let c = run_design(d, &library, &delays).unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            (d.name.to_string(), c.speed_improvement())
+        })
+        .collect();
+    let counter = improvements[0].1;
+    let cpu = improvements[3].1;
+    for (name, impr) in &improvements {
+        assert!(
+            counter >= *impr,
+            "counter ({counter:.1}%) must gain the most, {name} got {impr:.1}%"
+        );
+        assert!(
+            cpu <= *impr,
+            "cpu ({cpu:.1}%) must gain the least, {name} got {impr:.1}%"
+        );
+    }
+}
+
+#[test]
+fn section_4_3_verification_experiment() {
+    let rows = run_acr_experiment().unwrap();
+    assert!(rows.len() >= 9, "all legal operator pairs covered");
+    assert!(
+        rows.iter().all(|r| r.verdict != AcrVerdict::NotEquivalent),
+        "activation channel removal must be behaviour preserving: {rows:?}"
+    );
+    assert!(
+        rows.iter().any(|r| r.verdict == AcrVerdict::Equivalent),
+        "at least the enclosure merges verify"
+    );
+}

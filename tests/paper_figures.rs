@@ -1,0 +1,98 @@
+//! Integration tests pinning the paper's figures and tables: Fig. 3/4/5
+//! state counts, Table 1 legality, and Table 2 expansions, exercised
+//! through the public API of the umbrella crate.
+
+use bmbe::core::ast::{legal, ChActivity, ChExpr, InterleaveOp};
+use bmbe::core::compile::compile_to_bm;
+use bmbe::core::components::{call, decision_wait, passivator, sequencer};
+use bmbe::core::expand::expand;
+use bmbe::core::opt::acr::activation_channel_removal;
+use bmbe::core::opt::cluster::{ClusterOptions, CtrlNetlist};
+use bmbe::core::parse::parse_ch;
+
+fn names(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn fig3_state_counts() {
+    let cases: Vec<(&str, ChExpr, usize)> = vec![
+        ("sequencer", sequencer("p", &names(&["a1", "a2"])), 6),
+        ("call", call(&names(&["a1", "a2"]), "b"), 7),
+        ("passivator", passivator("a", "b"), 2),
+    ];
+    for (name, program, states) in cases {
+        let spec = compile_to_bm(name, &program).unwrap();
+        assert_eq!(spec.num_states(), states, "{name}");
+    }
+}
+
+#[test]
+fn fig4_activation_channel_removal() {
+    let dw = decision_wait("a1", &names(&["i1", "i2"]), &names(&["o1", "o2"]));
+    let seq = sequencer("o2", &names(&["c1", "c2"]));
+    let merged = activation_channel_removal(&dw, &seq, "o2", None).unwrap();
+    let spec = compile_to_bm("merged", &merged).unwrap();
+    assert_eq!(spec.num_states(), 11);
+}
+
+#[test]
+fn fig5_call_distribution() {
+    let mut netlist = CtrlNetlist::new();
+    netlist.add("seq", sequencer("a", &names(&["b1", "b2"])));
+    netlist.add("call", call(&names(&["b1", "b2"]), "c"));
+    let report = netlist.t2_clustering(&ClusterOptions::default());
+    assert_eq!(report.distributed_calls.len(), 1);
+    assert_eq!(netlist.components.len(), 1);
+    let spec = compile_to_bm("result", &netlist.components[0].program).unwrap();
+    assert_eq!(spec.num_states(), 6);
+}
+
+#[test]
+fn table1_row_count_and_totals() {
+    use ChActivity::{Active, Passive};
+    // The paper's Table 1 has 24 cells, 13 "yes" (3+2+3+3+1+1).
+    let mut yes = 0;
+    for op in InterleaveOp::ALL {
+        for a in [Active, Passive] {
+            for b in [Active, Passive] {
+                if legal(op, a, b) {
+                    yes += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(yes, 13);
+}
+
+#[test]
+fn table2_enc_early_passive_active() {
+    // The expansion shown in §3 of the paper.
+    let e = parse_ch("(enc-early (p-to-p passive a) (p-to-p active b))").unwrap();
+    let x = expand(&e).unwrap();
+    assert_eq!(
+        x.to_string(),
+        "[(i a_r +) (o b_r +) (i b_a +) (o b_r -) (i b_a -)][(o a_a +)][(i a_r -)][(o a_a -)]"
+    );
+}
+
+#[test]
+fn paper_text_examples_parse() {
+    // Every CH program printed verbatim in the paper parses and compiles.
+    let texts = [
+        "(rep (enc-early (p-to-p passive P) (seq (p-to-p active A1) (p-to-p active A2))))",
+        "(rep (mutex (enc-early (p-to-p passive A1) (p-to-p active B)) \
+                     (enc-early (p-to-p passive A2) (p-to-p active B))))",
+        "(rep (enc-middle (p-to-p passive A) (p-to-p passive B)))",
+        "(rep (enc-early (p-to-p passive a1) (mutex \
+            (enc-early (p-to-p passive i1) (p-to-p active o1)) \
+            (enc-early (p-to-p passive i2) (p-to-p active o2)))))",
+        "(rep (enc-early (p-to-p passive o2) (seq (p-to-p active c1) (p-to-p active c2))))",
+        "(rep (enc-early (p-to-p passive a) (seq (enc-early void (p-to-p active c)) \
+            (enc-early void (p-to-p active c)))))",
+    ];
+    for text in texts {
+        let program = parse_ch(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        compile_to_bm("t", &program).unwrap_or_else(|e| panic!("{text}: {e}"));
+    }
+}
