@@ -2,14 +2,17 @@
 //! levels separately (three Verilog modules) denies the mapper cross-level
 //! merges and costs area.
 
-use bmbe_bm::synth::{synthesize, MinimizeMode};
-use bmbe_core::{balsa_to_ch, compile_to_bm, ClusterOptions};
+use bmbe_bm::synth::MinimizeMode;
+use bmbe_core::{balsa_to_ch, ClusterOptions};
 use bmbe_designs::all_designs;
-use bmbe_gates::{map, Library, MapObjective, MapStyle, SubjectGraph};
-use bmbe_logic::Cover;
+use bmbe_flow::ControllerCache;
+use bmbe_gates::{Library, MapObjective, MapStyle};
 
 fn main() {
     let lib = Library::cmos035();
+    // One cache across designs and both mapping styles: each (shape, style)
+    // pair is synthesized and mapped once.
+    let cache = ControllerCache::new();
     println!("Ablation: split-module vs whole-controller technology mapping (area um2)");
     for design in all_designs().expect("designs build") {
         let mut ctrl = balsa_to_ch(&design.compiled.netlist).expect("translates");
@@ -17,18 +20,20 @@ fn main() {
         let mut split = 0.0;
         let mut whole = 0.0;
         for c in &ctrl.components {
-            let spec = compile_to_bm(&c.name, &c.program).expect("compiles");
-            let syn = synthesize(&spec, MinimizeMode::Speed).expect("synthesizes");
-            let functions: Vec<(String, &Cover)> = syn
-                .outputs
-                .iter()
-                .cloned()
-                .chain((0..syn.num_state_bits).map(|j| format!("y{j}")))
-                .zip(syn.output_covers.iter().chain(syn.next_state_covers.iter()))
-                .collect();
-            let subject = SubjectGraph::from_covers(syn.num_vars(), &functions);
-            split += map(&subject, &lib, MapObjective::Area, MapStyle::SplitModules).area;
-            whole += map(&subject, &lib, MapObjective::Area, MapStyle::WholeController).area;
+            for (style, acc) in
+                [(MapStyle::SplitModules, &mut split), (MapStyle::WholeController, &mut whole)]
+            {
+                let (artifact, _) = cache
+                    .get_or_synthesize(
+                        &c.program,
+                        MinimizeMode::Speed,
+                        MapObjective::Area,
+                        style,
+                        &lib,
+                    )
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", c.name));
+                *acc += artifact.mapped.area;
+            }
         }
         println!(
             "{:<22} split {:>8.0}  whole {:>8.0}  (split penalty {:+.1}%)",
@@ -38,4 +43,9 @@ fn main() {
             100.0 * (split - whole) / whole.max(1.0)
         );
     }
+    let stats = cache.stats();
+    println!(
+        "(controller cache: {} unique shape/style pairs synthesized, {} served from cache)",
+        stats.misses, stats.hits
+    );
 }

@@ -2,11 +2,17 @@
 //! mode (shared identical products) — product and literal counts per
 //! benchmark controller set.
 
-use bmbe_bm::synth::{synthesize, MinimizeMode};
-use bmbe_core::{balsa_to_ch, compile_to_bm, ClusterOptions};
+use bmbe_bm::synth::MinimizeMode;
+use bmbe_core::{balsa_to_ch, ClusterOptions};
 use bmbe_designs::all_designs;
+use bmbe_flow::ControllerCache;
+use bmbe_gates::{Library, MapObjective, MapStyle};
 
 fn main() {
+    let library = Library::cmos035();
+    // Repeated component shapes (across clusters and across designs) are
+    // synthesized once through the content-addressed cache.
+    let cache = ControllerCache::new();
     println!("Ablation: minimization mode (products / distinct products)");
     for design in all_designs().expect("designs build") {
         let mut ctrl = balsa_to_ch(&design.compiled.netlist).expect("translates");
@@ -14,10 +20,17 @@ fn main() {
         let mut total = 0usize;
         let mut distinct = 0usize;
         for c in &ctrl.components {
-            let spec = compile_to_bm(&c.name, &c.program).expect("compiles");
-            let syn = synthesize(&spec, MinimizeMode::Speed).expect("synthesizes");
-            total += syn.num_products();
-            distinct += syn.num_distinct_products();
+            let (artifact, _) = cache
+                .get_or_synthesize(
+                    &c.program,
+                    MinimizeMode::Speed,
+                    MapObjective::Delay,
+                    MapStyle::SplitModules,
+                    &library,
+                )
+                .unwrap_or_else(|e| panic!("{}: {e:?}", c.name));
+            total += artifact.controller.num_products();
+            distinct += artifact.controller.num_distinct_products();
         }
         println!(
             "{:<22} speed-mode products {:>4}, shareable (area mode) {:>4}  ({:.1}% duplication)",
@@ -27,4 +40,9 @@ fn main() {
             100.0 * (total - distinct) as f64 / total.max(1) as f64
         );
     }
+    let stats = cache.stats();
+    println!(
+        "(controller cache: {} unique shapes synthesized, {} served from cache)",
+        stats.misses, stats.hits
+    );
 }

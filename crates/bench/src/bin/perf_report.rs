@@ -1,0 +1,135 @@
+//! Performance report for the parallel, content-addressed back-end: times
+//! the seed's serial uncached pipeline against the cached + parallel
+//! pipeline on every benchmark design and writes `BENCH_flow.json`.
+//!
+//! Run with `--release`; the debug build is an order of magnitude slower.
+
+use bmbe_flow::{run_control_flow, run_control_flow_with, ControllerCache, FlowOptions};
+use bmbe_designs::all_designs;
+use bmbe_gates::Library;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
+
+/// Median wall-clock seconds over `SAMPLES` runs (after one warm-up).
+fn median_secs<F: FnMut()>(mut routine: F) -> f64 {
+    routine(); // warm-up, untimed
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    design: String,
+    components: usize,
+    serial_s: f64,
+    cached_s: f64,
+    warm_s: f64,
+    hits: usize,
+    misses: usize,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.serial_s / self.cached_s
+    }
+}
+
+fn main() {
+    let library = Library::cmos035();
+    let threads = bmbe_par::default_threads();
+    let designs = all_designs().expect("shipped designs build");
+    let mut rows = Vec::new();
+    for design in &designs {
+        let serial_s = median_secs(|| {
+            black_box(
+                run_control_flow(
+                    &design.compiled,
+                    &FlowOptions::optimized().serial_uncached(),
+                    &library,
+                )
+                .expect("serial flow"),
+            );
+        });
+        // Fresh cache every run: cold-cache dedup + parallel fan-out, the
+        // honest comparison against the seed.
+        let cached_s = median_secs(|| {
+            black_box(
+                run_control_flow(&design.compiled, &FlowOptions::optimized(), &library)
+                    .expect("cached flow"),
+            );
+        });
+        let warm = ControllerCache::new();
+        let warm_s = median_secs(|| {
+            black_box(
+                run_control_flow_with(&design.compiled, &FlowOptions::optimized(), &library, &warm)
+                    .expect("warm flow"),
+            );
+        });
+        let result = run_control_flow(&design.compiled, &FlowOptions::optimized(), &library)
+            .expect("cached flow");
+        rows.push(Row {
+            design: design.name.to_string(),
+            components: result.controllers.len(),
+            serial_s,
+            cached_s,
+            warm_s,
+            hits: result.cache_hits,
+            misses: result.cache_misses,
+        });
+    }
+
+    println!(
+        "flow perf ({threads} threads, median of {SAMPLES} runs; cold = fresh cache per run)"
+    );
+    println!(
+        "{:<22} {:>5} {:>12} {:>12} {:>9} {:>12} {:>6} {:>6}",
+        "design", "ctrl", "serial s", "cold s", "speedup", "warm s", "hits", "miss"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>5} {:>12.4} {:>12.4} {:>8.2}x {:>12.4} {:>6} {:>6}",
+            r.design,
+            r.components,
+            r.serial_s,
+            r.cached_s,
+            r.speedup(),
+            r.warm_s,
+            r.hits,
+            r.misses
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"flow_e2e\",\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"samples\": {SAMPLES},");
+    json.push_str("  \"designs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"design\": \"{}\", \"controllers\": {}, \"serial_uncached_s\": {:.6}, \
+             \"cached_parallel_s\": {:.6}, \"speedup\": {:.3}, \"warm_cache_s\": {:.6}, \
+             \"cache_hits\": {}, \"cache_misses\": {}}}",
+            r.design,
+            r.components,
+            r.serial_s,
+            r.cached_s,
+            r.speedup(),
+            r.warm_s,
+            r.hits,
+            r.misses
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_flow.json", &json).expect("write BENCH_flow.json");
+    println!("\nwrote BENCH_flow.json");
+}

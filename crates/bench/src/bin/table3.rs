@@ -5,13 +5,16 @@
 
 use bmbe_bench::paper::TABLE3;
 use bmbe_designs::all_designs;
-use bmbe_flow::run_design;
+use bmbe_flow::{run_design_with, ControllerCache};
 use bmbe_gates::Library;
 use bmbe_sim::prims::Delays;
 
 fn main() {
     let library = Library::cmos035();
     let delays = Delays::default();
+    // One cache for the whole table: shapes shared between designs and
+    // between the unoptimized/optimized sides are synthesized once.
+    let cache = ControllerCache::new();
     let designs = all_designs().expect("shipped designs build");
     println!("Table 3: Experimental Results (measured vs paper)");
     println!(
@@ -19,7 +22,7 @@ fn main() {
         "", "unopt ns", "opt ns", "impr %", "paper", "unopt um2", "opt um2", "ovhd %", "paper"
     );
     for (design, paper) in designs.iter().zip(TABLE3.iter()) {
-        let c = run_design(design, &library, &delays)
+        let c = run_design_with(design, &library, &delays, &cache)
             .unwrap_or_else(|e| panic!("{}: {e}", design.name));
         println!(
             "{:<22} {:>10.2} {:>10.2} {:>8.2} {:>7.2} | {:>10.0} {:>10.0} {:>8.2} {:>7.2}",
@@ -35,6 +38,11 @@ fn main() {
         );
     }
     println!();
+    let stats = cache.stats();
+    println!(
+        "(controller cache: {} unique shapes synthesized, {} instances served from cache)",
+        stats.misses, stats.hits
+    );
     println!("(absolute values are not comparable: the paper used the AMS 0.35um");
     println!(" library with post-layout back-annotation; see DESIGN.md substitutions.");
     println!(" The shape to check: positive improvements ordered control-dominated");

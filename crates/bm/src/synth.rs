@@ -157,6 +157,17 @@ impl Controller {
         v
     }
 
+    /// Rewrites every primary input and output name through `f`. Used by
+    /// the flow's controller cache to re-instantiate a controller
+    /// synthesized under canonical channel names with a component's actual
+    /// names; covers, state codes, and function specs are index-based and
+    /// untouched.
+    pub fn rename_signals<F: Fn(&str) -> String>(&mut self, f: F) {
+        for name in self.inputs.iter_mut().chain(self.outputs.iter_mut()) {
+            *name = f(name);
+        }
+    }
+
     /// Eichelberger-style ternary verification of every specified
     /// transition of every function: during a burst the changing variables
     /// are set to `X`; a static transition must never glitch (never read

@@ -296,6 +296,121 @@ impl ChExpr {
             }
         }
     }
+
+    /// Whether the expression contains a `verb` channel anywhere. Verb wire
+    /// names are used verbatim (not `chan_suffix`), so verb programs cannot
+    /// be alpha-renamed.
+    pub fn contains_verb(&self) -> bool {
+        match self {
+            ChExpr::Verb { .. } => true,
+            ChExpr::PToP { .. }
+            | ChExpr::MultAck { .. }
+            | ChExpr::MultReq { .. }
+            | ChExpr::Void
+            | ChExpr::Break => false,
+            ChExpr::MuxAck { arms, .. } | ChExpr::MuxReq { arms, .. } => {
+                arms.iter().any(|(_, e)| e.contains_verb())
+            }
+            ChExpr::Rep(e) => e.contains_verb(),
+            ChExpr::Op { a, b, .. } => a.contains_verb() || b.contains_verb(),
+        }
+    }
+
+    /// Channel names in first-occurrence order of a left-to-right,
+    /// depth-first traversal — the order in which the four-phase expansion
+    /// first mentions each channel, and hence a structural (name-free)
+    /// ordering.
+    pub fn channel_order(&self) -> Vec<String> {
+        let mut order = Vec::new();
+        self.collect_channel_order(&mut order);
+        order
+    }
+
+    fn collect_channel_order(&self, order: &mut Vec<String>) {
+        let push = |name: &String, order: &mut Vec<String>| {
+            if !order.iter().any(|n| n == name) {
+                order.push(name.clone());
+            }
+        };
+        match self {
+            ChExpr::PToP { name, .. }
+            | ChExpr::MultAck { name, .. }
+            | ChExpr::MultReq { name, .. }
+            | ChExpr::Verb { name, .. } => push(name, order),
+            ChExpr::MuxAck { name, arms } | ChExpr::MuxReq { name, arms } => {
+                push(name, order);
+                for (_, e) in arms {
+                    e.collect_channel_order(order);
+                }
+            }
+            ChExpr::Void | ChExpr::Break => {}
+            ChExpr::Rep(e) => e.collect_channel_order(order),
+            ChExpr::Op { a, b, .. } => {
+                a.collect_channel_order(order);
+                b.collect_channel_order(order);
+            }
+        }
+    }
+
+    /// Applies a simultaneous channel renaming: every channel whose name is
+    /// a key of `map` is renamed to the mapped value; others are untouched.
+    /// Unlike chained [`ChExpr::rename_channel`] calls, a simultaneous
+    /// application cannot capture (rename through) another entry's target
+    /// name.
+    pub fn rename_channels(&self, map: &std::collections::HashMap<String, String>) -> ChExpr {
+        let rename = |name: &String| map.get(name).cloned().unwrap_or_else(|| name.clone());
+        match self {
+            ChExpr::PToP { activity, name } => {
+                ChExpr::PToP { activity: *activity, name: rename(name) }
+            }
+            ChExpr::MultAck { activity, name, n } => {
+                ChExpr::MultAck { activity: *activity, name: rename(name), n: *n }
+            }
+            ChExpr::MultReq { activity, name, n } => {
+                ChExpr::MultReq { activity: *activity, name: rename(name), n: *n }
+            }
+            ChExpr::MuxAck { name, arms } => ChExpr::MuxAck {
+                name: rename(name),
+                arms: arms.iter().map(|(op, e)| (*op, e.rename_channels(map))).collect(),
+            },
+            ChExpr::MuxReq { name, arms } => ChExpr::MuxReq {
+                name: rename(name),
+                arms: arms.iter().map(|(op, e)| (*op, e.rename_channels(map))).collect(),
+            },
+            ChExpr::Void => ChExpr::Void,
+            ChExpr::Break => ChExpr::Break,
+            ChExpr::Verb { .. } => self.clone(),
+            ChExpr::Rep(e) => ChExpr::Rep(Box::new(e.rename_channels(map))),
+            ChExpr::Op { op, a, b } => {
+                ChExpr::op(*op, a.rename_channels(map), b.rename_channels(map))
+            }
+        }
+    }
+}
+
+/// Alpha-renames an expression into canonical form: the `i`-th channel (in
+/// [`ChExpr::channel_order`]) becomes `k{i}`. Two expressions that differ
+/// only in channel names produce identical canonical forms, which is what
+/// makes the printed canonical text a content address for the flow's
+/// controller cache.
+///
+/// Returns the canonical expression plus the original channel names in
+/// canonical order (`result.1[i]` is the channel that became `k{i}`), so a
+/// wire `k{i}_suffix` of an artifact synthesized from the canonical form
+/// can be mapped back to `{result.1[i]}_suffix`. Canonical names contain no
+/// underscore, so the suffix split is unambiguous.
+///
+/// Returns `None` when the expression contains a `verb` channel (verb wire
+/// names are verbatim and cannot be renamed); such programs are cached
+/// under their literal printed text instead.
+pub fn alpha_rename(expr: &ChExpr) -> Option<(ChExpr, Vec<String>)> {
+    if expr.contains_verb() {
+        return None;
+    }
+    let order = expr.channel_order();
+    let map: std::collections::HashMap<String, String> =
+        order.iter().enumerate().map(|(i, name)| (name.clone(), format!("k{i}"))).collect();
+    Some((expr.rename_channels(&map), order))
 }
 
 /// Table 1 of the paper: whether an operator applied to arguments of the

@@ -1,7 +1,8 @@
 //! Side-by-side unoptimized/optimized runs (the Table 3 harness).
 
 use crate::area::datapath_area;
-use crate::pipeline::{run_control_flow, FlowError, FlowOptions, FlowResult};
+use crate::cache::ControllerCache;
+use crate::pipeline::{run_control_flow_with, FlowError, FlowOptions, FlowResult};
 use crate::simbuild::{simulate, Scenario, SimBuildError, SimOutcome};
 use bmbe_balsa::CompiledDesign;
 use bmbe_gates::Library;
@@ -116,8 +117,25 @@ pub fn compare(
     library: &Library,
     delays: &Delays,
 ) -> Result<Comparison, ExperimentError> {
-    let unopt = run_control_flow(design, &FlowOptions::unoptimized(), library)?;
-    let opt = run_control_flow(design, &FlowOptions::optimized(), library)?;
+    compare_with(design, scenario, library, delays, &ControllerCache::new())
+}
+
+/// [`compare`] with a caller-supplied controller cache, so shapes shared
+/// between the unoptimized and optimized flows — and, when the caller
+/// reuses the cache, across designs — are synthesized once.
+///
+/// # Errors
+///
+/// See [`ExperimentError`].
+pub fn compare_with(
+    design: &CompiledDesign,
+    scenario: &Scenario,
+    library: &Library,
+    delays: &Delays,
+    cache: &ControllerCache,
+) -> Result<Comparison, ExperimentError> {
+    let unopt = run_control_flow_with(design, &FlowOptions::unoptimized(), library, cache)?;
+    let opt = run_control_flow_with(design, &FlowOptions::optimized(), library, cache)?;
     let unopt_run = simulate(design, &unopt, scenario, delays)?;
     if !unopt_run.completed {
         return Err(ExperimentError::Incomplete { side: "unoptimized", at_ns: unopt_run.time_ns });

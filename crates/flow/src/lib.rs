@@ -13,6 +13,7 @@
 //! improvement, overhead).
 
 pub mod area;
+pub mod cache;
 pub mod experiment;
 pub mod pipeline;
 pub mod simbuild;
@@ -20,10 +21,14 @@ pub mod table3;
 pub mod templates;
 
 pub use area::{component_area, datapath_area};
-pub use experiment::{compare, Comparison};
-pub use pipeline::{run_control_flow, ControllerArtifact, FlowError, FlowOptions, FlowResult};
+pub use cache::{CacheKey, CacheStats, ControllerCache, KeyedProgram, SynthArtifact};
+pub use experiment::{compare, compare_with, Comparison};
+pub use pipeline::{
+    run_control_flow, run_control_flow_with, ControllerArtifact, FlowError, FlowOptions,
+    FlowResult,
+};
 pub use templates::{template_of, template_table, Template};
-pub use table3::{check_outcome, run_design, to_flow_scenario, BenchError};
+pub use table3::{check_outcome, run_design, run_design_with, to_flow_scenario, BenchError};
 pub use simbuild::{simulate, Done, Scenario, SimBuildError, SimOutcome};
 
 #[cfg(test)]

@@ -1,18 +1,20 @@
 //! The back-end pipeline of Fig. 1: partition → Balsa-to-CH → clustering →
 //! CH-to-BMS → Minimalist synthesis → technology mapping → hazard analysis.
 
+use crate::cache::{
+    synthesize_shape, ControllerCache, KeyedProgram, ShapeError, SynthArtifact,
+};
 use crate::templates::{template_table, Template};
 use bmbe_balsa::CompiledDesign;
-use bmbe_bm::statemin::minimize_states;
-use bmbe_bm::synth::{synthesize, Controller, MinimizeMode, SynthError};
+use bmbe_bm::synth::{Controller, MinimizeMode, SynthError};
 use bmbe_core::balsa_to_ch::{balsa_to_ch, TranslateError};
-use bmbe_core::compile::{compile_to_bm, CompileError};
+use bmbe_core::compile::CompileError;
 use bmbe_core::opt::cluster::{ClusterOptions, ClusterReport};
-use bmbe_gates::{
-    map as techmap, Library, MapObjective, MapStyle, MappedNetlist, SubjectGraph,
-};
-use bmbe_logic::Cover;
+use bmbe_gates::{Library, MapObjective, MapStyle, MappedNetlist};
+use bmbe_par::par_map;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Flow configuration.
 #[derive(Debug, Clone)]
@@ -31,6 +33,18 @@ pub struct FlowOptions {
     /// area/latency (stock Balsa's baseline, §6) instead of the figures of
     /// their individually synthesized controllers.
     pub use_templates: bool,
+    /// Memoize synthesis through the content-addressed controller cache so
+    /// structurally identical components are synthesized once. Off = the
+    /// original per-instance path (each component compiled from its own
+    /// program); the two paths produce identical product counts, areas, and
+    /// delays.
+    pub cache: bool,
+    /// Worker threads for the per-component synthesis fan-out. `None` uses
+    /// [`bmbe_par::default_threads`] (the `BMBE_THREADS` environment
+    /// variable, or every available core); `Some(1)` forces the serial
+    /// path. Results are identical (same order, same artifacts, same first
+    /// error) regardless of the thread count.
+    pub threads: Option<usize>,
 }
 
 impl FlowOptions {
@@ -44,6 +58,8 @@ impl FlowOptions {
             map_style: MapStyle::SplitModules,
             cluster: ClusterOptions::default(),
             use_templates: false,
+            cache: true,
+            threads: None,
         }
     }
 
@@ -51,6 +67,15 @@ impl FlowOptions {
     /// component per handshake component, no clustering.
     pub fn unoptimized() -> Self {
         FlowOptions { optimize: false, use_templates: true, ..Self::optimized() }
+    }
+
+    /// The seed's serial, uncached behaviour: per-instance synthesis on one
+    /// thread. The reference against which the cached/parallel path is
+    /// checked bit-identical.
+    pub fn serial_uncached(mut self) -> Self {
+        self.cache = false;
+        self.threads = Some(1);
+        self
     }
 }
 
@@ -152,6 +177,13 @@ pub struct FlowResult {
     pub cluster_report: Option<ClusterReport>,
     /// Total control cell area (µm²).
     pub control_area: f64,
+    /// Components whose controller came out of the content-addressed cache
+    /// (an earlier run sharing the cache, or a structurally identical
+    /// component of this run). Zero when the cache is disabled.
+    pub cache_hits: usize,
+    /// Unique controller shapes synthesized by this run (every component
+    /// when the cache is disabled).
+    pub cache_misses: usize,
 }
 
 impl FlowResult {
@@ -161,7 +193,65 @@ impl FlowResult {
     }
 }
 
-/// Runs the control back-end on a compiled design.
+impl ShapeError {
+    /// Attaches the component name, producing the flow-level error the
+    /// serial path would have reported.
+    fn into_flow(self, component: String) -> FlowError {
+        match self {
+            ShapeError::Compile(error) => FlowError::Compile { component, error },
+            ShapeError::Synth(error) => FlowError::Synth { component, error },
+            ShapeError::Hazard(detail) => FlowError::Hazard { component, detail },
+            ShapeError::MappedHazard(detail) => FlowError::MappedHazard { component, detail },
+        }
+    }
+}
+
+/// Re-materializes a cached canonical artifact as one component's
+/// controller: clones the shape, renames canonical wires back to the
+/// component's channel names, and attaches the instance name.
+fn instantiate(
+    shape: &SynthArtifact,
+    keyed: &KeyedProgram,
+    name: &str,
+    program: &bmbe_core::ast::ChExpr,
+    template: Option<Template>,
+) -> ControllerArtifact {
+    let mut controller = shape.controller.clone();
+    controller.name = name.to_string();
+    controller.rename_signals(|wire| keyed.rename_wire(wire));
+    let mut mapped = shape.mapped.clone();
+    mapped.rename_roots(|wire| keyed.rename_wire(wire));
+    ControllerArtifact {
+        name: name.to_string(),
+        bm_states: shape.bm_states,
+        controller,
+        mapped,
+        program: program.clone(),
+        template,
+    }
+}
+
+/// Runs one component through the per-shape chain under its own name and
+/// program (the uncached path, and the error-reporting path of the cached
+/// one).
+fn synthesize_direct(
+    name: &str,
+    program: &bmbe_core::ast::ChExpr,
+    options: &FlowOptions,
+    library: &Library,
+) -> Result<SynthArtifact, ShapeError> {
+    synthesize_shape(
+        name,
+        program,
+        options.minimize_mode,
+        options.map_objective,
+        options.map_style,
+        library,
+    )
+}
+
+/// Runs the control back-end on a compiled design with a private,
+/// run-local controller cache.
 ///
 /// # Errors
 ///
@@ -171,6 +261,30 @@ pub fn run_control_flow(
     options: &FlowOptions,
     library: &Library,
 ) -> Result<FlowResult, FlowError> {
+    run_control_flow_with(design, options, library, &ControllerCache::new())
+}
+
+/// Runs the control back-end on a compiled design, reusing (and growing)
+/// the given controller cache. Sharing one cache across runs lets the
+/// bench drivers synthesize each controller shape once across all four
+/// benchmark designs and both sides of an unoptimized/optimized
+/// comparison.
+///
+/// The per-component loop fans out across threads (see
+/// [`FlowOptions::threads`]): unique cache misses are deduplicated first,
+/// so only distinct shapes occupy workers. Component order, artifacts, and
+/// the first failing component's error are identical to the serial
+/// uncached path.
+///
+/// # Errors
+///
+/// See [`FlowError`]; every stage re-verifies its output.
+pub fn run_control_flow_with(
+    design: &CompiledDesign,
+    options: &FlowOptions,
+    library: &Library,
+    cache: &ControllerCache,
+) -> Result<FlowResult, FlowError> {
     let mut ctrl = balsa_to_ch(&design.netlist)?;
     let components_before = ctrl.components.len();
     let cluster_report = if options.optimize {
@@ -179,62 +293,121 @@ pub fn run_control_flow(
         None
     };
     let templates = if options.use_templates { template_table(&design.netlist) } else { Default::default() };
-    let mut controllers = Vec::new();
-    let mut control_area = 0.0;
-    for comp in &ctrl.components {
-        let spec = compile_to_bm(&comp.name, &comp.program).map_err(|error| {
-            FlowError::Compile { component: comp.name.clone(), error }
-        })?;
-        // State minimization (Minimalist's reduction step) before assignment.
-        let spec = minimize_states(&spec)
-            .map(|r| r.spec)
-            .map_err(|error| FlowError::Compile {
-                component: comp.name.clone(),
-                error: bmbe_core::CompileError::Bm(error),
-            })?;
-        let controller = synthesize(&spec, options.minimize_mode)
-            .map_err(|error| FlowError::Synth { component: comp.name.clone(), error })?;
-        controller.verify_ternary().map_err(|detail| FlowError::Hazard {
-            component: comp.name.clone(),
-            detail,
-        })?;
-        let functions: Vec<(String, &Cover)> = controller
-            .outputs
+    let threads = options.threads.unwrap_or_else(bmbe_par::default_threads);
+
+    let mut controllers = Vec::with_capacity(ctrl.components.len());
+    let cache_hits;
+    let cache_misses;
+    if options.cache {
+        // Key every component, probe the cache, and fan the unique misses
+        // out across workers.
+        let keyed: Vec<KeyedProgram> = ctrl
+            .components
             .iter()
-            .cloned()
-            .chain((0..controller.num_state_bits).map(|j| format!("y{j}")))
-            .zip(controller.output_covers.iter().chain(controller.next_state_covers.iter()))
+            .map(|comp| {
+                KeyedProgram::new(
+                    &comp.program,
+                    options.minimize_mode,
+                    options.map_objective,
+                    options.map_style,
+                )
+            })
             .collect();
-        let subject = match options.minimize_mode {
-            MinimizeMode::Speed => SubjectGraph::from_covers(controller.num_vars(), &functions),
-            MinimizeMode::Area => {
-                SubjectGraph::from_covers_shared(controller.num_vars(), &functions)
-            }
-        };
-        let mapped = techmap(&subject, library, options.map_objective, options.map_style);
-        let violations = bmbe_gates::verify_mapped(&controller, &mapped);
-        if let Some(v) = violations.first() {
-            return Err(FlowError::MappedHazard {
-                component: comp.name.clone(),
-                detail: v.to_string(),
+        let mut shapes: HashMap<&crate::cache::CacheKey, Option<Arc<SynthArtifact>>> =
+            HashMap::new();
+        let mut pending: Vec<&KeyedProgram> = Vec::new();
+        for k in &keyed {
+            shapes.entry(&k.key).or_insert_with(|| {
+                let found = cache.peek(&k.key);
+                if found.is_none() {
+                    pending.push(k);
+                }
+                found
             });
         }
-        let template = templates.get(&comp.name).copied();
-        control_area += template.map_or(mapped.area, |t| t.area);
-        controllers.push(ControllerArtifact {
-            name: comp.name.clone(),
-            bm_states: spec.num_states(),
-            controller,
-            mapped,
-            program: comp.program.clone(),
-            template,
-        });
+        cache_misses = pending.len();
+        cache_hits = ctrl.components.len() - cache_misses;
+        cache.record(cache_hits, cache_misses);
+        let synthesized: Vec<Result<SynthArtifact, ShapeError>> =
+            par_map(&pending, threads, |_, k| {
+                synthesize_direct("shape", &k.canonical, options, library)
+            });
+        let mut failed: HashMap<&crate::cache::CacheKey, ShapeError> = HashMap::new();
+        for (k, result) in pending.iter().zip(synthesized) {
+            match result {
+                Ok(artifact) => {
+                    let artifact = Arc::new(artifact);
+                    cache.store(k.key.clone(), artifact.clone());
+                    shapes.insert(&k.key, Some(artifact));
+                }
+                Err(e) => {
+                    failed.insert(&k.key, e);
+                }
+            }
+        }
+        // Assemble in component order; the first component whose shape
+        // failed reports the error the serial path would have raised (the
+        // shape is re-run under the component's own names so the error
+        // text matches exactly).
+        for (comp, k) in ctrl.components.iter().zip(&keyed) {
+            let artifact = match shapes.get(&k.key) {
+                Some(Some(artifact)) => {
+                    let template = templates.get(&comp.name).copied();
+                    instantiate(artifact, k, &comp.name, &comp.program, template)
+                }
+                _ => {
+                    debug_assert!(failed.contains_key(&k.key));
+                    match synthesize_direct(&comp.name, &comp.program, options, library) {
+                        Err(e) => return Err(e.into_flow(comp.name.clone())),
+                        // Name-dependent divergence (canonical failed,
+                        // direct succeeded) — use the direct artifact and
+                        // leave the shape uncached.
+                        Ok(shape) => {
+                            let template = templates.get(&comp.name).copied();
+                            ControllerArtifact {
+                                name: comp.name.clone(),
+                                bm_states: shape.bm_states,
+                                controller: shape.controller,
+                                mapped: shape.mapped,
+                                program: comp.program.clone(),
+                                template,
+                            }
+                        }
+                    }
+                }
+            };
+            controllers.push(artifact);
+        }
+    } else {
+        cache_hits = 0;
+        cache_misses = ctrl.components.len();
+        let synthesized: Vec<Result<SynthArtifact, ShapeError>> =
+            par_map(&ctrl.components, threads, |_, comp| {
+                synthesize_direct(&comp.name, &comp.program, options, library)
+            });
+        for (comp, result) in ctrl.components.iter().zip(synthesized) {
+            let shape = result.map_err(|e| e.into_flow(comp.name.clone()))?;
+            let template = templates.get(&comp.name).copied();
+            controllers.push(ControllerArtifact {
+                name: comp.name.clone(),
+                bm_states: shape.bm_states,
+                controller: shape.controller,
+                mapped: shape.mapped,
+                program: comp.program.clone(),
+                template,
+            });
+        }
     }
+    // One source of truth for area accounting: the artifact's own figure
+    // (template annotation when present, mapped area otherwise).
+    let control_area = controllers.iter().map(ControllerArtifact::area).sum();
     Ok(FlowResult {
         design: design.netlist.name().to_string(),
         components_before,
         controllers,
         cluster_report,
         control_area,
+        cache_hits,
+        cache_misses,
     })
 }

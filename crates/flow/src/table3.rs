@@ -1,7 +1,8 @@
 //! The Table 3 harness: runs the four benchmark designs through the
 //! unoptimized and optimized flows and checks functional results.
 
-use crate::experiment::{compare, Comparison, ExperimentError};
+use crate::cache::ControllerCache;
+use crate::experiment::{compare_with, Comparison, ExperimentError};
 use crate::simbuild::{Done, Scenario, SimOutcome};
 use bmbe_designs::scenarios::{Check, Design, DesignScenario};
 use bmbe_gates::Library;
@@ -107,8 +108,24 @@ impl From<ExperimentError> for BenchError {
 ///
 /// See [`BenchError`].
 pub fn run_design(design: &Design, library: &Library, delays: &Delays) -> Result<Comparison, BenchError> {
+    run_design_with(design, library, delays, &ControllerCache::new())
+}
+
+/// [`run_design`] with a caller-supplied controller cache; the paper-table
+/// drivers share one cache across all four benchmark designs so each
+/// controller shape is synthesized once per table, not once per design.
+///
+/// # Errors
+///
+/// See [`BenchError`].
+pub fn run_design_with(
+    design: &Design,
+    library: &Library,
+    delays: &Delays,
+    cache: &ControllerCache,
+) -> Result<Comparison, BenchError> {
     let scenario = to_flow_scenario(&design.scenario);
-    let comparison = compare(&design.compiled, &scenario, library, delays)?;
+    let comparison = compare_with(&design.compiled, &scenario, library, delays, cache)?;
     check_outcome(&design.scenario.check, &comparison.unopt_run)
         .map_err(|detail| BenchError::Check(CheckFailure { side: "unoptimized", detail }))?;
     check_outcome(&design.scenario.check, &comparison.opt_run)

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Mapping objective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MapObjective {
     /// Minimize total cell area.
     Area,
@@ -26,7 +26,7 @@ pub enum MapObjective {
 }
 
 /// Mapping style: whether pattern matching may cross the two logic levels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MapStyle {
     /// The paper's flow: the three Verilog modules are mapped separately, so
     /// no pattern crosses a module boundary.
@@ -68,6 +68,19 @@ impl MappedNetlist {
     /// Number of mapped cells.
     pub fn num_cells(&self) -> usize {
         self.gates.len()
+    }
+
+    /// Rewrites every function-root name through `f` (delay table keys and
+    /// subject-graph roots). Used by the flow's controller cache to
+    /// re-instantiate an artifact mapped under canonical channel names with
+    /// a component's actual names; the netlist structure, areas, and delays
+    /// are untouched.
+    pub fn rename_roots<F: Fn(&str) -> String>(&mut self, f: F) {
+        self.output_delays =
+            self.output_delays.drain().map(|(name, delay)| (f(&name), delay)).collect();
+        for (name, _) in &mut self.subject.roots {
+            *name = f(name);
+        }
     }
 
     /// Evaluates the mapped netlist at an input point, returning the value

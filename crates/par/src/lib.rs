@@ -1,0 +1,116 @@
+#![warn(missing_docs)]
+//! # bmbe-par
+//!
+//! Minimal data parallelism on `std::thread::scope`, used by the back-end
+//! flow to fan synthesis jobs out across cores. The workspace builds with
+//! no network access, so `rayon` is unavailable; this crate provides the
+//! one primitive the flow needs — an order-preserving indexed parallel map
+//! with a shared work counter — without external dependencies.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the `BMBE_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 when unknown).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("BMBE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item, using up to `threads` worker threads, and
+/// returns the results in item order. Items are handed out through a shared
+/// atomic counter, so long jobs don't leave workers idle behind a static
+/// partition. With `threads <= 1` (or one item) the map runs inline on the
+/// caller's thread — the serial and parallel paths execute the same `f` in
+/// a deterministic output order either way.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic on the calling thread.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n).max(1);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    let worker = || {
+        let mut local = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                return local;
+            }
+            local.push((i, f(i, &items[i])));
+        }
+    };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers).map(|_| scope.spawn(&worker)).collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => buckets.push(local),
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|slot| slot.expect("every index computed exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, 8, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_matches_parallel() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = par_map(&items, 1, |_, &x| x * x);
+        let parallel = par_map(&items, 4, |_, &x| x * x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(&[1u32, 2, 3, 4], 2, |_, &x| {
+                if x == 3 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::Range;
+
+/// Length specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { start: r.start, end: r.end }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { start: n, end: n + 1 }
+    }
+}
+
+/// Strategy producing vectors of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vector of `size` values drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}

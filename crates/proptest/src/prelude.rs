@@ -1,0 +1,6 @@
+//! The conventional `use proptest::prelude::*` import surface.
+
+pub use crate::collection;
+pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
