@@ -187,12 +187,19 @@ pub struct Procedure {
 impl Expr {
     /// Convenience: `lhs op rhs`.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Convenience: unary application.
     pub fn un(op: UnOp, operand: Expr) -> Expr {
-        Expr::Un { op, operand: Box::new(operand) }
+        Expr::Un {
+            op,
+            operand: Box::new(operand),
+        }
     }
 }
 

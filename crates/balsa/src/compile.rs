@@ -108,12 +108,18 @@ pub fn compile_procedure(proc: &Procedure) -> Result<CompiledDesign, BalsaError>
                 // Readers pull; many readers share via a pull-mux.
                 if uses > 1 {
                     let clients: Vec<ChannelId> = (0..uses)
-                        .map(|i| c.netlist.add_channel(format!("{}_site{i}", port.name), port.width))
+                        .map(|i| {
+                            c.netlist
+                                .add_channel(format!("{}_site{i}", port.name), port.width)
+                        })
                         .collect();
                     let mut chans = clients.clone();
                     chans.push(ch);
                     c.netlist.add_component(
-                        ComponentKind::PullMux { clients: uses, width: port.width },
+                        ComponentKind::PullMux {
+                            clients: uses,
+                            width: port.width,
+                        },
                         &chans,
                     )?;
                     clients
@@ -124,12 +130,18 @@ pub fn compile_procedure(proc: &Procedure) -> Result<CompiledDesign, BalsaError>
             PortDir::Output => {
                 if uses > 1 {
                     let writers: Vec<ChannelId> = (0..uses)
-                        .map(|i| c.netlist.add_channel(format!("{}_site{i}", port.name), port.width))
+                        .map(|i| {
+                            c.netlist
+                                .add_channel(format!("{}_site{i}", port.name), port.width)
+                        })
                         .collect();
                     let mut chans = writers.clone();
                     chans.push(ch);
                     c.netlist.add_component(
-                        ComponentKind::CallMux { inputs: uses, width: port.width },
+                        ComponentKind::CallMux {
+                            inputs: uses,
+                            width: port.width,
+                        },
                         &chans,
                     )?;
                     writers
@@ -144,7 +156,8 @@ pub fn compile_procedure(proc: &Procedure) -> Result<CompiledDesign, BalsaError>
                         .collect();
                     let mut chans = callers.clone();
                     chans.push(ch);
-                    c.netlist.add_component(ComponentKind::Call { inputs: uses }, &chans)?;
+                    c.netlist
+                        .add_component(ComponentKind::Call { inputs: uses }, &chans)?;
                     callers
                 } else {
                     vec![ch]
@@ -153,7 +166,11 @@ pub fn compile_procedure(proc: &Procedure) -> Result<CompiledDesign, BalsaError>
         };
         c.ports.insert(
             port.name.clone(),
-            PortInfo { dir: port.dir, sites, next: 0 },
+            PortInfo {
+                dir: port.dir,
+                sites,
+                next: 0,
+            },
         );
     }
 
@@ -169,23 +186,38 @@ pub fn compile_procedure(proc: &Procedure) -> Result<CompiledDesign, BalsaError>
                     .collect();
                 let mut chans = vec![write_ch];
                 chans.extend(&read_chs);
-                c.netlist
-                    .add_component(ComponentKind::Variable { width: *width, reads }, &chans)?;
+                c.netlist.add_component(
+                    ComponentKind::Variable {
+                        width: *width,
+                        reads,
+                    },
+                    &chans,
+                )?;
                 let write_sites = if writes > 1 {
                     let sites: Vec<ChannelId> = (0..writes)
                         .map(|i| c.netlist.add_channel(format!("{name}_wsite{i}"), *width))
                         .collect();
                     let mut mux = sites.clone();
                     mux.push(write_ch);
-                    c.netlist
-                        .add_component(ComponentKind::CallMux { inputs: writes, width: *width }, &mux)?;
+                    c.netlist.add_component(
+                        ComponentKind::CallMux {
+                            inputs: writes,
+                            width: *width,
+                        },
+                        &mux,
+                    )?;
                     sites
                 } else {
                     vec![write_ch]
                 };
                 c.vars.insert(
                     name.clone(),
-                    VarInfo { read_chs, next_read: 0, write_sites, next_write: 0 },
+                    VarInfo {
+                        read_chs,
+                        next_read: 0,
+                        write_sites,
+                        next_write: 0,
+                    },
                 );
             }
             Decl::Memory { name, words, width } => {
@@ -209,12 +241,23 @@ pub fn compile_procedure(proc: &Procedure) -> Result<CompiledDesign, BalsaError>
                     write_sites.push((data, addr));
                 }
                 c.netlist.add_component(
-                    ComponentKind::Memory { words: *words, width: *width, reads, writes },
+                    ComponentKind::Memory {
+                        words: *words,
+                        width: *width,
+                        reads,
+                        writes,
+                    },
                     &chans,
                 )?;
                 c.mems.insert(
                     name.clone(),
-                    MemInfo { width: *width, read_sites, next_read: 0, write_sites, next_write: 0 },
+                    MemInfo {
+                        width: *width,
+                        read_sites,
+                        next_read: 0,
+                        write_sites,
+                        next_write: 0,
+                    },
                 );
             }
             Decl::Shared { .. } => {}
@@ -231,8 +274,15 @@ pub fn compile_procedure(proc: &Procedure) -> Result<CompiledDesign, BalsaError>
                 .collect();
             let mut chans = site_chs.clone();
             chans.push(body_act);
-            c.netlist.add_component(ComponentKind::Call { inputs: sites }, &chans)?;
-            c.shared.insert(name.clone(), SharedInfo { sites: site_chs, next: 0 });
+            c.netlist
+                .add_component(ComponentKind::Call { inputs: sites }, &chans)?;
+            c.shared.insert(
+                name.clone(),
+                SharedInfo {
+                    sites: site_chs,
+                    next: 0,
+                },
+            );
         }
     }
 
@@ -243,7 +293,11 @@ pub fn compile_procedure(proc: &Procedure) -> Result<CompiledDesign, BalsaError>
         c.netlist.expose(*ch);
     }
     c.netlist.validate()?;
-    Ok(CompiledDesign { netlist: c.netlist, activate, port_channels })
+    Ok(CompiledDesign {
+        netlist: c.netlist,
+        activate,
+        port_channels,
+    })
 }
 
 #[derive(Default)]
@@ -289,14 +343,22 @@ impl Counts {
                 self.count_expr(guard);
                 self.count_cmd(body);
             }
-            Cmd::If { cond, then_cmd, else_cmd } => {
+            Cmd::If {
+                cond,
+                then_cmd,
+                else_cmd,
+            } => {
                 self.count_expr(cond);
                 self.count_cmd(then_cmd);
                 if let Some(e) = else_cmd {
                     self.count_cmd(e);
                 }
             }
-            Cmd::Case { selector, arms, default } => {
+            Cmd::Case {
+                selector,
+                arms,
+                default,
+            } => {
                 self.count_expr(selector);
                 for (_, a) in arms {
                     self.count_cmd(a);
@@ -367,8 +429,13 @@ impl Compiler {
         match e {
             Expr::Lit(v) => {
                 let ch = self.netlist.add_channel("const", 32);
-                self.netlist
-                    .add_component(ComponentKind::Constant { value: *v, width: 32 }, &[ch])?;
+                self.netlist.add_component(
+                    ComponentKind::Constant {
+                        value: *v,
+                        width: 32,
+                    },
+                    &[ch],
+                )?;
                 Ok(ch)
             }
             Expr::Var(name) => {
@@ -403,8 +470,10 @@ impl Compiler {
                 let l = self.compile_expr(lhs)?;
                 let r = self.compile_expr(rhs)?;
                 let out = self.netlist.add_channel("f", 32);
-                self.netlist
-                    .add_component(ComponentKind::BinaryFunc { op: *op, width: 32 }, &[out, l, r])?;
+                self.netlist.add_component(
+                    ComponentKind::BinaryFunc { op: *op, width: 32 },
+                    &[out, l, r],
+                )?;
                 Ok(out)
             }
             Expr::Un { op, operand } => {
@@ -424,7 +493,10 @@ impl Compiler {
         // consumer: passive side free (the puller holds its active side);
         // provider: active side free (the producer holds its passive side).
         self.netlist.add_component(
-            ComponentKind::UnaryFunc { op: bmbe_hsnet::UnOp::Id, width: 0 },
+            ComponentKind::UnaryFunc {
+                op: bmbe_hsnet::UnOp::Id,
+                width: 0,
+            },
             &[consumer, provider],
         )?;
         Ok(())
@@ -438,8 +510,10 @@ impl Compiler {
                 Ok(act)
             }
             Cmd::Sync(port) => {
-                let info =
-                    self.ports.get_mut(port).ok_or_else(|| BalsaError::UnknownPort(port.clone()))?;
+                let info = self
+                    .ports
+                    .get_mut(port)
+                    .ok_or_else(|| BalsaError::UnknownPort(port.clone()))?;
                 if info.dir != PortDir::Sync {
                     return Err(BalsaError::PortDirection {
                         port: port.clone(),
@@ -460,39 +534,57 @@ impl Compiler {
                 Ok(ch)
             }
             Cmd::Seq(parts) => {
-                let children: Vec<ChannelId> =
-                    parts.iter().map(|p| self.compile_cmd(p)).collect::<Result<_, _>>()?;
+                let children: Vec<ChannelId> = parts
+                    .iter()
+                    .map(|p| self.compile_cmd(p))
+                    .collect::<Result<_, _>>()?;
                 let act = self.netlist.add_channel("seq", 0);
                 let mut chans = vec![act];
                 chans.extend(&children);
-                self.netlist
-                    .add_component(ComponentKind::Sequence { branches: parts.len() }, &chans)?;
+                self.netlist.add_component(
+                    ComponentKind::Sequence {
+                        branches: parts.len(),
+                    },
+                    &chans,
+                )?;
                 Ok(act)
             }
             Cmd::Par(parts) => {
-                let children: Vec<ChannelId> =
-                    parts.iter().map(|p| self.compile_cmd(p)).collect::<Result<_, _>>()?;
+                let children: Vec<ChannelId> = parts
+                    .iter()
+                    .map(|p| self.compile_cmd(p))
+                    .collect::<Result<_, _>>()?;
                 let act = self.netlist.add_channel("par", 0);
                 let mut chans = vec![act];
                 chans.extend(&children);
-                self.netlist
-                    .add_component(ComponentKind::Concur { branches: parts.len() }, &chans)?;
+                self.netlist.add_component(
+                    ComponentKind::Concur {
+                        branches: parts.len(),
+                    },
+                    &chans,
+                )?;
                 Ok(act)
             }
             Cmd::Loop(body) => {
                 let child = self.compile_cmd(body)?;
                 let act = self.netlist.add_channel("loop", 0);
-                self.netlist.add_component(ComponentKind::Loop, &[act, child])?;
+                self.netlist
+                    .add_component(ComponentKind::Loop, &[act, child])?;
                 Ok(act)
             }
             Cmd::While { guard, body } => {
                 let g = self.compile_expr(guard)?;
                 let child = self.compile_cmd(body)?;
                 let act = self.netlist.add_channel("while", 0);
-                self.netlist.add_component(ComponentKind::While, &[act, g, child])?;
+                self.netlist
+                    .add_component(ComponentKind::While, &[act, g, child])?;
                 Ok(act)
             }
-            Cmd::If { cond, then_cmd, else_cmd } => {
+            Cmd::If {
+                cond,
+                then_cmd,
+                else_cmd,
+            } => {
                 let sel = self.compile_expr(cond)?;
                 let else_act = match else_cmd {
                     Some(e) => self.compile_cmd(e)?,
@@ -506,7 +598,11 @@ impl Compiler {
                 )?;
                 Ok(act)
             }
-            Cmd::Case { selector, arms, default } => {
+            Cmd::Case {
+                selector,
+                arms,
+                default,
+            } => {
                 for (i, (label, _)) in arms.iter().enumerate() {
                     if *label != i as u64 {
                         return Err(BalsaError::BadCaseLabels);
@@ -524,7 +620,9 @@ impl Compiler {
                 let mut chans = vec![act, sel];
                 chans.extend(&branch_acts);
                 self.netlist.add_component(
-                    ComponentKind::Case { branches: branch_acts.len() },
+                    ComponentKind::Case {
+                        branches: branch_acts.len(),
+                    },
                     &chans,
                 )?;
                 Ok(act)
@@ -609,7 +707,8 @@ impl Compiler {
     /// A fetch component: on activation, pull `src`, push `dst`.
     fn fetch(&mut self, src: ChannelId, dst: ChannelId) -> Result<ChannelId, BalsaError> {
         let act = self.netlist.add_channel("fetch", 0);
-        self.netlist.add_component(ComponentKind::Fetch, &[act, src, dst])?;
+        self.netlist
+            .add_component(ComponentKind::Fetch, &[act, src, dst])?;
         Ok(act)
     }
 }
@@ -643,9 +742,7 @@ mod tests {
 
     #[test]
     fn sync_ports_and_parallel() {
-        let d = compile_src(
-            "procedure t (sync a; sync b) is begin loop sync a || sync b end end",
-        );
+        let d = compile_src("procedure t (sync a; sync b) is begin loop sync a || sync b end end");
         let p = d.netlist.partition();
         // loop + concur.
         assert_eq!(p.control.len(), 2);
@@ -722,8 +819,11 @@ mod tests {
             .any(|c| matches!(c.kind, ComponentKind::Case { branches: 2 }));
         assert!(has_case);
         // the missing else introduced a skip
-        let has_skip =
-            d.netlist.components().iter().any(|c| matches!(c.kind, ComponentKind::Skip));
+        let has_skip = d
+            .netlist
+            .components()
+            .iter()
+            .any(|c| matches!(c.kind, ComponentKind::Skip));
         assert!(has_skip);
     }
 
@@ -742,7 +842,11 @@ mod tests {
             .find(|c| matches!(c.kind, ComponentKind::Memory { .. }))
             .unwrap();
         match &mem.kind {
-            ComponentKind::Memory { reads: 1, writes: 1, .. } => {}
+            ComponentKind::Memory {
+                reads: 1,
+                writes: 1,
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
         d.netlist.validate().unwrap();
@@ -764,8 +868,7 @@ mod tests {
 
     #[test]
     fn wrong_port_direction_rejected() {
-        let prog =
-            parse("procedure t (input i : 8 bits) is begin i <- 1 end").unwrap();
+        let prog = parse("procedure t (input i : 8 bits) is begin i <- 1 end").unwrap();
         assert!(matches!(
             compile_procedure(&prog.procedures[0]),
             Err(BalsaError::PortDirection { .. })

@@ -64,7 +64,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn tokens(src: &'a str) -> Result<Vec<(Tok, usize)>, ParseError> {
-        let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1 };
+        let mut lx = Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        };
         let mut out = Vec::new();
         while let Some(t) = lx.next_token()? {
             out.push(t);
@@ -104,7 +108,9 @@ impl<'a> Lexer<'a> {
             }
         }
         let line = self.line;
-        let Some(c) = self.peek_ch() else { return Ok(None) };
+        let Some(c) = self.peek_ch() else {
+            return Ok(None);
+        };
         let tok = match c {
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = self.pos;
@@ -132,7 +138,10 @@ impl<'a> Lexer<'a> {
                 } else {
                     text.parse()
                 }
-                .map_err(|_| ParseError { message: format!("bad number {text}"), line })?;
+                .map_err(|_| ParseError {
+                    message: format!("bad number {text}"),
+                    line,
+                })?;
                 Tok::Num(value)
             }
             _ => {
@@ -204,7 +213,10 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
         procedures.push(p.procedure()?);
     }
     if procedures.is_empty() {
-        return Err(ParseError { message: "no procedures".into(), line: 1 });
+        return Err(ParseError {
+            message: "no procedures".into(),
+            line: 1,
+        });
     }
     Ok(Program { procedures })
 }
@@ -220,11 +232,17 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map_or(1, |t| t.1)
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(1, |t| t.1)
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), line: self.line() })
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -324,7 +342,11 @@ impl Parser {
             } else {
                 0
             };
-            ports.push(Port { name: pname, dir, width });
+            ports.push(Port {
+                name: pname,
+                dir,
+                width,
+            });
         }
         self.expect_kw("is")?;
         let mut decls = Vec::new();
@@ -343,7 +365,11 @@ impl Parser {
                 self.expect_kw("of")?;
                 let width = self.number()? as u32;
                 self.expect_kw("bits")?;
-                decls.push(Decl::Memory { name: mname, words, width });
+                decls.push(Decl::Memory {
+                    name: mname,
+                    words,
+                    width,
+                });
             } else if self.eat_kw("shared") {
                 let sname = self.ident()?;
                 self.expect_kw("is")?;
@@ -358,7 +384,12 @@ impl Parser {
         self.expect_kw("begin")?;
         let body = self.cmd()?;
         self.expect_kw("end")?;
-        Ok(Procedure { name, ports, decls, body })
+        Ok(Procedure {
+            name,
+            ports,
+            decls,
+            body,
+        })
     }
 
     fn cmd(&mut self) -> Result<Cmd, ParseError> {
@@ -366,7 +397,11 @@ impl Parser {
         while self.eat_sym(";") {
             parts.push(self.par_cmd()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Cmd::Seq(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            Cmd::Seq(parts)
+        })
     }
 
     fn par_cmd(&mut self) -> Result<Cmd, ParseError> {
@@ -374,7 +409,11 @@ impl Parser {
         while self.eat_sym("||") {
             parts.push(self.atom_cmd()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Cmd::Par(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            Cmd::Par(parts)
+        })
     }
 
     fn atom_cmd(&mut self) -> Result<Cmd, ParseError> {
@@ -394,15 +433,26 @@ impl Parser {
             self.expect_kw("then")?;
             let body = self.cmd()?;
             self.expect_kw("end")?;
-            return Ok(Cmd::While { guard, body: Box::new(body) });
+            return Ok(Cmd::While {
+                guard,
+                body: Box::new(body),
+            });
         }
         if self.eat_kw("if") {
             let cond = self.expr()?;
             self.expect_kw("then")?;
             let then_cmd = self.cmd()?;
-            let else_cmd = if self.eat_kw("else") { Some(Box::new(self.cmd()?)) } else { None };
+            let else_cmd = if self.eat_kw("else") {
+                Some(Box::new(self.cmd()?))
+            } else {
+                None
+            };
             self.expect_kw("end")?;
-            return Ok(Cmd::If { cond, then_cmd: Box::new(then_cmd), else_cmd });
+            return Ok(Cmd::If {
+                cond,
+                then_cmd: Box::new(then_cmd),
+                else_cmd,
+            });
         }
         if self.eat_kw("case") {
             let selector = self.expr()?;
@@ -417,9 +467,17 @@ impl Parser {
                     break;
                 }
             }
-            let default = if self.eat_kw("else") { Some(Box::new(self.cmd()?)) } else { None };
+            let default = if self.eat_kw("else") {
+                Some(Box::new(self.cmd()?))
+            } else {
+                None
+            };
             self.expect_kw("end")?;
-            return Ok(Cmd::Case { selector, arms, default });
+            return Ok(Cmd::Case {
+                selector,
+                arms,
+                default,
+            });
         }
         if self.eat_sym("(") {
             let c = self.cmd()?;
@@ -437,16 +495,29 @@ impl Parser {
             self.expect_sym("]")?;
             self.expect_sym(":=")?;
             let value = self.expr()?;
-            return Ok(Cmd::MemWrite { mem: name, addr, value });
+            return Ok(Cmd::MemWrite {
+                mem: name,
+                addr,
+                value,
+            });
         }
         if self.eat_sym(":=") {
-            return Ok(Cmd::Assign { var: name, expr: self.expr()? });
+            return Ok(Cmd::Assign {
+                var: name,
+                expr: self.expr()?,
+            });
         }
         if self.eat_sym("<-") {
-            return Ok(Cmd::Send { chan: name, expr: self.expr()? });
+            return Ok(Cmd::Send {
+                chan: name,
+                expr: self.expr()?,
+            });
         }
         if self.eat_sym("->") {
-            return Ok(Cmd::Receive { chan: name, var: self.ident()? });
+            return Ok(Cmd::Receive {
+                chan: name,
+                var: self.ident()?,
+            });
         }
         self.err(format!("expected a command after identifier {name}"))
     }
@@ -536,7 +607,10 @@ impl Parser {
                 if self.eat_sym("[") {
                     let addr = self.expr()?;
                     self.expect_sym("]")?;
-                    Ok(Expr::MemRead { mem: name, addr: Box::new(addr) })
+                    Ok(Expr::MemRead {
+                        mem: name,
+                        addr: Box::new(addr),
+                    })
                 } else {
                     Ok(Expr::Var(name))
                 }
@@ -636,7 +710,10 @@ mod tests {
         let src = "procedure t (output o : 8 bits) is begin o <- 0xff end";
         let p = parse(src).unwrap();
         match &p.procedures[0].body {
-            Cmd::Send { expr: Expr::Lit(255), .. } => {}
+            Cmd::Send {
+                expr: Expr::Lit(255),
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -647,7 +724,12 @@ mod tests {
         let src = "procedure t (output o : 8 bits) is variable a : 8 bits variable b : 8 bits begin o <- a + 1 = b end";
         let p = parse(src).unwrap();
         match &p.procedures[0].body {
-            Cmd::Send { expr: Expr::Bin { op: BinOp::Eq, lhs, .. }, .. } => {
+            Cmd::Send {
+                expr: Expr::Bin {
+                    op: BinOp::Eq, lhs, ..
+                },
+                ..
+            } => {
                 assert!(matches!(lhs.as_ref(), Expr::Bin { op: BinOp::Add, .. }));
             }
             other => panic!("{other:?}"),

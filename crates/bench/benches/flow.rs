@@ -15,14 +15,22 @@ fn bench_control_flow(c: &mut Criterion) {
     let lib = Library::cmos035();
     g.bench_function("counter_unoptimized", |b| {
         b.iter(|| {
-            run_control_flow(black_box(&counter.compiled), &FlowOptions::unoptimized(), &lib)
-                .expect("flow runs")
+            run_control_flow(
+                black_box(&counter.compiled),
+                &FlowOptions::unoptimized(),
+                &lib,
+            )
+            .expect("flow runs")
         })
     });
     g.bench_function("counter_optimized", |b| {
         b.iter(|| {
-            run_control_flow(black_box(&counter.compiled), &FlowOptions::optimized(), &lib)
-                .expect("flow runs")
+            run_control_flow(
+                black_box(&counter.compiled),
+                &FlowOptions::optimized(),
+                &lib,
+            )
+            .expect("flow runs")
         })
     });
     g.finish();
@@ -34,8 +42,8 @@ fn bench_simulation(c: &mut Criterion) {
     let lib = Library::cmos035();
     let delays = Delays::default();
     let design = stack().expect("design builds");
-    let flow = run_control_flow(&design.compiled, &FlowOptions::optimized(), &lib)
-        .expect("flow runs");
+    let flow =
+        run_control_flow(&design.compiled, &FlowOptions::optimized(), &lib).expect("flow runs");
     let scenario = to_flow_scenario(&design.scenario);
     g.bench_function("stack_benchmark_run", |b| {
         b.iter(|| {

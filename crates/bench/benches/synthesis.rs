@@ -71,7 +71,11 @@ fn bench_techmap(c: &mut Criterion) {
         .iter()
         .cloned()
         .chain((0..ctrl.num_state_bits).map(|j| format!("y{j}")))
-        .zip(ctrl.output_covers.iter().chain(ctrl.next_state_covers.iter()))
+        .zip(
+            ctrl.output_covers
+                .iter()
+                .chain(ctrl.next_state_covers.iter()),
+        )
         .collect();
     let subject = SubjectGraph::from_covers(ctrl.num_vars(), &functions);
     let lib = Library::cmos035();
@@ -86,5 +90,11 @@ fn bench_techmap(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_synthesis, bench_clustering, bench_techmap);
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_synthesis,
+    bench_clustering,
+    bench_techmap
+);
 criterion_main!(benches);

@@ -17,11 +17,18 @@ fn main() {
     );
     let programs = vec![
         ("sequencer_2", sequencer("p", &["a1".into(), "a2".into()])),
-        ("sequencer_4", sequencer("p", &(0..4).map(|i| format!("a{i}")).collect::<Vec<_>>())),
+        (
+            "sequencer_4",
+            sequencer("p", &(0..4).map(|i| format!("a{i}")).collect::<Vec<_>>()),
+        ),
         ("call_2", call(&["x".into(), "y".into()], "b")),
         (
             "decision_wait_2",
-            decision_wait("a", &["i1".into(), "i2".into()], &["o1".into(), "o2".into()]),
+            decision_wait(
+                "a",
+                &["i1".into(), "i2".into()],
+                &["o1".into(), "o2".into()],
+            ),
         ),
     ];
     for (name, program) in programs {
@@ -93,7 +100,11 @@ fn main() {
         let qm_glitch = (qm_cover.eval_ternary(&probe) == Tv::X) as usize;
         println!(
             "{:<18} {:>12} {:>10} {:>14} {:>16}",
-            "consensus_f", hf.cover.len(), qm_cover.len(), hf_glitch, qm_glitch
+            "consensus_f",
+            hf.cover.len(),
+            qm_cover.len(),
+            hf_glitch,
+            qm_glitch
         );
     }
     println!();

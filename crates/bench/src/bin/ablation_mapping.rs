@@ -20,9 +20,10 @@ fn main() {
         let mut split = 0.0;
         let mut whole = 0.0;
         for c in &ctrl.components {
-            for (style, acc) in
-                [(MapStyle::SplitModules, &mut split), (MapStyle::WholeController, &mut whole)]
-            {
+            for (style, acc) in [
+                (MapStyle::SplitModules, &mut split),
+                (MapStyle::WholeController, &mut whole),
+            ] {
                 let (artifact, _) = cache
                     .get_or_synthesize(
                         &c.program,

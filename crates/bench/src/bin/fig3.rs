@@ -14,10 +14,20 @@ fn main() {
     ];
     for (name, ch) in progs {
         let spec = compile_to_bm(name, &ch).expect("shipped programs compile");
-        let expected = FIG3_STATES.iter().find(|(n, _)| *n == name).expect("known").1;
-        println!("--- {name}: {} states (paper: {expected}) {}",
+        let expected = FIG3_STATES
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("known")
+            .1;
+        println!(
+            "--- {name}: {} states (paper: {expected}) {}",
             spec.num_states(),
-            if spec.num_states() == expected { "MATCH" } else { "MISMATCH" });
+            if spec.num_states() == expected {
+                "MATCH"
+            } else {
+                "MISMATCH"
+            }
+        );
         print!("{spec}");
         println!();
     }

@@ -7,18 +7,32 @@ use bmbe_core::components::{decision_wait, sequencer};
 use bmbe_core::opt::acr::activation_channel_removal;
 
 fn main() {
-    let dw = decision_wait("a1", &["i1".into(), "i2".into()], &["o1".into(), "o2".into()]);
+    let dw = decision_wait(
+        "a1",
+        &["i1".into(), "i2".into()],
+        &["o1".into(), "o2".into()],
+    );
     let seq = sequencer("o2", &["c1".into(), "c2".into()]);
-    println!("--- decision-wait ({} states):", compile_to_bm("dw", &dw).expect("compiles").num_states());
+    println!(
+        "--- decision-wait ({} states):",
+        compile_to_bm("dw", &dw).expect("compiles").num_states()
+    );
     print!("{}", compile_to_bm("dw", &dw).expect("compiles"));
-    println!("--- sequencer ({} states):", compile_to_bm("seq", &seq).expect("compiles").num_states());
+    println!(
+        "--- sequencer ({} states):",
+        compile_to_bm("seq", &seq).expect("compiles").num_states()
+    );
     print!("{}", compile_to_bm("seq", &seq).expect("compiles"));
     let merged = activation_channel_removal(&dw, &seq, "o2", None).expect("merge succeeds");
     let spec = compile_to_bm("merged", &merged).expect("merged compiles");
     println!(
         "--- merged: {} states (paper: {FIG4_MERGED_STATES}) {}",
         spec.num_states(),
-        if spec.num_states() == FIG4_MERGED_STATES { "MATCH" } else { "MISMATCH" }
+        if spec.num_states() == FIG4_MERGED_STATES {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        }
     );
     print!("{spec}");
 }

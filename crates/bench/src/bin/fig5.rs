@@ -12,12 +12,20 @@ fn main() {
     netlist.add("call", call(&["b1".into(), "b2".into()], "c"));
     let report = netlist.t2_clustering(&ClusterOptions::default());
     println!("clustering: {report}");
-    assert_eq!(netlist.components.len(), 1, "everything clusters into one controller");
+    assert_eq!(
+        netlist.components.len(),
+        1,
+        "everything clusters into one controller"
+    );
     let spec = compile_to_bm("result", &netlist.components[0].program).expect("compiles");
     println!(
         "--- result: {} states (paper: {FIG5_RESULT_STATES}) {}",
         spec.num_states(),
-        if spec.num_states() == FIG5_RESULT_STATES { "MATCH" } else { "MISMATCH" }
+        if spec.num_states() == FIG5_RESULT_STATES {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        }
     );
     print!("{spec}");
 }

@@ -1,11 +1,16 @@
 //! Performance report for the parallel, content-addressed back-end: times
 //! the seed's serial uncached pipeline against the cached + parallel
-//! pipeline on every benchmark design and writes `BENCH_flow.json`.
+//! pipeline on every benchmark design and writes `BENCH_flow.json`,
+//! including a per-phase profile (compile / statemin / synth / primes /
+//! covering / verify / map) and, when a previous `BENCH_flow.json` exists,
+//! before/after numbers against it.
 //!
 //! Run with `--release`; the debug build is an order of magnitude slower.
 
-use bmbe_flow::{run_control_flow, run_control_flow_with, ControllerCache, FlowOptions};
 use bmbe_designs::all_designs;
+use bmbe_flow::{
+    run_control_flow, run_control_flow_with, ControllerCache, FlowOptions, PhaseProfile,
+};
 use bmbe_gates::Library;
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -35,6 +40,9 @@ struct Row {
     warm_s: f64,
     hits: usize,
     misses: usize,
+    phases: PhaseProfile,
+    prev_serial_s: Option<f64>,
+    prev_cached_s: Option<f64>,
 }
 
 impl Row {
@@ -43,12 +51,40 @@ impl Row {
     }
 }
 
+/// Pulls `"field": <number>` out of `text` after position `from`.
+fn field_after(text: &str, from: usize, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Reads the previous report's per-design serial/cached seconds so the new
+/// report can carry before/after numbers. Tolerant by construction: any
+/// missing file, design, or field simply yields `None`.
+fn previous_numbers(design: &str) -> (Option<f64>, Option<f64>) {
+    let Ok(text) = std::fs::read_to_string("BENCH_flow.json") else {
+        return (None, None);
+    };
+    let Some(at) = text.find(&format!("\"design\": \"{design}\"")) else {
+        return (None, None);
+    };
+    (
+        field_after(&text, at, "serial_uncached_s"),
+        field_after(&text, at, "cached_parallel_s"),
+    )
+}
+
 fn main() {
     let library = Library::cmos035();
-    let threads = bmbe_par::default_threads();
     let designs = all_designs().expect("shipped designs build");
     let mut rows = Vec::new();
+    let mut threads_used = 1;
     for design in &designs {
+        let (prev_serial_s, prev_cached_s) = previous_numbers(design.name);
         let serial_s = median_secs(|| {
             black_box(
                 run_control_flow(
@@ -76,6 +112,7 @@ fn main() {
         });
         let result = run_control_flow(&design.compiled, &FlowOptions::optimized(), &library)
             .expect("cached flow");
+        threads_used = result.threads_used;
         rows.push(Row {
             design: design.name.to_string(),
             components: result.controllers.len(),
@@ -84,11 +121,14 @@ fn main() {
             warm_s,
             hits: result.cache_hits,
             misses: result.cache_misses,
+            phases: result.phases,
+            prev_serial_s,
+            prev_cached_s,
         });
     }
 
     println!(
-        "flow perf ({threads} threads, median of {SAMPLES} runs; cold = fresh cache per run)"
+        "flow perf ({threads_used} threads, median of {SAMPLES} runs; cold = fresh cache per run)"
     );
     println!(
         "{:<22} {:>5} {:>12} {:>12} {:>9} {:>12} {:>6} {:>6}",
@@ -107,9 +147,29 @@ fn main() {
             r.misses
         );
     }
+    println!("\nper-phase profile of one cold cached run (seconds):");
+    println!(
+        "{:<22} {:>8} {:>9} {:>8} {:>8} {:>9} {:>8} {:>7} {:>7}",
+        "design", "compile", "statemin", "synth", "primes", "covering", "verify", "map", "shapes"
+    );
+    for r in &rows {
+        let p = &r.phases;
+        println!(
+            "{:<22} {:>8.4} {:>9.4} {:>8.4} {:>8.4} {:>9.4} {:>8.4} {:>7.4} {:>7}",
+            r.design,
+            p.compile.as_secs_f64(),
+            p.statemin.as_secs_f64(),
+            p.synth.as_secs_f64(),
+            p.prime_gen.as_secs_f64(),
+            p.covering.as_secs_f64(),
+            p.verify.as_secs_f64(),
+            p.map.as_secs_f64(),
+            p.shapes
+        );
+    }
 
     let mut json = String::from("{\n  \"bench\": \"flow_e2e\",\n");
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"threads\": {threads_used},");
     let _ = writeln!(json, "  \"samples\": {SAMPLES},");
     json.push_str("  \"designs\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -117,7 +177,7 @@ fn main() {
             json,
             "    {{\"design\": \"{}\", \"controllers\": {}, \"serial_uncached_s\": {:.6}, \
              \"cached_parallel_s\": {:.6}, \"speedup\": {:.3}, \"warm_cache_s\": {:.6}, \
-             \"cache_hits\": {}, \"cache_misses\": {}}}",
+             \"cache_hits\": {}, \"cache_misses\": {}",
             r.design,
             r.components,
             r.serial_s,
@@ -126,6 +186,29 @@ fn main() {
             r.warm_s,
             r.hits,
             r.misses
+        );
+        if let (Some(ps), Some(pc)) = (r.prev_serial_s, r.prev_cached_s) {
+            let _ = write!(
+                json,
+                ", \"before\": {{\"serial_uncached_s\": {ps:.6}, \"cached_parallel_s\": {pc:.6}, \
+                 \"cached_speedup_vs_before\": {:.3}}}",
+                pc / r.cached_s
+            );
+        }
+        let p = &r.phases;
+        let _ = write!(
+            json,
+            ", \"phases\": {{\"compile_s\": {:.6}, \"statemin_s\": {:.6}, \"synth_s\": {:.6}, \
+             \"prime_gen_s\": {:.6}, \"covering_s\": {:.6}, \"verify_s\": {:.6}, \
+             \"map_s\": {:.6}, \"shapes\": {}}}}}",
+            p.compile.as_secs_f64(),
+            p.statemin.as_secs_f64(),
+            p.synth.as_secs_f64(),
+            p.prime_gen.as_secs_f64(),
+            p.covering.as_secs_f64(),
+            p.verify.as_secs_f64(),
+            p.map.as_secs_f64(),
+            p.shapes
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

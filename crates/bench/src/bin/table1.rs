@@ -6,7 +6,10 @@ use bmbe_core::ast::{legal, ChActivity, InterleaveOp};
 fn main() {
     use ChActivity::{Active, Passive};
     println!("Table 1: Legal Combinations of Operators and Arguments");
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "Operator", "act/act", "act/pas", "pas/act", "pas/pas");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "Operator", "act/act", "act/pas", "pas/act", "pas/pas"
+    );
     for op in InterleaveOp::ALL {
         let cell = |a, b| if legal(op, a, b) { "Yes" } else { "No" };
         println!(

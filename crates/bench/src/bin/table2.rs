@@ -6,7 +6,10 @@ use bmbe_core::ast::{legal, ChActivity, ChExpr, InterleaveOp};
 use bmbe_core::expand::expand;
 
 fn chan(name: &str, act: ChActivity) -> ChExpr {
-    ChExpr::PToP { activity: act, name: name.into() }
+    ChExpr::PToP {
+        activity: act,
+        name: name.into(),
+    }
 }
 
 fn main() {

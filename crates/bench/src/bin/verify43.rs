@@ -10,7 +10,12 @@ fn main() {
     println!("{:<14} {:<14} verdict", "activating op", "activated op");
     let mut bad = 0;
     for row in &rows {
-        println!("{:<14} {:<14} {}", row.op_activating.keyword(), row.op_activated.keyword(), row.verdict);
+        println!(
+            "{:<14} {:<14} {}",
+            row.op_activating.keyword(),
+            row.op_activated.keyword(),
+            row.verdict
+        );
         if row.verdict == AcrVerdict::NotEquivalent {
             bad += 1;
         }
@@ -18,8 +23,12 @@ fn main() {
     println!(
         "{} combinations checked, {} equivalent, {} rejected, {} NOT equivalent",
         rows.len(),
-        rows.iter().filter(|r| r.verdict == AcrVerdict::Equivalent).count(),
-        rows.iter().filter(|r| matches!(r.verdict, AcrVerdict::MergeRejected(_))).count(),
+        rows.iter()
+            .filter(|r| r.verdict == AcrVerdict::Equivalent)
+            .count(),
+        rows.iter()
+            .filter(|r| matches!(r.verdict, AcrVerdict::MergeRejected(_)))
+            .count(),
         bad
     );
     assert_eq!(bad, 0, "optimizer must be behaviour-preserving");

@@ -21,15 +21,46 @@ pub struct Table3Row {
 
 /// The paper's Table 3.
 pub const TABLE3: [Table3Row; 4] = [
-    Table3Row { name: "Systolic counter", unopt_ns: 51.29, opt_ns: 40.43, improvement: 21.16, unopt_area: 39.68, opt_area: 50.43, overhead: 27.09 },
-    Table3Row { name: "Wagging register", unopt_ns: 49.82, opt_ns: 42.43, improvement: 14.83, unopt_area: 228.93, opt_area: 283.71, overhead: 23.92 },
-    Table3Row { name: "Stack", unopt_ns: 121.58, opt_ns: 107.70, improvement: 11.41, unopt_area: 282.48, opt_area: 335.19, overhead: 18.66 },
-    Table3Row { name: "Microprocessor core", unopt_ns: 66.48, opt_ns: 60.65, improvement: 8.76, unopt_area: 453.76, opt_area: 563.47, overhead: 24.17 },
+    Table3Row {
+        name: "Systolic counter",
+        unopt_ns: 51.29,
+        opt_ns: 40.43,
+        improvement: 21.16,
+        unopt_area: 39.68,
+        opt_area: 50.43,
+        overhead: 27.09,
+    },
+    Table3Row {
+        name: "Wagging register",
+        unopt_ns: 49.82,
+        opt_ns: 42.43,
+        improvement: 14.83,
+        unopt_area: 228.93,
+        opt_area: 283.71,
+        overhead: 23.92,
+    },
+    Table3Row {
+        name: "Stack",
+        unopt_ns: 121.58,
+        opt_ns: 107.70,
+        improvement: 11.41,
+        unopt_area: 282.48,
+        opt_area: 335.19,
+        overhead: 18.66,
+    },
+    Table3Row {
+        name: "Microprocessor core",
+        unopt_ns: 66.48,
+        opt_ns: 60.65,
+        improvement: 8.76,
+        unopt_area: 453.76,
+        opt_area: 563.47,
+        overhead: 24.17,
+    },
 ];
 
 /// Fig. 3 state counts: sequencer, call, passivator.
-pub const FIG3_STATES: [(&str, usize); 3] =
-    [("sequencer", 6), ("call", 7), ("passivator", 2)];
+pub const FIG3_STATES: [(&str, usize); 3] = [("sequencer", 6), ("call", 7), ("passivator", 2)];
 
 /// Fig. 4: the merged decision-wait + sequencer controller has 11 states.
 pub const FIG4_MERGED_STATES: usize = 11;

@@ -181,13 +181,13 @@ pub fn assign(spec: &BmSpec) -> Result<StateAssignment, AssignError> {
 /// # Errors
 ///
 /// See [`dichotomies`].
-pub fn assign_with(
-    spec: &BmSpec,
-    separation: Separation,
-) -> Result<StateAssignment, AssignError> {
+pub fn assign_with(spec: &BmSpec, separation: Separation) -> Result<StateAssignment, AssignError> {
     let n = spec.num_states();
     if n <= 1 {
-        return Ok(StateAssignment { num_bits: 0, codes: vec![0; n] });
+        return Ok(StateAssignment {
+            num_bits: 0,
+            codes: vec![0; n],
+        });
     }
     let all = dichotomies_with(spec, separation)?;
     let mut unsat: Vec<&Dichotomy> = all.iter().collect();
@@ -226,10 +226,9 @@ pub fn assign_with(
             num_bits: columns.len(),
             codes: (0..n)
                 .map(|s| {
-                    columns
-                        .iter()
-                        .enumerate()
-                        .fold(0u64, |acc, (bit, c)| acc | ((c[s] == Some(true)) as u64) << bit)
+                    columns.iter().enumerate().fold(0u64, |acc, (bit, c)| {
+                        acc | ((c[s] == Some(true)) as u64) << bit
+                    })
                 })
                 .collect(),
         };
@@ -237,13 +236,15 @@ pub fn assign_with(
     }
     let codes: Vec<u64> = (0..n)
         .map(|s| {
-            columns
-                .iter()
-                .enumerate()
-                .fold(0u64, |acc, (bit, c)| acc | ((c[s] == Some(true)) as u64) << bit)
+            columns.iter().enumerate().fold(0u64, |acc, (bit, c)| {
+                acc | ((c[s] == Some(true)) as u64) << bit
+            })
         })
         .collect();
-    let assignment = StateAssignment { num_bits: columns.len(), codes };
+    let assignment = StateAssignment {
+        num_bits: columns.len(),
+        codes,
+    };
     debug_assert!(all.iter().all(|d| assignment.satisfies(d)));
     Ok(assignment)
 }
@@ -352,7 +353,10 @@ mod tests {
 
     #[test]
     fn dichotomy_satisfaction_logic() {
-        let a = StateAssignment { num_bits: 2, codes: vec![0b00, 0b01, 0b10, 0b11] };
+        let a = StateAssignment {
+            num_bits: 2,
+            codes: vec![0b00, 0b01, 0b10, 0b11],
+        };
         let d_ok = Dichotomy {
             left: BTreeSet::from([0, 1]),  // bit1 = 0
             right: BTreeSet::from([2, 3]), // bit1 = 1

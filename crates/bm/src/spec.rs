@@ -104,7 +104,11 @@ impl fmt::Display for BmError {
             BmError::WrongDirection { arc, signal } => {
                 write!(f, "arc {arc}: signal {signal} appears in the wrong burst")
             }
-            BmError::MaximalSetViolation { state, arc_a, arc_b } => write!(
+            BmError::MaximalSetViolation {
+                state,
+                arc_a,
+                arc_b,
+            } => write!(
                 f,
                 "state {state}: input burst of arc {arc_a} is a subset of arc {arc_b}'s"
             ),
@@ -112,7 +116,10 @@ impl fmt::Display for BmError {
                 write!(f, "state {state} entered with inconsistent signal values")
             }
             BmError::PolarityError { arc, signal } => {
-                write!(f, "arc {arc}: transition on {signal} does not toggle its value")
+                write!(
+                    f,
+                    "arc {arc}: transition on {signal} does not toggle its value"
+                )
             }
             BmError::Unreachable { state } => write!(f, "state {state} is unreachable"),
             BmError::TooManySignals => write!(f, "more than 64 signals"),
@@ -168,7 +175,13 @@ pub struct BmSpec {
 impl BmSpec {
     /// Creates an empty specification (one initial state, index 0).
     pub fn new(name: impl Into<String>) -> Self {
-        BmSpec { name: name.into(), signals: Vec::new(), num_states: 0, initial: 0, arcs: Vec::new() }
+        BmSpec {
+            name: name.into(),
+            signals: Vec::new(),
+            num_states: 0,
+            initial: 0,
+            arcs: Vec::new(),
+        }
     }
 
     /// The machine name.
@@ -178,7 +191,10 @@ impl BmSpec {
 
     /// Adds a signal; returns its index.
     pub fn add_signal(&mut self, name: impl Into<String>, dir: SignalDir) -> usize {
-        self.signals.push(Signal { name: name.into(), dir });
+        self.signals.push(Signal {
+            name: name.into(),
+            dir,
+        });
         self.signals.len() - 1
     }
 
@@ -206,8 +222,14 @@ impl BmSpec {
         let arc = Arc {
             from,
             to,
-            inputs: inputs.iter().map(|&(signal, rising)| Edge { signal, rising }).collect(),
-            outputs: outputs.iter().map(|&(signal, rising)| Edge { signal, rising }).collect(),
+            inputs: inputs
+                .iter()
+                .map(|&(signal, rising)| Edge { signal, rising })
+                .collect(),
+            outputs: outputs
+                .iter()
+                .map(|&(signal, rising)| Edge { signal, rising })
+                .collect(),
         };
         self.arcs.push(arc);
         self.arcs.len() - 1
@@ -235,12 +257,16 @@ impl BmSpec {
 
     /// Indices of the input signals, in signal order.
     pub fn input_signals(&self) -> Vec<usize> {
-        (0..self.signals.len()).filter(|&i| self.signals[i].dir == SignalDir::Input).collect()
+        (0..self.signals.len())
+            .filter(|&i| self.signals[i].dir == SignalDir::Input)
+            .collect()
     }
 
     /// Indices of the output signals, in signal order.
     pub fn output_signals(&self) -> Vec<usize> {
-        (0..self.signals.len()).filter(|&i| self.signals[i].dir == SignalDir::Output).collect()
+        (0..self.signals.len())
+            .filter(|&i| self.signals[i].dir == SignalDir::Output)
+            .collect()
     }
 
     /// Validates the specification and computes the state entry vectors.
@@ -291,10 +317,18 @@ impl BmSpec {
                     let ia = &self.arcs[a].inputs;
                     let ib = &self.arcs[b].inputs;
                     if ia.is_subset(ib) {
-                        return Err(BmError::MaximalSetViolation { state, arc_a: a, arc_b: b });
+                        return Err(BmError::MaximalSetViolation {
+                            state,
+                            arc_a: a,
+                            arc_b: b,
+                        });
                     }
                     if ib.is_subset(ia) {
-                        return Err(BmError::MaximalSetViolation { state, arc_a: b, arc_b: a });
+                        return Err(BmError::MaximalSetViolation {
+                            state,
+                            arc_a: b,
+                            arc_b: a,
+                        });
                     }
                 }
             }
@@ -358,26 +392,46 @@ impl BmSpec {
             return Err(BmError::Unreachable { state });
         }
         Ok(EntryVectors {
-            entry_in: entry_in.into_iter().map(|v| v.expect("all reachable")).collect(),
-            entry_out: entry_out.into_iter().map(|v| v.expect("all reachable")).collect(),
+            entry_in: entry_in
+                .into_iter()
+                .map(|v| v.expect("all reachable"))
+                .collect(),
+            entry_out: entry_out
+                .into_iter()
+                .map(|v| v.expect("all reachable"))
+                .collect(),
         })
     }
 
     /// Map from signal index to position among the inputs.
     pub fn input_index_map(&self) -> HashMap<usize, usize> {
-        self.input_signals().into_iter().enumerate().map(|(i, s)| (s, i)).collect()
+        self.input_signals()
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (s, i))
+            .collect()
     }
 
     /// Map from signal index to position among the outputs.
     pub fn output_index_map(&self) -> HashMap<usize, usize> {
-        self.output_signals().into_iter().enumerate().map(|(i, s)| (s, i)).collect()
+        self.output_signals()
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (s, i))
+            .collect()
     }
 
     /// Renders a burst like `a_r+ b_r+`.
     pub fn burst_string(&self, burst: &BTreeSet<Edge>) -> String {
         burst
             .iter()
-            .map(|e| format!("{}{}", self.signals[e.signal].name, if e.rising { "+" } else { "-" }))
+            .map(|e| {
+                format!(
+                    "{}{}",
+                    self.signals[e.signal].name,
+                    if e.rising { "+" } else { "-" }
+                )
+            })
             .collect::<Vec<_>>()
             .join(" ")
     }
@@ -485,7 +539,10 @@ mod tests {
         // {a+} is a subset of {a+, b+}: the machine could not distinguish.
         s.add_arc(s0, s1, &[(a, true)], &[]);
         s.add_arc(s0, s2, &[(a, true), (b, true)], &[]);
-        assert!(matches!(s.validate(), Err(BmError::MaximalSetViolation { .. })));
+        assert!(matches!(
+            s.validate(),
+            Err(BmError::MaximalSetViolation { .. })
+        ));
     }
 
     #[test]
@@ -528,7 +585,10 @@ mod tests {
         s.add_arc(s0, s1, &[(b, true)], &[]);
         s.add_arc(s0, s2, &[(a, true)], &[]);
         s.add_arc(s1, s2, &[(a, true)], &[]);
-        assert!(matches!(s.validate(), Err(BmError::InconsistentEntry { .. })));
+        assert!(matches!(
+            s.validate(),
+            Err(BmError::InconsistentEntry { .. })
+        ));
     }
 
     #[test]

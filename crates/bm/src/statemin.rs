@@ -32,8 +32,7 @@ pub fn minimize_states(spec: &BmSpec) -> Result<StateMinResult, BmError> {
     let mut compatible = vec![vec![true; n]; n];
     for s in 0..n {
         for t in 0..n {
-            if entry.entry_in[s] != entry.entry_in[t] || entry.entry_out[s] != entry.entry_out[t]
-            {
+            if entry.entry_in[s] != entry.entry_in[t] || entry.entry_out[s] != entry.entry_out[t] {
                 compatible[s][t] = false;
             }
         }
@@ -79,7 +78,10 @@ pub fn minimize_states(spec: &BmSpec) -> Result<StateMinResult, BmError> {
     for s in 0..n {
         let mut placed = false;
         for (ci, class) in classes.iter_mut().enumerate() {
-            if class.iter().all(|&t| compatible[s.min(t)][s.max(t)] && compatible[s.max(t)][s.min(t)]) {
+            if class
+                .iter()
+                .all(|&t| compatible[s.min(t)][s.max(t)] && compatible[s.max(t)][s.min(t)])
+            {
                 class.push(s);
                 class_of[s] = ci;
                 placed = true;
@@ -114,7 +116,10 @@ pub fn minimize_states(spec: &BmSpec) -> Result<StateMinResult, BmError> {
         reduced.add_arc(from, to, &inputs, &outputs);
     }
     reduced.validate()?;
-    Ok(StateMinResult { spec: reduced, state_map: class_of })
+    Ok(StateMinResult {
+        spec: reduced,
+        state_map: class_of,
+    })
 }
 
 #[cfg(test)]

@@ -16,7 +16,8 @@
 use crate::assign::{assign_with, AssignError, Separation, StateAssignment};
 use crate::spec::{BmError, BmSpec};
 use bmbe_logic::cover::{Cover, Tv};
-use bmbe_logic::hfmin::{FunctionSpec, HfminError};
+use bmbe_logic::hfmin::{FunctionSpec, HfminError, MinimizeStats};
+use bmbe_par::par_map;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -111,6 +112,10 @@ pub struct Controller {
     pub initial_code: u64,
     /// Whether every covering step was exact.
     pub exact: bool,
+    /// Aggregate wall-clock breakdown of the per-function minimizations
+    /// (prime generation vs covering), summed across functions; feeds the
+    /// flow's per-phase profiler.
+    pub minimize_stats: MinimizeStats,
     /// The per-function transition specifications (kept for verification).
     pub function_specs: Vec<FunctionSpec>,
 }
@@ -118,7 +123,11 @@ pub struct Controller {
 impl Controller {
     /// Total number of product terms across all functions.
     pub fn num_products(&self) -> usize {
-        self.output_covers.iter().chain(&self.next_state_covers).map(Cover::len).sum()
+        self.output_covers
+            .iter()
+            .chain(&self.next_state_covers)
+            .map(Cover::len)
+            .sum()
     }
 
     /// Number of *distinct* product terms (the sharing opportunity counted
@@ -135,7 +144,11 @@ impl Controller {
 
     /// Total literal count.
     pub fn num_literals(&self) -> usize {
-        self.output_covers.iter().chain(&self.next_state_covers).map(Cover::num_literals).sum()
+        self.output_covers
+            .iter()
+            .chain(&self.next_state_covers)
+            .map(Cover::num_literals)
+            .sum()
     }
 
     /// Total number of logic variables (inputs + state bits).
@@ -178,8 +191,11 @@ impl Controller {
     /// Returns a human-readable description of the first violation.
     pub fn verify_ternary(&self) -> Result<(), String> {
         let n = self.num_vars();
-        let covers: Vec<&Cover> =
-            self.output_covers.iter().chain(&self.next_state_covers).collect();
+        let covers: Vec<&Cover> = self
+            .output_covers
+            .iter()
+            .chain(&self.next_state_covers)
+            .collect();
         for (fi, (spec, cover)) in self.function_specs.iter().zip(&covers).enumerate() {
             for t in spec.transitions() {
                 let changing = t.start ^ t.end;
@@ -225,15 +241,32 @@ impl Controller {
 /// unsatisfiable, or a function has no hazard-free cover (see
 /// [`SynthError`]).
 pub fn synthesize(spec: &BmSpec, mode: MinimizeMode) -> Result<Controller, SynthError> {
+    synthesize_parallel(spec, mode, 1)
+}
+
+/// [`synthesize`] with the per-function minimizations fanned out across up
+/// to `threads` workers. The result is bit-identical to the serial path
+/// (`threads == 1`): jobs are independent, results are collected in
+/// function order, and the first failing function (by index) decides the
+/// error.
+///
+/// # Errors
+///
+/// See [`synthesize`].
+pub fn synthesize_parallel(
+    spec: &BmSpec,
+    mode: MinimizeMode,
+    threads: usize,
+) -> Result<Controller, SynthError> {
     // Try the minimal race-free assignment first; if hazard-free
     // minimization turns out infeasible (the CHASM interaction between
     // encoding and hazard constraints), fall back to the fully separated
     // assignment, which guarantees feasibility.
-    match synthesize_with(spec, mode, Separation::Conflicts) {
+    match synthesize_with_threads(spec, mode, Separation::Conflicts, threads) {
         Err(SynthError::Hfmin {
             error: HfminError::NoHazardFreeCover { .. },
             ..
-        }) => synthesize_with(spec, mode, Separation::AllArcs),
+        }) => synthesize_with_threads(spec, mode, Separation::AllArcs, threads),
         other => other,
     }
 }
@@ -248,6 +281,22 @@ pub fn synthesize_with(
     spec: &BmSpec,
     mode: MinimizeMode,
     separation: Separation,
+) -> Result<Controller, SynthError> {
+    synthesize_with_threads(spec, mode, separation, 1)
+}
+
+/// [`synthesize_with`], fanning per-function minimizations across up to
+/// `threads` workers (see [`synthesize_parallel`] for the determinism
+/// contract).
+///
+/// # Errors
+///
+/// See [`SynthError`].
+pub fn synthesize_with_threads(
+    spec: &BmSpec,
+    mode: MinimizeMode,
+    separation: Separation,
+    threads: usize,
 ) -> Result<Controller, SynthError> {
     let entry = spec.validate()?;
     let assignment = assign_with(spec, separation)?;
@@ -288,8 +337,7 @@ pub fn synthesize_with(
         let a = entry.entry_in[arc.from] | code(arc.from);
         let b = post_in | code(arc.from);
         let c = post_in | code(arc.to);
-        let out_change: HashMap<usize, ()> =
-            arc.outputs.iter().map(|e| (e.signal, ())).collect();
+        let out_change: HashMap<usize, ()> = arc.outputs.iter().map(|e| (e.signal, ())).collect();
         for (oi, &sig) in output_signals.iter().enumerate() {
             let old = entry.entry_out[arc.from] >> output_ix[&sig] & 1 == 1;
             let new = old ^ out_change.contains_key(&sig);
@@ -306,35 +354,55 @@ pub fn synthesize_with(
         for j in 0..m {
             let old = assignment.codes[arc.from] >> j & 1 == 1;
             let new = assignment.codes[arc.to] >> j & 1 == 1;
-            specs[output_signals.len() + j].add_transition(
-                bmbe_logic::hfmin::SpecTransition { start: a, end: b, from: old, to: new },
-            );
+            specs[output_signals.len() + j].add_transition(bmbe_logic::hfmin::SpecTransition {
+                start: a,
+                end: b,
+                from: old,
+                to: new,
+            });
             if b != c {
                 specs[output_signals.len() + j].add_static(b, c, new);
             }
         }
     }
 
-    // Minimize each function.
-    let mut covers: Vec<Cover> = Vec::with_capacity(num_funcs);
-    let mut exact = true;
-    for (fi, fspec) in specs.iter().enumerate() {
-        let name = if fi < output_signals.len() {
+    // Minimize each function, fanning the independent per-output jobs
+    // across workers. Results come back in function order and the first
+    // failing index wins, so the outcome is bit-identical to a serial loop.
+    let function_name = |fi: usize| {
+        if fi < output_signals.len() {
             spec.signals()[output_signals[fi]].name.clone()
         } else {
             format!("y{}", fi - output_signals.len())
-        };
-        let result = fspec
-            .minimize()
-            .map_err(|error| SynthError::Hfmin { function: name.clone(), error })?;
-        if let Err(e) = fspec.verify_cover(&result.cover) {
-            panic!(
+        }
+    };
+    let results: Vec<Result<bmbe_logic::hfmin::HfminResult, SynthError>> = par_map(
+        &specs,
+        threads,
+        |fi, fspec| {
+            let name = function_name(fi);
+            let result = fspec.minimize().map_err(|error| SynthError::Hfmin {
+                function: name.clone(),
+                error,
+            })?;
+            if let Err(e) = fspec.verify_cover(&result.cover) {
+                panic!(
                 "internal: minimizer returned a bad cover for {name}: {e}\n                 spec transitions: {:?}\ncover: {}",
                 fspec.transitions(),
                 result.cover
             );
-        }
+            }
+            Ok(result)
+        },
+    );
+    let mut covers: Vec<Cover> = Vec::with_capacity(num_funcs);
+    let mut exact = true;
+    let mut minimize_stats = MinimizeStats::default();
+    for result in results {
+        let result = result?;
         exact &= result.exact;
+        minimize_stats.prime_gen += result.stats.prime_gen;
+        minimize_stats.covering += result.stats.covering;
         covers.push(result.cover);
     }
     // Area mode currently shares identical products downstream; the covers
@@ -351,8 +419,14 @@ pub fn synthesize_with(
     let initial_code = assignment.codes[spec.initial()];
     Ok(Controller {
         name: spec.name().to_string(),
-        inputs: input_signals.iter().map(|&s| spec.signals()[s].name.clone()).collect(),
-        outputs: output_signals.iter().map(|&s| spec.signals()[s].name.clone()).collect(),
+        inputs: input_signals
+            .iter()
+            .map(|&s| spec.signals()[s].name.clone())
+            .collect(),
+        outputs: output_signals
+            .iter()
+            .map(|&s| spec.signals()[s].name.clone())
+            .collect(),
         num_state_bits: m,
         output_covers,
         next_state_covers,
@@ -361,6 +435,7 @@ pub fn synthesize_with(
         initial_outputs: entry.entry_out[spec.initial()],
         initial_code,
         exact,
+        minimize_stats,
         function_specs: specs,
     })
 }
@@ -443,7 +518,12 @@ mod tests {
         let s0 = s.add_state();
         let s1 = s.add_state();
         s.add_arc(s0, s1, &[(ar, true), (br, true)], &[(aa, true), (ba, true)]);
-        s.add_arc(s1, s0, &[(ar, false), (br, false)], &[(aa, false), (ba, false)]);
+        s.add_arc(
+            s1,
+            s0,
+            &[(ar, false), (br, false)],
+            &[(aa, false), (ba, false)],
+        );
         let ctrl = synthesize(&s, MinimizeMode::Speed).unwrap();
         ctrl.verify_ternary().unwrap();
     }

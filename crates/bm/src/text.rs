@@ -105,7 +105,11 @@ pub fn from_bms(text: &str) -> Result<BmSpec, BmsParseError> {
                     line: line_no,
                     message: "missing signal name".into(),
                 })?;
-                let dir = if head == "input" { SignalDir::Input } else { SignalDir::Output };
+                let dir = if head == "input" {
+                    SignalDir::Input
+                } else {
+                    SignalDir::Output
+                };
                 spec.add_signal(n, dir);
                 names.push(n.to_string());
             }
@@ -222,7 +226,10 @@ mod tests {
 
     #[test]
     fn bms_rejects_bad_input() {
-        assert!(matches!(from_bms("0 x p_r+ |"), Err(BmsParseError::BadLine { .. })));
+        assert!(matches!(
+            from_bms("0 x p_r+ |"),
+            Err(BmsParseError::BadLine { .. })
+        ));
         assert!(matches!(
             from_bms("input a 0\n0 1 b+ |"),
             Err(BmsParseError::BadLine { .. })
@@ -250,8 +257,9 @@ mod tests {
     }
 
     #[test]
-    fn comments_ignored()  {
-        let text = "; a comment\nname t\ninput a 0\noutput x 0\n0 1 a+ | x+ ; trailing\n1 0 a- | x-\n";
+    fn comments_ignored() {
+        let text =
+            "; a comment\nname t\ninput a 0\noutput x 0\n0 1 a+ | x+ ; trailing\n1 0 a- | x-\n";
         let s = from_bms(text).unwrap();
         assert_eq!(s.num_states(), 2);
     }

@@ -162,17 +162,27 @@ pub enum ChExpr {
 impl ChExpr {
     /// Convenience constructor for a passive point-to-point channel.
     pub fn passive(name: impl Into<String>) -> ChExpr {
-        ChExpr::PToP { activity: ChActivity::Passive, name: name.into() }
+        ChExpr::PToP {
+            activity: ChActivity::Passive,
+            name: name.into(),
+        }
     }
 
     /// Convenience constructor for an active point-to-point channel.
     pub fn active(name: impl Into<String>) -> ChExpr {
-        ChExpr::PToP { activity: ChActivity::Active, name: name.into() }
+        ChExpr::PToP {
+            activity: ChActivity::Active,
+            name: name.into(),
+        }
     }
 
     /// Convenience constructor for an operator application.
     pub fn op(op: InterleaveOp, a: ChExpr, b: ChExpr) -> ChExpr {
-        ChExpr::Op { op, a: Box::new(a), b: Box::new(b) }
+        ChExpr::Op {
+            op,
+            a: Box::new(a),
+            b: Box::new(b),
+        }
     }
 
     /// Right-nested sequencing of several expressions (§3.3:
@@ -216,13 +226,11 @@ impl ChExpr {
             ChExpr::MuxAck { .. } => ChActivity::Active,
             ChExpr::MuxReq { .. } => ChActivity::Passive,
             ChExpr::Void | ChExpr::Break => ChActivity::Neither,
-            ChExpr::Verb { events, .. } => {
-                match events.iter().flat_map(|e| e.first()).next() {
-                    Some(t) if t.out => ChActivity::Active,
-                    Some(_) => ChActivity::Passive,
-                    None => ChActivity::Neither,
-                }
-            }
+            ChExpr::Verb { events, .. } => match events.iter().flat_map(|e| e.first()).next() {
+                Some(t) if t.out => ChActivity::Active,
+                Some(_) => ChActivity::Passive,
+                None => ChActivity::Neither,
+            },
             ChExpr::Rep(e) => e.activity(),
             ChExpr::Op { a, b, .. } => match a.activity() {
                 ChActivity::Neither => b.activity(),
@@ -360,22 +368,33 @@ impl ChExpr {
     pub fn rename_channels(&self, map: &std::collections::HashMap<String, String>) -> ChExpr {
         let rename = |name: &String| map.get(name).cloned().unwrap_or_else(|| name.clone());
         match self {
-            ChExpr::PToP { activity, name } => {
-                ChExpr::PToP { activity: *activity, name: rename(name) }
-            }
-            ChExpr::MultAck { activity, name, n } => {
-                ChExpr::MultAck { activity: *activity, name: rename(name), n: *n }
-            }
-            ChExpr::MultReq { activity, name, n } => {
-                ChExpr::MultReq { activity: *activity, name: rename(name), n: *n }
-            }
+            ChExpr::PToP { activity, name } => ChExpr::PToP {
+                activity: *activity,
+                name: rename(name),
+            },
+            ChExpr::MultAck { activity, name, n } => ChExpr::MultAck {
+                activity: *activity,
+                name: rename(name),
+                n: *n,
+            },
+            ChExpr::MultReq { activity, name, n } => ChExpr::MultReq {
+                activity: *activity,
+                name: rename(name),
+                n: *n,
+            },
             ChExpr::MuxAck { name, arms } => ChExpr::MuxAck {
                 name: rename(name),
-                arms: arms.iter().map(|(op, e)| (*op, e.rename_channels(map))).collect(),
+                arms: arms
+                    .iter()
+                    .map(|(op, e)| (*op, e.rename_channels(map)))
+                    .collect(),
             },
             ChExpr::MuxReq { name, arms } => ChExpr::MuxReq {
                 name: rename(name),
-                arms: arms.iter().map(|(op, e)| (*op, e.rename_channels(map))).collect(),
+                arms: arms
+                    .iter()
+                    .map(|(op, e)| (*op, e.rename_channels(map)))
+                    .collect(),
             },
             ChExpr::Void => ChExpr::Void,
             ChExpr::Break => ChExpr::Break,
@@ -408,8 +427,11 @@ pub fn alpha_rename(expr: &ChExpr) -> Option<(ChExpr, Vec<String>)> {
         return None;
     }
     let order = expr.channel_order();
-    let map: std::collections::HashMap<String, String> =
-        order.iter().enumerate().map(|(i, name)| (name.clone(), format!("k{i}"))).collect();
+    let map: std::collections::HashMap<String, String> = order
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.clone(), format!("k{i}")))
+        .collect();
     Some((expr.rename_channels(&map), order))
 }
 
@@ -483,7 +505,11 @@ pub fn check_bm_aware(expr: &ChExpr) -> Result<(), BmAwareError> {
         }
         ChExpr::Op { op, a, b } => {
             if !legal(*op, a.activity(), b.activity()) {
-                return Err(BmAwareError { op: *op, a: a.activity(), b: b.activity() });
+                return Err(BmAwareError {
+                    op: *op,
+                    a: a.activity(),
+                    b: b.activity(),
+                });
             }
             check_bm_aware(a)?;
             check_bm_aware(b)
@@ -504,7 +530,11 @@ pub struct BmAwareError {
 
 impl fmt::Display for BmAwareError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "operator {} is not BM-aware for {}/{} arguments", self.op, self.a, self.b)
+        write!(
+            f,
+            "operator {} is not BM-aware for {}/{} arguments",
+            self.op, self.a, self.b
+        )
     }
 }
 

@@ -51,7 +51,9 @@ pub fn balsa_to_ch(netlist: &Netlist) -> Result<CtrlNetlist, TranslateError> {
         }
         let chan = |i: usize| netlist.channel(comp.channels[i]).name.clone();
         let chans = |range: std::ops::Range<usize>| -> Vec<String> {
-            range.map(|i| netlist.channel(comp.channels[i]).name.clone()).collect()
+            range
+                .map(|i| netlist.channel(comp.channels[i]).name.clone())
+                .collect()
         };
         let program: ChExpr = match &comp.kind {
             ComponentKind::Sequence { branches } => {
@@ -61,30 +63,24 @@ pub fn balsa_to_ch(netlist: &Netlist) -> Result<CtrlNetlist, TranslateError> {
                 components::concur(&chan(0), &chans(1..1 + branches))
             }
             ComponentKind::Loop => components::loop_forever(&chan(0), &chan(1)),
-            ComponentKind::While => {
-                components::while_loop(&chan(0), &chan(1), &chan(2))
-            }
-            ComponentKind::Call { inputs } => {
-                components::call(&chans(0..*inputs), &chan(*inputs))
-            }
+            ComponentKind::While => components::while_loop(&chan(0), &chan(1), &chan(2)),
+            ComponentKind::Call { inputs } => components::call(&chans(0..*inputs), &chan(*inputs)),
             ComponentKind::DecisionWait { pairs } => components::decision_wait(
                 &chan(0),
                 &chans(1..1 + pairs),
                 &chans(1 + pairs..1 + 2 * pairs),
             ),
-            ComponentKind::Fork { outputs } => {
-                components::fork(&chan(0), &chans(1..1 + outputs))
-            }
+            ComponentKind::Fork { outputs } => components::fork(&chan(0), &chans(1..1 + outputs)),
             ComponentKind::Sync { inputs } => components::sync(&chans(0..*inputs)),
-            ComponentKind::Fetch => {
-                components::transferrer(&chan(0), &chan(1), &chan(2))
-            }
+            ComponentKind::Fetch => components::transferrer(&chan(0), &chan(1), &chan(2)),
             ComponentKind::Case { branches } => {
                 components::case(&chan(0), &chan(1), &chans(2..2 + branches))
             }
             ComponentKind::Skip => ChExpr::Rep(Box::new(ChExpr::passive(chan(0)))),
             other => {
-                return Err(TranslateError::Unsupported { kind: other.mnemonic().to_string() })
+                return Err(TranslateError::Unsupported {
+                    kind: other.mnemonic().to_string(),
+                })
             }
         };
         out.add(format!("{}_{}", comp.kind.mnemonic(), comp.id.0), program);
@@ -152,7 +148,11 @@ mod tests {
              begin loop i -> v ; if v then sync x else continue end end end",
         );
         let ctrl = balsa_to_ch(&n).unwrap();
-        let case = ctrl.components.iter().find(|c| c.name.starts_with("case")).unwrap();
+        let case = ctrl
+            .components
+            .iter()
+            .find(|c| c.name.starts_with("case"))
+            .unwrap();
         let spec = compile_to_bm("case", &case.program).unwrap();
         spec.validate().unwrap();
     }

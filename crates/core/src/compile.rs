@@ -116,7 +116,14 @@ pub fn compile_to_bm(name: &str, expr: &ChExpr) -> Result<BmSpec, CompileError> 
 pub fn compile_items(name: &str, items: &[Item]) -> Result<BmSpec, CompileError> {
     let mut b = Builder::new(name);
     let start = b.fresh_state();
-    b.walk(items, Some(Cursor { state: start, pin: Vec::new(), pout: Vec::new() }))?;
+    b.walk(
+        items,
+        Some(Cursor {
+            state: start,
+            pin: Vec::new(),
+            pout: Vec::new(),
+        }),
+    )?;
     b.resolve_all()?;
     b.finish(start)
 }
@@ -193,7 +200,9 @@ impl Builder {
     fn intern(&mut self, name: &str, dir: SignalDir) -> Result<usize, CompileError> {
         if let Some(&i) = self.signal_ix.get(name) {
             if self.signal_names[i].1 != dir {
-                return Err(CompileError::DirectionConflict { signal: name.to_string() });
+                return Err(CompileError::DirectionConflict {
+                    signal: name.to_string(),
+                });
             }
             return Ok(i);
         }
@@ -362,7 +371,14 @@ impl Builder {
                     let s = self.fresh_state();
                     self.labels.insert(l, Binding::State(s));
                     let rest = rest.to_vec();
-                    self.walk(&rest, Some(Cursor { state: s, pin: Vec::new(), pout: Vec::new() }))?;
+                    self.walk(
+                        &rest,
+                        Some(Cursor {
+                            state: s,
+                            pin: Vec::new(),
+                            pout: Vec::new(),
+                        }),
+                    )?;
                 }
                 None => return Err(CompileError::UndefinedLabel { label: l }),
             }
@@ -386,7 +402,8 @@ impl Builder {
         for (a, b) in alias_arcs {
             self.merge(a, b);
         }
-        self.arcs.retain(|(_, _, pin, pout)| !pin.is_empty() || !pout.is_empty());
+        self.arcs
+            .retain(|(_, _, pin, pout)| !pin.is_empty() || !pout.is_empty());
         Ok(())
     }
 
@@ -449,9 +466,10 @@ impl Builder {
             let mut pout = pout;
             pin.sort_unstable();
             pout.sort_unstable();
-            if emitted.iter().any(|(ef, et, ei, eo)| {
-                *ef == f && *et == t && *ei == pin && *eo == pout
-            }) {
+            if emitted
+                .iter()
+                .any(|(ef, et, ei, eo)| *ef == f && *et == t && *ei == pin && *eo == pout)
+            {
                 continue;
             }
             spec.add_arc(f, t, &pin, &pout);
@@ -491,7 +509,11 @@ mod tests {
 
     /// §3.4 passivator.
     fn passivator() -> ChExpr {
-        rep(ChExpr::op(EncMiddle, ChExpr::passive("a"), ChExpr::passive("b")))
+        rep(ChExpr::op(
+            EncMiddle,
+            ChExpr::passive("a"),
+            ChExpr::passive("b"),
+        ))
     }
 
     #[test]
@@ -613,15 +635,26 @@ mod tests {
     #[test]
     fn direction_conflict_rejected() {
         // Same channel passive and active in one program.
-        let e = rep(ChExpr::op(EncEarly, ChExpr::passive("x"), ChExpr::active("x")));
-        assert!(matches!(compile_to_bm("bad", &e), Err(CompileError::DirectionConflict { .. })));
+        let e = rep(ChExpr::op(
+            EncEarly,
+            ChExpr::passive("x"),
+            ChExpr::active("x"),
+        ));
+        assert!(matches!(
+            compile_to_bm("bad", &e),
+            Err(CompileError::DirectionConflict { .. })
+        ));
     }
 
     #[test]
     fn mult_ack_passive_compiles() {
         let e = rep(ChExpr::op(
             EncEarly,
-            ChExpr::MultAck { activity: crate::ast::ChActivity::Passive, name: "m".into(), n: 2 },
+            ChExpr::MultAck {
+                activity: crate::ast::ChActivity::Passive,
+                name: "m".into(),
+                n: 2,
+            },
             ChExpr::active("b"),
         ));
         let spec = compile_to_bm("fork_like", &e).unwrap();
@@ -635,7 +668,10 @@ mod tests {
         // A mux-req with two enc-early arms behaves like a 2-way call.
         let e = rep(ChExpr::MuxReq {
             name: "m".into(),
-            arms: vec![(EncEarly, ChExpr::active("b")), (EncEarly, ChExpr::active("b"))],
+            arms: vec![
+                (EncEarly, ChExpr::active("b")),
+                (EncEarly, ChExpr::active("b")),
+            ],
         });
         let spec = compile_to_bm("muxreq", &e).unwrap();
         assert_eq!(spec.num_states(), 7, "{spec}");

@@ -53,7 +53,13 @@ pub fn call(ins: &[String], out: &str) -> ChExpr {
     assert!(!ins.is_empty());
     let arms: Vec<ChExpr> = ins
         .iter()
-        .map(|i| ChExpr::op(InterleaveOp::EncEarly, ChExpr::passive(i), ChExpr::active(out)))
+        .map(|i| {
+            ChExpr::op(
+                InterleaveOp::EncEarly,
+                ChExpr::passive(i),
+                ChExpr::active(out),
+            )
+        })
         .collect();
     ChExpr::Rep(Box::new(ChExpr::mutex_all(arms)))
 }
@@ -95,7 +101,13 @@ pub fn decision_wait(activate: &str, ins: &[String], outs: &[String]) -> ChExpr 
     let arms: Vec<ChExpr> = ins
         .iter()
         .zip(outs)
-        .map(|(i, o)| ChExpr::op(InterleaveOp::EncEarly, ChExpr::passive(i), ChExpr::active(o)))
+        .map(|(i, o)| {
+            ChExpr::op(
+                InterleaveOp::EncEarly,
+                ChExpr::passive(i),
+                ChExpr::active(o),
+            )
+        })
         .collect();
     ChExpr::Rep(Box::new(ChExpr::op(
         InterleaveOp::EncEarly,
@@ -120,7 +132,11 @@ pub fn transferrer(activate: &str, pull: &str, push: &str) -> ChExpr {
     ChExpr::Rep(Box::new(ChExpr::op(
         InterleaveOp::EncEarly,
         ChExpr::passive(activate),
-        ChExpr::op(InterleaveOp::SeqOv, ChExpr::active(pull), ChExpr::active(push)),
+        ChExpr::op(
+            InterleaveOp::SeqOv,
+            ChExpr::active(pull),
+            ChExpr::active(push),
+        ),
     )))
 }
 
@@ -148,7 +164,10 @@ pub fn case(activate: &str, select: &str, branches: &[String]) -> ChExpr {
     ChExpr::Rep(Box::new(ChExpr::op(
         InterleaveOp::EncEarly,
         ChExpr::passive(activate),
-        ChExpr::MuxAck { name: select.to_string(), arms },
+        ChExpr::MuxAck {
+            name: select.to_string(),
+            arms,
+        },
     )))
 }
 
@@ -205,7 +224,11 @@ mod tests {
         // Both requests rise in one output burst.
         assert!(text.contains("x_r+"), "{text}");
         assert!(text.contains("y_r+"), "{text}");
-        let first = spec.arcs().iter().find(|a| a.from == spec.initial()).unwrap();
+        let first = spec
+            .arcs()
+            .iter()
+            .find(|a| a.from == spec.initial())
+            .unwrap();
         assert_eq!(first.outputs.len(), 2);
     }
 
@@ -229,7 +252,11 @@ mod tests {
     fn sync3_single_rendezvous() {
         let spec = compile_to_bm("sync3", &sync(&names(&["a", "b", "c"]))).unwrap();
         assert_eq!(spec.num_states(), 2);
-        let first = spec.arcs().iter().find(|a| a.from == spec.initial()).unwrap();
+        let first = spec
+            .arcs()
+            .iter()
+            .find(|a| a.from == spec.initial())
+            .unwrap();
         assert_eq!(first.inputs.len(), 3);
         assert_eq!(first.outputs.len(), 3);
     }

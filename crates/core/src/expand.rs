@@ -145,7 +145,10 @@ impl std::error::Error for ExpandError {}
 /// Returns [`ExpandError::BreakOutsideLoop`] when a `break` has no
 /// enclosing `rep`.
 pub fn expand(expr: &ChExpr) -> Result<Expansion, ExpandError> {
-    let mut ctx = Ctx { next_label: 0, loop_exits: Vec::new() };
+    let mut ctx = Ctx {
+        next_label: 0,
+        loop_exits: Vec::new(),
+    };
     ctx.expand(expr)
 }
 
@@ -192,11 +195,18 @@ impl Ctx {
                 e1.extend(body.linearize());
                 e1.push(Item::Goto(head));
                 e1.push(Item::Label(exit));
-                Ok(Expansion { events: [e1, vec![], vec![], vec![]] })
+                Ok(Expansion {
+                    events: [e1, vec![], vec![], vec![]],
+                })
             }
             ChExpr::Break => {
-                let exit = *self.loop_exits.last().ok_or(ExpandError::BreakOutsideLoop)?;
-                Ok(Expansion { events: [vec![Item::BGoto(exit)], vec![], vec![], vec![]] })
+                let exit = *self
+                    .loop_exits
+                    .last()
+                    .ok_or(ExpandError::BreakOutsideLoop)?;
+                Ok(Expansion {
+                    events: [vec![Item::BGoto(exit)], vec![], vec![], vec![]],
+                })
             }
             ChExpr::MuxAck { name, arms } => {
                 let mut compiled_arms = Vec::with_capacity(arms.len());
@@ -207,31 +217,64 @@ impl Ctx {
                     let vchan = Expansion {
                         events: [
                             vec![],
-                            vec![Item::T(Trans { io: Io::In, signal: format!("{name}_a{i}"), rising: true })],
-                            vec![Item::T(Trans { io: Io::Out, signal: format!("{name}_r"), rising: false })],
-                            vec![Item::T(Trans { io: Io::In, signal: format!("{name}_a{i}"), rising: false })],
+                            vec![Item::T(Trans {
+                                io: Io::In,
+                                signal: format!("{name}_a{i}"),
+                                rising: true,
+                            })],
+                            vec![Item::T(Trans {
+                                io: Io::Out,
+                                signal: format!("{name}_r"),
+                                rising: false,
+                            })],
+                            vec![Item::T(Trans {
+                                io: Io::In,
+                                signal: format!("{name}_a{i}"),
+                                rising: false,
+                            })],
                         ],
                     };
                     let arg_exp = self.expand(arg)?;
-                    let combined =
-                        combine(*op, vchan, ChActivity::Active, arg_exp, arg.activity());
+                    let combined = combine(*op, vchan, ChActivity::Active, arg_exp, arg.activity());
                     compiled_arms.push(combined.linearize());
                 }
                 let e1 = vec![
-                    Item::T(Trans { io: Io::Out, signal: format!("{name}_r"), rising: true }),
+                    Item::T(Trans {
+                        io: Io::Out,
+                        signal: format!("{name}_r"),
+                        rising: true,
+                    }),
                     Item::Choice(compiled_arms),
                 ];
-                Ok(Expansion { events: [e1, vec![], vec![], vec![]] })
+                Ok(Expansion {
+                    events: [e1, vec![], vec![], vec![]],
+                })
             }
             ChExpr::MuxReq { name, arms } => {
                 let mut compiled_arms = Vec::with_capacity(arms.len());
                 for (i, (op, arg)) in arms.iter().enumerate() {
                     let vchan = Expansion {
                         events: [
-                            vec![Item::T(Trans { io: Io::In, signal: format!("{name}_r{i}"), rising: true })],
-                            vec![Item::T(Trans { io: Io::Out, signal: format!("{name}_a"), rising: true })],
-                            vec![Item::T(Trans { io: Io::In, signal: format!("{name}_r{i}"), rising: false })],
-                            vec![Item::T(Trans { io: Io::Out, signal: format!("{name}_a"), rising: false })],
+                            vec![Item::T(Trans {
+                                io: Io::In,
+                                signal: format!("{name}_r{i}"),
+                                rising: true,
+                            })],
+                            vec![Item::T(Trans {
+                                io: Io::Out,
+                                signal: format!("{name}_a"),
+                                rising: true,
+                            })],
+                            vec![Item::T(Trans {
+                                io: Io::In,
+                                signal: format!("{name}_r{i}"),
+                                rising: false,
+                            })],
+                            vec![Item::T(Trans {
+                                io: Io::Out,
+                                signal: format!("{name}_a"),
+                                rising: false,
+                            })],
                         ],
                     };
                     let arg_exp = self.expand(arg)?;
@@ -277,7 +320,9 @@ fn mult_ack_expansion(name: &str, activity: ChActivity, n: usize) -> Expansion {
         _ => (Io::In, Io::Out),
     };
     let acks = |rising: bool| -> Vec<Item> {
-        (0..n).map(|i| trans(ack_io, format!("{name}_a{i}"), rising)).collect()
+        (0..n)
+            .map(|i| trans(ack_io, format!("{name}_a{i}"), rising))
+            .collect()
     };
     Expansion {
         events: [
@@ -295,7 +340,9 @@ fn mult_req_expansion(name: &str, activity: ChActivity, n: usize) -> Expansion {
         _ => (Io::In, Io::Out),
     };
     let reqs = |rising: bool| -> Vec<Item> {
-        (0..n).map(|i| trans(req_io, format!("{name}_r{i}"), rising)).collect()
+        (0..n)
+            .map(|i| trans(req_io, format!("{name}_r{i}"), rising))
+            .collect()
     };
     Expansion {
         events: [
@@ -325,15 +372,21 @@ fn combine(
         InterleaveOp::EncEarly => {
             if a_act == ChActivity::Active {
                 // [a1][a2 b1 b2 b3 b4][a3][a4]
-                Expansion { events: [a1, cat(vec![a2, b1, b2, b3, b4]), a3, a4] }
+                Expansion {
+                    events: [a1, cat(vec![a2, b1, b2, b3, b4]), a3, a4],
+                }
             } else {
                 // [a1 b1 b2 b3 b4][a2][a3][a4]
-                Expansion { events: [cat(vec![a1, b1, b2, b3, b4]), a2, a3, a4] }
+                Expansion {
+                    events: [cat(vec![a1, b1, b2, b3, b4]), a2, a3, a4],
+                }
             }
         }
         InterleaveOp::EncLate => {
             // [a1][a2][a3][b1 b2 b3 b4 a4]
-            Expansion { events: [a1, a2, a3, cat(vec![b1, b2, b3, b4, a4])] }
+            Expansion {
+                events: [a1, a2, a3, cat(vec![b1, b2, b3, b4, a4])],
+            }
         }
         InterleaveOp::EncMiddle => {
             // [a1 b1][b2 a2][a3 b3][b4 a4]
@@ -348,7 +401,9 @@ fn combine(
         }
         InterleaveOp::Seq => {
             // [a1 a2 a3 a4 b1][b2][b3][b4]
-            Expansion { events: [cat(vec![a1, a2, a3, a4, b1]), b2, b3, b4] }
+            Expansion {
+                events: [cat(vec![a1, a2, a3, a4, b1]), b2, b3, b4],
+            }
         }
         InterleaveOp::SeqOv => {
             // [a1 a2][b1 b2][a3 a4][b3 b4]
@@ -362,9 +417,22 @@ fn combine(
             }
         }
         InterleaveOp::Mutex => {
-            let arm_a = Expansion { events: [a1, a2, a3, a4] }.linearize();
-            let arm_b = Expansion { events: [b1, b2, b3, b4] }.linearize();
-            Expansion { events: [vec![Item::Choice(vec![arm_a, arm_b])], vec![], vec![], vec![]] }
+            let arm_a = Expansion {
+                events: [a1, a2, a3, a4],
+            }
+            .linearize();
+            let arm_b = Expansion {
+                events: [b1, b2, b3, b4],
+            }
+            .linearize();
+            Expansion {
+                events: [
+                    vec![Item::Choice(vec![arm_a, arm_b])],
+                    vec![],
+                    vec![],
+                    vec![],
+                ],
+            }
         }
     }
 }
@@ -395,7 +463,12 @@ mod tests {
     fn enc_early_passive_active_matches_paper_example() {
         // §3: (enc-early (p-to-p passive A) (p-to-p active B)) =
         // [(i a_r+)(o b_r+)(i b_a+)(o b_r-)(i b_a-)][(o a_a+)][(i a_r-)][(o a_a-)]
-        let e = expand(&ChExpr::op(EncEarly, ChExpr::passive("a"), ChExpr::active("b"))).unwrap();
+        let e = expand(&ChExpr::op(
+            EncEarly,
+            ChExpr::passive("a"),
+            ChExpr::active("b"),
+        ))
+        .unwrap();
         assert_eq!(
             show(&e),
             "[(i a_r +) (o b_r +) (i b_a +) (o b_r -) (i b_a -)][(o a_a +)][(i a_r -)][(o a_a -)]"
@@ -428,8 +501,12 @@ mod tests {
 
     #[test]
     fn enc_middle_interleaves_pairwise() {
-        let e =
-            expand(&ChExpr::op(EncMiddle, ChExpr::passive("a"), ChExpr::passive("b"))).unwrap();
+        let e = expand(&ChExpr::op(
+            EncMiddle,
+            ChExpr::passive("a"),
+            ChExpr::passive("b"),
+        ))
+        .unwrap();
         assert_eq!(
             show(&e),
             "[(i a_r +) (i b_r +)][(o b_a +) (o a_a +)][(i a_r -) (i b_r -)][(o b_a -) (o a_a -)]"
@@ -438,7 +515,12 @@ mod tests {
 
     #[test]
     fn enc_late_encloses_in_return_phase() {
-        let e = expand(&ChExpr::op(EncLate, ChExpr::passive("a"), ChExpr::active("b"))).unwrap();
+        let e = expand(&ChExpr::op(
+            EncLate,
+            ChExpr::passive("a"),
+            ChExpr::active("b"),
+        ))
+        .unwrap();
         assert_eq!(
             show(&e),
             "[(i a_r +)][(o a_a +)][(i a_r -)][(o b_r +) (i b_a +) (o b_r -) (i b_a -) (o a_a -)]"
@@ -465,15 +547,27 @@ mod tests {
 
     #[test]
     fn break_requires_loop() {
-        assert_eq!(expand(&ChExpr::Break).unwrap_err(), ExpandError::BreakOutsideLoop);
-        let ok = ChExpr::Rep(Box::new(ChExpr::op(Seq, ChExpr::passive("p"), ChExpr::Break)));
+        assert_eq!(
+            expand(&ChExpr::Break).unwrap_err(),
+            ExpandError::BreakOutsideLoop
+        );
+        let ok = ChExpr::Rep(Box::new(ChExpr::op(
+            Seq,
+            ChExpr::passive("p"),
+            ChExpr::Break,
+        )));
         let e = expand(&ok).unwrap();
         assert!(e.linearize().iter().any(|i| matches!(i, Item::BGoto(_))));
     }
 
     #[test]
     fn mutex_produces_choice() {
-        let e = expand(&ChExpr::op(Mutex, ChExpr::passive("a"), ChExpr::passive("b"))).unwrap();
+        let e = expand(&ChExpr::op(
+            Mutex,
+            ChExpr::passive("a"),
+            ChExpr::passive("b"),
+        ))
+        .unwrap();
         match &e.events[0][0] {
             Item::Choice(arms) => {
                 assert_eq!(arms.len(), 2);
@@ -497,7 +591,10 @@ mod tests {
     fn mux_ack_shape() {
         let e = expand(&ChExpr::MuxAck {
             name: "m".into(),
-            arms: vec![(EncEarly, ChExpr::active("x")), (EncEarly, ChExpr::active("y"))],
+            arms: vec![
+                (EncEarly, ChExpr::active("x")),
+                (EncEarly, ChExpr::active("y")),
+            ],
         })
         .unwrap();
         // Event 1: m_r+ then the choice; events 2-4 null.
@@ -523,7 +620,12 @@ mod tests {
 
     #[test]
     fn transitions_enumerates_choice_arms() {
-        let e = expand(&ChExpr::op(Mutex, ChExpr::passive("a"), ChExpr::passive("b"))).unwrap();
+        let e = expand(&ChExpr::op(
+            Mutex,
+            ChExpr::passive("a"),
+            ChExpr::passive("b"),
+        ))
+        .unwrap();
         let ts = e.transitions();
         assert_eq!(ts.len(), 8); // both four-phase handshakes
     }

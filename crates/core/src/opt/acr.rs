@@ -46,7 +46,10 @@ impl fmt::Display for AcrFailure {
                 write!(f, "channel does not enclose the activated component's body")
             }
             AcrFailure::NoUniqueActiveUse => {
-                write!(f, "activating component lacks a unique active use of the channel")
+                write!(
+                    f,
+                    "activating component lacks a unique active use of the channel"
+                )
             }
             AcrFailure::NotContiguous => {
                 write!(f, "channel position would serialize concurrent behaviour")
@@ -80,9 +83,14 @@ pub fn hide_activation(activated: &ChExpr, channel: &str) -> Result<ChExpr, AcrF
         return Err(AcrFailure::NotAnActivationChannel);
     }
     match a.as_ref() {
-        ChExpr::PToP { activity: ChActivity::Passive, name } if name == channel => {
-            Ok(ChExpr::Op { op: *op, a: Box::new(ChExpr::Void), b: b.clone() })
-        }
+        ChExpr::PToP {
+            activity: ChActivity::Passive,
+            name,
+        } if name == channel => Ok(ChExpr::Op {
+            op: *op,
+            a: Box::new(ChExpr::Void),
+            b: b.clone(),
+        }),
         _ => Err(AcrFailure::NotAnActivationChannel),
     }
 }
@@ -107,7 +115,10 @@ fn inline_at_channel(
     contiguous: bool,
 ) -> (usize, bool) {
     match expr {
-        ChExpr::PToP { activity: ChActivity::Active, name } if name == channel => {
+        ChExpr::PToP {
+            activity: ChActivity::Active,
+            name,
+        } if name == channel => {
             *expr = body.clone();
             (1, contiguous)
         }
@@ -171,7 +182,10 @@ pub fn activation_channel_removal(
     let spec = compile_to_bm("merged", &merged).map_err(AcrFailure::NotSynthesizable)?;
     if let Some(limit) = state_limit {
         if spec.num_states() > limit {
-            return Err(AcrFailure::TooLarge { states: spec.num_states(), limit });
+            return Err(AcrFailure::TooLarge {
+                states: spec.num_states(),
+                limit,
+            });
         }
     }
     Ok(merged)
@@ -204,7 +218,11 @@ mod tests {
         let seq = sequencer("act", &names(&["x", "y"]));
         let body = hide_activation(&seq, "act").unwrap();
         match &body {
-            ChExpr::Op { op: InterleaveOp::EncEarly, a, .. } => {
+            ChExpr::Op {
+                op: InterleaveOp::EncEarly,
+                a,
+                ..
+            } => {
                 assert_eq!(**a, ChExpr::Void);
             }
             other => panic!("unexpected hide result {other:?}"),
@@ -236,7 +254,13 @@ mod tests {
         let dw = decision_wait("a1", &names(&["i1", "i2"]), &names(&["o1", "o2"]));
         let seq = sequencer("o2", &names(&["c1", "c2"]));
         let err = activation_channel_removal(&dw, &seq, "o2", Some(5)).unwrap_err();
-        assert!(matches!(err, AcrFailure::TooLarge { states: 11, limit: 5 }));
+        assert!(matches!(
+            err,
+            AcrFailure::TooLarge {
+                states: 11,
+                limit: 5
+            }
+        ));
     }
 
     #[test]
@@ -311,8 +335,8 @@ mod contiguity_tests {
         // 1's complete overlapped cycle.
         assert!(tn
             .accepts(&[
-                "act_r", "pl1_r", "pl1_a", "ps1_r", "ps1_a", "pl1_r", "pl1_a", "ps1_r",
-                "ps1_a", "pl2_r"
+                "act_r", "pl1_r", "pl1_a", "ps1_r", "ps1_a", "pl1_r", "pl1_a", "ps1_r", "ps1_a",
+                "pl2_r"
             ])
             .expect("alphabet"));
     }

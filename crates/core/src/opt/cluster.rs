@@ -41,7 +41,9 @@ pub struct ClusterOptions {
 
 impl Default for ClusterOptions {
     fn default() -> Self {
-        ClusterOptions { state_limit: Some(40) }
+        ClusterOptions {
+            state_limit: Some(40),
+        }
     }
 }
 
@@ -79,7 +81,10 @@ impl CtrlNetlist {
 
     /// Adds a component.
     pub fn add(&mut self, name: impl Into<String>, program: ChExpr) {
-        self.components.push(CtrlComponent { name: name.into(), program });
+        self.components.push(CtrlComponent {
+            name: name.into(),
+            program,
+        });
     }
 
     /// Internal point-to-point channels: channel names appearing in exactly
@@ -102,7 +107,11 @@ impl CtrlNetlist {
                 (ChActivity::Passive, ChActivity::Active) => (b.0, a.0),
                 _ => continue,
             };
-            out.push(InternalChannel { name: chan, active, passive });
+            out.push(InternalChannel {
+                name: chan,
+                active,
+                passive,
+            });
         }
         out
     }
@@ -120,8 +129,7 @@ impl CtrlNetlist {
             tried.push(chan.name.clone());
             let activating = &self.components[chan.active].program;
             let activated = &self.components[chan.passive].program;
-            match activation_channel_removal(activating, activated, &chan.name, opts.state_limit)
-            {
+            match activation_channel_removal(activating, activated, &chan.name, opts.state_limit) {
                 Ok(merged) => {
                     let merged_name = format!(
                         "{}+{}",
@@ -130,7 +138,10 @@ impl CtrlNetlist {
                     let (hi, lo) = (chan.active.max(chan.passive), chan.active.min(chan.passive));
                     self.components.remove(hi);
                     self.components.remove(lo);
-                    self.components.push(CtrlComponent { name: merged_name, program: merged });
+                    self.components.push(CtrlComponent {
+                        name: merged_name,
+                        program: merged,
+                    });
                     report.eliminated_channels.push(chan.name);
                 }
                 Err(e) => {
@@ -154,8 +165,8 @@ impl CtrlNetlist {
                 .position(|c| !c.name.ends_with("!kept") && split_call(&c.program).is_some());
             let Some(ix) = call_ix else { break };
             let name = self.components[ix].name.clone();
-            let fragments = split_call(&self.components[ix].program)
-                .expect("position() checked the shape");
+            let fragments =
+                split_call(&self.components[ix].program).expect("position() checked the shape");
             let shared = fragments.shared_channel.clone();
             let mut trial = self.clone();
             trial.components.remove(ix);
@@ -172,9 +183,7 @@ impl CtrlNetlist {
             let active_homes = trial
                 .components
                 .iter()
-                .filter(|c| {
-                    c.program.channels().get(&shared) == Some(&ChActivity::Active)
-                })
+                .filter(|c| c.program.channels().get(&shared) == Some(&ChActivity::Active))
                 .count();
             if !fragments_left && active_homes <= 1 {
                 *self = trial;
@@ -222,7 +231,9 @@ pub struct CallFragments {
 /// `rep(mutex(enc-early(p b1, a c), ... enc-early(p bn, a c)))` and splits
 /// it into fragments. Returns `None` if the program is not a call.
 pub fn split_call(program: &ChExpr) -> Option<CallFragments> {
-    let ChExpr::Rep(inner) = program else { return None };
+    let ChExpr::Rep(inner) = program else {
+        return None;
+    };
     let mut arms: Vec<&ChExpr> = Vec::new();
     collect_mutex_arms(inner, &mut arms);
     if arms.len() < 2 {
@@ -240,18 +251,27 @@ pub fn split_call(program: &ChExpr) -> Option<CallFragments> {
         let _ = input;
         fragments.push(ChExpr::Rep(Box::new(arm.clone())));
     }
-    Some(CallFragments { fragments, shared_channel: shared? })
+    Some(CallFragments {
+        fragments,
+        shared_channel: shared?,
+    })
 }
 
 /// Recognizes a single call fragment `rep(enc-early(passive b, active c))`.
 pub fn split_call_fragment(program: &ChExpr) -> Option<(String, String)> {
-    let ChExpr::Rep(inner) = program else { return None };
+    let ChExpr::Rep(inner) = program else {
+        return None;
+    };
     call_arm(inner)
 }
 
 fn collect_mutex_arms<'a>(e: &'a ChExpr, out: &mut Vec<&'a ChExpr>) {
     match e {
-        ChExpr::Op { op: InterleaveOp::Mutex, a, b } => {
+        ChExpr::Op {
+            op: InterleaveOp::Mutex,
+            a,
+            b,
+        } => {
             collect_mutex_arms(a, out);
             collect_mutex_arms(b, out);
         }
@@ -260,11 +280,26 @@ fn collect_mutex_arms<'a>(e: &'a ChExpr, out: &mut Vec<&'a ChExpr>) {
 }
 
 fn call_arm(e: &ChExpr) -> Option<(String, String)> {
-    let ChExpr::Op { op: InterleaveOp::EncEarly, a, b } = e else { return None };
-    let ChExpr::PToP { activity: ChActivity::Passive, name: input } = a.as_ref() else {
+    let ChExpr::Op {
+        op: InterleaveOp::EncEarly,
+        a,
+        b,
+    } = e
+    else {
         return None;
     };
-    let ChExpr::PToP { activity: ChActivity::Active, name: out } = b.as_ref() else {
+    let ChExpr::PToP {
+        activity: ChActivity::Passive,
+        name: input,
+    } = a.as_ref()
+    else {
+        return None;
+    };
+    let ChExpr::PToP {
+        activity: ChActivity::Active,
+        name: out,
+    } = b.as_ref()
+    else {
         return None;
     };
     Some((input.clone(), out.clone()))
@@ -283,7 +318,10 @@ mod tests {
     #[test]
     fn t1_merges_dw_and_sequencer() {
         let mut n = CtrlNetlist::new();
-        n.add("dw", decision_wait("a1", &names(&["i1", "i2"]), &names(&["o1", "o2"])));
+        n.add(
+            "dw",
+            decision_wait("a1", &names(&["i1", "i2"]), &names(&["o1", "o2"])),
+        );
         n.add("seq", sequencer("o2", &names(&["c1", "c2"])));
         let report = n.t1_clustering(&ClusterOptions::default());
         assert_eq!(report.eliminated_channels, vec!["o2".to_string()]);
@@ -361,9 +399,14 @@ mod tests {
     #[test]
     fn state_limit_blocks_merge() {
         let mut n = CtrlNetlist::new();
-        n.add("dw", decision_wait("a1", &names(&["i1", "i2"]), &names(&["o1", "o2"])));
+        n.add(
+            "dw",
+            decision_wait("a1", &names(&["i1", "i2"]), &names(&["o1", "o2"])),
+        );
         n.add("seq", sequencer("o2", &names(&["c1", "c2"])));
-        let report = n.t1_clustering(&ClusterOptions { state_limit: Some(5) });
+        let report = n.t1_clustering(&ClusterOptions {
+            state_limit: Some(5),
+        });
         assert!(report.eliminated_channels.is_empty());
         assert_eq!(report.rejected.len(), 1);
         assert_eq!(n.components.len(), 2);

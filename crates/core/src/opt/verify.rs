@@ -53,7 +53,10 @@ impl fmt::Display for VerifyError {
             VerifyError::TraceGen(e) => write!(f, "trace generation failed: {e}"),
             VerifyError::Trace(e) => write!(f, "trace operation failed: {e}"),
             VerifyError::CompositionFails => {
-                write!(f, "composition of the original components reaches a failure")
+                write!(
+                    f,
+                    "composition of the original components reaches a failure"
+                )
             }
         }
     }
@@ -133,8 +136,11 @@ pub struct ExperimentRow {
 /// Propagates machinery errors; verdicts (including correct rejections)
 /// are collected in the rows.
 pub fn run_acr_experiment() -> Result<Vec<ExperimentRow>, VerifyError> {
-    let enclosures =
-        [InterleaveOp::EncEarly, InterleaveOp::EncMiddle, InterleaveOp::EncLate];
+    let enclosures = [
+        InterleaveOp::EncEarly,
+        InterleaveOp::EncMiddle,
+        InterleaveOp::EncLate,
+    ];
     let mut rows = Vec::new();
     for op1 in InterleaveOp::ALL {
         // Activating component: rep(op1(passive p, active c)).
@@ -157,7 +163,11 @@ pub fn run_acr_experiment() -> Result<Vec<ExperimentRow>, VerifyError> {
                 ChExpr::op(InterleaveOp::Seq, ChExpr::active("x"), ChExpr::active("y")),
             )));
             let verdict = verify_acr(&activating, &activated, "c")?;
-            rows.push(ExperimentRow { op_activating: op1, op_activated: op2, verdict });
+            rows.push(ExperimentRow {
+                op_activating: op1,
+                op_activated: op2,
+                verdict,
+            });
         }
     }
     Ok(rows)

@@ -23,7 +23,11 @@ pub struct ChParseError {
 
 impl fmt::Display for ChParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CH parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "CH parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -41,7 +45,10 @@ fn lex(src: &str) -> Result<Sexp, ChParseError> {
     let node = parse_sexp(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(ChParseError { message: "trailing input".into(), offset: pos });
+        return Err(ChParseError {
+            message: "trailing input".into(),
+            offset: pos,
+        });
     }
     Ok(node)
 }
@@ -64,7 +71,10 @@ fn parse_sexp(bytes: &[u8], pos: &mut usize) -> Result<Sexp, ChParseError> {
     skip_ws(bytes, pos);
     let start = *pos;
     match bytes.get(*pos) {
-        None => Err(ChParseError { message: "unexpected end of input".into(), offset: start }),
+        None => Err(ChParseError {
+            message: "unexpected end of input".into(),
+            offset: start,
+        }),
         Some(b'(') => {
             *pos += 1;
             let mut items = Vec::new();
@@ -85,7 +95,10 @@ fn parse_sexp(bytes: &[u8], pos: &mut usize) -> Result<Sexp, ChParseError> {
                 }
             }
         }
-        Some(b')') => Err(ChParseError { message: "unexpected `)`".into(), offset: start }),
+        Some(b')') => Err(ChParseError {
+            message: "unexpected `)`".into(),
+            offset: start,
+        }),
         _ => {
             let begin = *pos;
             while *pos < bytes.len()
@@ -131,11 +144,16 @@ pub fn parse_ch(src: &str) -> Result<ChExpr, ChParseError> {
 }
 
 fn err<T>(message: impl Into<String>, offset: usize) -> Result<T, ChParseError> {
-    Err(ChParseError { message: message.into(), offset })
+    Err(ChParseError {
+        message: message.into(),
+        offset,
+    })
 }
 
 fn op_of(name: &str) -> Option<InterleaveOp> {
-    InterleaveOp::ALL.into_iter().find(|op| op.keyword() == name)
+    InterleaveOp::ALL
+        .into_iter()
+        .find(|op| op.keyword() == name)
 }
 
 fn activity_of(name: &str, offset: usize) -> Result<ChActivity, ChParseError> {
@@ -175,7 +193,10 @@ fn build(sexp: &Sexp) -> Result<ChExpr, ChParseError> {
             }
             let (act, aoff) = atom(&items[1], "activity")?;
             let (name, _) = atom(&items[2], "channel name")?;
-            Ok(ChExpr::PToP { activity: activity_of(act, aoff)?, name: name.to_string() })
+            Ok(ChExpr::PToP {
+                activity: activity_of(act, aoff)?,
+                name: name.to_string(),
+            })
         }
         "mult-ack" | "mult-req" => {
             if items.len() != 4 {
@@ -190,9 +211,17 @@ fn build(sexp: &Sexp) -> Result<ChExpr, ChParseError> {
             })?;
             let activity = activity_of(act, aoff)?;
             Ok(if head == "mult-ack" {
-                ChExpr::MultAck { activity, name: name.to_string(), n }
+                ChExpr::MultAck {
+                    activity,
+                    name: name.to_string(),
+                    n,
+                }
             } else {
-                ChExpr::MultReq { activity, name: name.to_string(), n }
+                ChExpr::MultReq {
+                    activity,
+                    name: name.to_string(),
+                    n,
+                }
             })
         }
         "mux-ack" | "mux-req" => {
@@ -215,9 +244,15 @@ fn build(sexp: &Sexp) -> Result<ChExpr, ChParseError> {
                 arms.push((op, build(&parts[1])?));
             }
             Ok(if head == "mux-ack" {
-                ChExpr::MuxAck { name: name.to_string(), arms }
+                ChExpr::MuxAck {
+                    name: name.to_string(),
+                    arms,
+                }
             } else {
-                ChExpr::MuxReq { name: name.to_string(), arms }
+                ChExpr::MuxReq {
+                    name: name.to_string(),
+                    arms,
+                }
             })
         }
         "rep" => {
@@ -270,14 +305,16 @@ fn build(sexp: &Sexp) -> Result<ChExpr, ChParseError> {
                     });
                 }
             }
-            Ok(ChExpr::Verb { name: name.to_string(), events })
+            Ok(ChExpr::Verb {
+                name: name.to_string(),
+                events,
+            })
         }
         _ => {
             let Some(op) = op_of(head) else {
                 return err(format!("unknown keyword {head}"), hoff);
             };
-            let args: Vec<ChExpr> =
-                items[1..].iter().map(build).collect::<Result<_, _>>()?;
+            let args: Vec<ChExpr> = items[1..].iter().map(build).collect::<Result<_, _>>()?;
             match (op, args.len()) {
                 (_, 0 | 1) => err(format!("{head} needs at least two arguments"), offset),
                 (InterleaveOp::Seq, _) => Ok(ChExpr::seq_all(args)),
@@ -405,9 +442,7 @@ mod tests {
 
     #[test]
     fn mux_ack_syntax() {
-        let e = parse_ch(
-            "(mux-ack m (enc-early (p-to-p active x)) (seq (p-to-p active y)))",
-        );
+        let e = parse_ch("(mux-ack m (enc-early (p-to-p active x)) (seq (p-to-p active y)))");
         // Arms with a single-expression operator body: the arm expression is
         // the operator's (implicit-channel) partner.
         let e = e.unwrap();

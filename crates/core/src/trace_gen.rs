@@ -81,7 +81,11 @@ impl TraceBuilder {
         while i < items.len() {
             match &items[i] {
                 Item::T(t) => {
-                    let dir = if t.io == Io::In { Dir::Input } else { Dir::Output };
+                    let dir = if t.io == Io::In {
+                        Dir::Input
+                    } else {
+                        Dir::Output
+                    };
                     let sym = self.ts.add_symbol(t.signal.clone(), dir);
                     if let Some(s) = cur {
                         // Peek: if the very next meaningful item is a goto at
@@ -142,13 +146,14 @@ impl TraceBuilder {
     fn resolve(&mut self) -> Result<(), TraceGenError> {
         // First force every referenced label to have a state.
         loop {
-            let unresolved = self.pending_gotos.iter().find_map(|(_, _, l)| {
-                match self.labels.get(l) {
-                    Some(LabelBinding::State(_)) => None,
-                    Some(LabelBinding::Continuation(_)) => Some(*l),
-                    None => Some(*l),
-                }
-            });
+            let unresolved =
+                self.pending_gotos
+                    .iter()
+                    .find_map(|(_, _, l)| match self.labels.get(l) {
+                        Some(LabelBinding::State(_)) => None,
+                        Some(LabelBinding::Continuation(_)) => Some(*l),
+                        None => Some(*l),
+                    });
             let Some(l) = unresolved else { break };
             match self.labels.remove(&l) {
                 Some(LabelBinding::Continuation(items)) => {
@@ -212,8 +217,8 @@ mod tests {
         let t = trace_of(&sequencer("p", &names(&["x", "y"]))).unwrap();
         assert!(t
             .accepts(&[
-                "p_r", "x_r", "x_a", "x_r", "x_a", "y_r", "y_a", "y_r", "y_a", "p_a", "p_r",
-                "p_a", "p_r"
+                "p_r", "x_r", "x_a", "x_r", "x_a", "y_r", "y_a", "y_r", "y_a", "p_a", "p_r", "p_a",
+                "p_r"
             ])
             .unwrap());
         // y before x is not a trace.
@@ -223,8 +228,12 @@ mod tests {
     #[test]
     fn call_trace_offers_choice() {
         let t = trace_of(&call(&names(&["a1", "a2"]), "b")).unwrap();
-        assert!(t.accepts(&["a1_r", "b_r", "b_a", "b_r", "b_a", "a1_a"]).unwrap());
-        assert!(t.accepts(&["a2_r", "b_r", "b_a", "b_r", "b_a", "a2_a"]).unwrap());
+        assert!(t
+            .accepts(&["a1_r", "b_r", "b_a", "b_r", "b_a", "a1_a"])
+            .unwrap());
+        assert!(t
+            .accepts(&["a2_r", "b_r", "b_a", "b_r", "b_a", "a2_a"])
+            .unwrap());
     }
 
     #[test]
@@ -252,7 +261,11 @@ mod tests {
         )));
         let t = trace_of(&e).unwrap();
         // Full four-phase handshakes: a then b, and b then a.
-        assert!(t.accepts(&["a_r", "a_a", "a_r", "a_a", "b_r", "b_a", "b_r", "b_a"]).unwrap());
-        assert!(t.accepts(&["b_r", "b_a", "b_r", "b_a", "a_r", "a_a", "a_r", "a_a"]).unwrap());
+        assert!(t
+            .accepts(&["a_r", "a_a", "a_r", "a_a", "b_r", "b_a", "b_r", "b_a"])
+            .unwrap());
+        assert!(t
+            .accepts(&["b_r", "b_a", "b_r", "b_a", "a_r", "a_a", "a_r", "a_a"])
+            .unwrap());
     }
 }

@@ -29,14 +29,26 @@ fn arb_active(depth: u32) -> BoxedStrategy<ChExpr> {
     }
     prop_oneof![
         Just(()).prop_map(|()| ChExpr::active(fresh("a"))),
-        (arb_active(depth - 1), arb_active(depth - 1))
-            .prop_map(|(x, y)| ChExpr::op(InterleaveOp::Seq, x, y)),
-        (arb_active(depth - 1), arb_active(depth - 1))
-            .prop_map(|(x, y)| ChExpr::op(InterleaveOp::SeqOv, x, y)),
-        (arb_active(depth - 1), arb_active(depth - 1))
-            .prop_map(|(x, y)| ChExpr::op(InterleaveOp::EncEarly, x, y)),
-        (arb_active(depth - 1), arb_active(depth - 1))
-            .prop_map(|(x, y)| ChExpr::op(InterleaveOp::EncMiddle, x, y)),
+        (arb_active(depth - 1), arb_active(depth - 1)).prop_map(|(x, y)| ChExpr::op(
+            InterleaveOp::Seq,
+            x,
+            y
+        )),
+        (arb_active(depth - 1), arb_active(depth - 1)).prop_map(|(x, y)| ChExpr::op(
+            InterleaveOp::SeqOv,
+            x,
+            y
+        )),
+        (arb_active(depth - 1), arb_active(depth - 1)).prop_map(|(x, y)| ChExpr::op(
+            InterleaveOp::EncEarly,
+            x,
+            y
+        )),
+        (arb_active(depth - 1), arb_active(depth - 1)).prop_map(|(x, y)| ChExpr::op(
+            InterleaveOp::EncMiddle,
+            x,
+            y
+        )),
     ]
     .boxed()
 }
@@ -44,9 +56,8 @@ fn arb_active(depth: u32) -> BoxedStrategy<ChExpr> {
 /// Random BM-aware *component*: `rep` of a passive enclosure (the standard
 /// controller shape) with a random active body, possibly a mutex of such.
 fn arb_component() -> impl Strategy<Value = ChExpr> {
-    let arm = |(body,): (ChExpr,)| {
-        ChExpr::op(InterleaveOp::EncEarly, ChExpr::passive(fresh("p")), body)
-    };
+    let arm =
+        |(body,): (ChExpr,)| ChExpr::op(InterleaveOp::EncEarly, ChExpr::passive(fresh("p")), body);
     prop_oneof![
         arb_active(2).prop_map(move |b| ChExpr::Rep(Box::new(arm((b,))))),
         (arb_active(1), arb_active(1)).prop_map(move |(b1, b2)| {

@@ -118,7 +118,10 @@ pub fn wagging_register() -> Result<Design, DesignError> {
             max_time: 200_000_000,
             // The first four outputs drain the uninitialized half (zeros),
             // then the first four input words emerge.
-            check: Check::OutputEquals { port: "o".into(), values: vec![0, 0, 0, 0, 1, 2, 3, 4] },
+            check: Check::OutputEquals {
+                port: "o".into(),
+                values: vec![0, 0, 0, 0, 1, 2, 3, 4],
+            },
         },
     })
 }
@@ -138,7 +141,10 @@ pub fn stack() -> Result<Design, DesignError> {
             memory_init: HashMap::new(),
             done: ("output".into(), "dout".into(), 3),
             max_time: 200_000_000,
-            check: Check::OutputEquals { port: "dout".into(), values: vec![33, 22, 11] },
+            check: Check::OutputEquals {
+                port: "dout".into(),
+                values: vec![33, 22, 11],
+            },
         },
     })
 }
@@ -158,7 +164,10 @@ pub fn ssem_core() -> Result<Design, DesignError> {
             memory_init,
             done: ("sync".into(), "halt".into(), 1),
             max_time: 2_000_000_000,
-            check: Check::MemoryEquals { memory: "m".into(), cells: ssem::benchmark_expectation() },
+            check: Check::MemoryEquals {
+                memory: "m".into(),
+                cells: ssem::benchmark_expectation(),
+            },
         },
     })
 }
@@ -169,7 +178,12 @@ pub fn ssem_core() -> Result<Design, DesignError> {
 ///
 /// Propagates construction failures (which indicate shipped-source bugs).
 pub fn all_designs() -> Result<Vec<Design>, DesignError> {
-    Ok(vec![systolic_counter()?, wagging_register()?, stack()?, ssem_core()?])
+    Ok(vec![
+        systolic_counter()?,
+        wagging_register()?,
+        stack()?,
+        ssem_core()?,
+    ])
 }
 
 #[cfg(test)]

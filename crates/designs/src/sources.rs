@@ -111,7 +111,10 @@ mod tests {
             let prog = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
             let design =
                 compile_procedure(&prog.procedures[0]).unwrap_or_else(|e| panic!("{name}: {e}"));
-            design.netlist.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            design
+                .netlist
+                .validate()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 
@@ -139,11 +142,10 @@ mod tests {
             .filter(|c| matches!(c.kind, bmbe_hsnet::ComponentKind::Concur { .. }))
             .count();
         assert_eq!(concurs, 8);
-        assert!(design
-            .netlist
-            .components()
-            .iter()
-            .any(|c| matches!(c.kind, bmbe_hsnet::ComponentKind::PullMux { clients: 8, .. })));
+        assert!(design.netlist.components().iter().any(|c| matches!(
+            c.kind,
+            bmbe_hsnet::ComponentKind::PullMux { clients: 8, .. }
+        )));
     }
 
     #[test]
@@ -151,7 +153,11 @@ mod tests {
         let prog = parse(SSEM).unwrap();
         let design = compile_procedure(&prog.procedures[0]).unwrap();
         let p = design.netlist.partition();
-        assert!(p.datapath.len() > 10, "{} datapath components", p.datapath.len());
+        assert!(
+            p.datapath.len() > 10,
+            "{} datapath components",
+            p.datapath.len()
+        );
         assert!(p.control.len() > 10);
     }
 }

@@ -63,8 +63,9 @@ pub fn benchmark_program() -> Vec<u64> {
         instrs.push(Instr::Sto(16 + k));
     }
     instrs.push(Instr::Stp);
-    let data: Vec<(usize, u64)> =
-        (0..5u64).map(|k| (24 + k as usize, k.wrapping_neg())).collect();
+    let data: Vec<(usize, u64)> = (0..5u64)
+        .map(|k| (24 + k as usize, k.wrapping_neg()))
+        .collect();
     assemble(&instrs, &data)
 }
 

@@ -39,11 +39,12 @@ pub fn component_area(kind: &ComponentKind) -> f64 {
         ComponentKind::PullMux { clients, width } => {
             60.0 + 40.0 * f64::from(*width) * (*clients as f64 - 1.0).max(1.0)
         }
-        ComponentKind::Memory { words, width, reads, writes } => {
-            500.0
-                + 12.0 * (*words as f64) * f64::from(*width)
-                + 200.0 * (*reads + *writes) as f64
-        }
+        ComponentKind::Memory {
+            words,
+            width,
+            reads,
+            writes,
+        } => 500.0 + 12.0 * (*words as f64) * f64::from(*width) + 200.0 * (*reads + *writes) as f64,
         // Control components are costed by technology mapping instead.
         _ => 0.0,
     }
@@ -66,21 +67,39 @@ mod tests {
     #[test]
     fn wider_components_cost_more() {
         let narrow = component_area(&ComponentKind::Variable { width: 8, reads: 1 });
-        let wide = component_area(&ComponentKind::Variable { width: 32, reads: 1 });
+        let wide = component_area(&ComponentKind::Variable {
+            width: 32,
+            reads: 1,
+        });
         assert!(wide > narrow);
-        let adder = component_area(&ComponentKind::BinaryFunc { op: BinOp::Add, width: 32 });
-        let gate = component_area(&ComponentKind::BinaryFunc { op: BinOp::And, width: 32 });
+        let adder = component_area(&ComponentKind::BinaryFunc {
+            op: BinOp::Add,
+            width: 32,
+        });
+        let gate = component_area(&ComponentKind::BinaryFunc {
+            op: BinOp::And,
+            width: 32,
+        });
         assert!(adder > gate);
     }
 
     #[test]
     fn control_components_are_free_here() {
-        assert_eq!(component_area(&ComponentKind::Sequence { branches: 3 }), 0.0);
+        assert_eq!(
+            component_area(&ComponentKind::Sequence { branches: 3 }),
+            0.0
+        );
         assert_eq!(component_area(&ComponentKind::Fetch), 0.0);
     }
 
     #[test]
     fn identity_bridge_is_free() {
-        assert_eq!(component_area(&ComponentKind::UnaryFunc { op: UnOp::Id, width: 0 }), 0.0);
+        assert_eq!(
+            component_area(&ComponentKind::UnaryFunc {
+                op: UnOp::Id,
+                width: 0
+            }),
+            0.0
+        );
     }
 }

@@ -18,18 +18,18 @@
 //! reuse one cache across all four benchmark designs and across the
 //! unoptimized/optimized sides of a comparison.
 
+use crate::profile::PhaseProfile;
 use bmbe_bm::statemin::minimize_states;
-use bmbe_bm::synth::{synthesize, Controller, MinimizeMode, SynthError};
+use bmbe_bm::synth::{synthesize_parallel, Controller, MinimizeMode, SynthError};
 use bmbe_core::ast::{alpha_rename, ChExpr};
 use bmbe_core::compile::{compile_to_bm, CompileError};
 use bmbe_core::parse::print_ch;
-use bmbe_gates::{
-    map as techmap, Library, MapObjective, MapStyle, MappedNetlist, SubjectGraph,
-};
+use bmbe_gates::{map as techmap, Library, MapObjective, MapStyle, MappedNetlist, SubjectGraph};
 use bmbe_logic::Cover;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// The content address of a controller shape: canonical program text plus
 /// the options that change what synthesis produces.
@@ -93,7 +93,10 @@ impl KeyedProgram {
             return wire.to_string();
         }
         if let Some((prefix, suffix)) = wire.rsplit_once('_') {
-            if let Some(index) = prefix.strip_prefix('k').and_then(|d| d.parse::<usize>().ok()) {
+            if let Some(index) = prefix
+                .strip_prefix('k')
+                .and_then(|d| d.parse::<usize>().ok())
+            {
                 if let Some(actual) = self.names.get(index) {
                     return format!("{actual}_{suffix}");
                 }
@@ -127,11 +130,15 @@ pub struct SynthArtifact {
     pub controller: Controller,
     /// The technology-mapped netlist (canonical root names).
     pub mapped: MappedNetlist,
+    /// Wall-clock breakdown of the chain that produced this artifact.
+    pub profile: PhaseProfile,
 }
 
 /// Runs the full per-shape chain: CH-to-BMS compile, state minimization,
-/// hazard-free synthesis, ternary verification, technology mapping, and
-/// post-mapping verification.
+/// hazard-free synthesis (its per-function minimizations fanned across up
+/// to `threads` workers), ternary verification, technology mapping, and
+/// post-mapping verification. Each phase is timed into the artifact's
+/// [`PhaseProfile`].
 ///
 /// # Errors
 ///
@@ -143,31 +150,59 @@ pub fn synthesize_shape(
     map_objective: MapObjective,
     map_style: MapStyle,
     library: &Library,
+    threads: usize,
 ) -> Result<SynthArtifact, ShapeError> {
+    let mut profile = PhaseProfile {
+        shapes: 1,
+        ..PhaseProfile::default()
+    };
+    let t = Instant::now();
     let spec = compile_to_bm(spec_name, program).map_err(ShapeError::Compile)?;
+    profile.compile = t.elapsed();
+    let t = Instant::now();
     let spec = minimize_states(&spec)
         .map(|r| r.spec)
         .map_err(|e| ShapeError::Compile(CompileError::Bm(e)))?;
-    let controller = synthesize(&spec, minimize_mode).map_err(ShapeError::Synth)?;
+    profile.statemin = t.elapsed();
+    let t = Instant::now();
+    let controller =
+        synthesize_parallel(&spec, minimize_mode, threads).map_err(ShapeError::Synth)?;
+    profile.synth = t.elapsed();
+    profile.prime_gen = controller.minimize_stats.prime_gen;
+    profile.covering = controller.minimize_stats.covering;
+    let t = Instant::now();
     controller.verify_ternary().map_err(ShapeError::Hazard)?;
+    profile.verify = t.elapsed();
+    let t = Instant::now();
     let functions: Vec<(String, &Cover)> = controller
         .outputs
         .iter()
         .cloned()
         .chain((0..controller.num_state_bits).map(|j| format!("y{j}")))
-        .zip(controller.output_covers.iter().chain(controller.next_state_covers.iter()))
+        .zip(
+            controller
+                .output_covers
+                .iter()
+                .chain(controller.next_state_covers.iter()),
+        )
         .collect();
     let subject = match minimize_mode {
         MinimizeMode::Speed => SubjectGraph::from_covers(controller.num_vars(), &functions),
-        MinimizeMode::Area => {
-            SubjectGraph::from_covers_shared(controller.num_vars(), &functions)
-        }
+        MinimizeMode::Area => SubjectGraph::from_covers_shared(controller.num_vars(), &functions),
     };
     let mapped = techmap(&subject, library, map_objective, map_style);
+    profile.map = t.elapsed();
+    let t = Instant::now();
     if let Some(v) = bmbe_gates::verify_mapped(&controller, &mapped).first() {
         return Err(ShapeError::MappedHazard(v.to_string()));
     }
-    Ok(SynthArtifact { bm_states: spec.num_states(), controller, mapped })
+    profile.verify += t.elapsed();
+    Ok(SynthArtifact {
+        bm_states: spec.num_states(),
+        controller,
+        mapped,
+        profile,
+    })
 }
 
 /// Lifetime hit/miss counters of a [`ControllerCache`].
@@ -220,7 +255,10 @@ impl ControllerCache {
 
     /// Stores a shape.
     pub fn store(&self, key: CacheKey, artifact: Arc<SynthArtifact>) {
-        self.entries.lock().expect("cache lock").insert(key, artifact);
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(key, artifact);
     }
 
     /// Adds to the lifetime counters (one flow run's totals at a time).
@@ -256,6 +294,7 @@ impl ControllerCache {
             map_objective,
             map_style,
             library,
+            1,
         )?);
         self.store(keyed.key.clone(), artifact.clone());
         self.record(0, 1);

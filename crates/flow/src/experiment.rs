@@ -85,7 +85,10 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Flow(e) => write!(f, "flow: {e}"),
             ExperimentError::Sim(e) => write!(f, "sim: {e}"),
             ExperimentError::Incomplete { side, at_ns } => {
-                write!(f, "{side} benchmark did not complete (cutoff at {at_ns} ns)")
+                write!(
+                    f,
+                    "{side} benchmark did not complete (cutoff at {at_ns} ns)"
+                )
             }
         }
     }
@@ -138,11 +141,17 @@ pub fn compare_with(
     let opt = run_control_flow_with(design, &FlowOptions::optimized(), library, cache)?;
     let unopt_run = simulate(design, &unopt, scenario, delays)?;
     if !unopt_run.completed {
-        return Err(ExperimentError::Incomplete { side: "unoptimized", at_ns: unopt_run.time_ns });
+        return Err(ExperimentError::Incomplete {
+            side: "unoptimized",
+            at_ns: unopt_run.time_ns,
+        });
     }
     let opt_run = simulate(design, &opt, scenario, delays)?;
     if !opt_run.completed {
-        return Err(ExperimentError::Incomplete { side: "optimized", at_ns: opt_run.time_ns });
+        return Err(ExperimentError::Incomplete {
+            side: "optimized",
+            at_ns: opt_run.time_ns,
+        });
     }
     Ok(Comparison {
         design: design.netlist.name().to_string(),

@@ -16,6 +16,7 @@ pub mod area;
 pub mod cache;
 pub mod experiment;
 pub mod pipeline;
+pub mod profile;
 pub mod simbuild;
 pub mod table3;
 pub mod templates;
@@ -24,12 +25,12 @@ pub use area::{component_area, datapath_area};
 pub use cache::{CacheKey, CacheStats, ControllerCache, KeyedProgram, SynthArtifact};
 pub use experiment::{compare, compare_with, Comparison};
 pub use pipeline::{
-    run_control_flow, run_control_flow_with, ControllerArtifact, FlowError, FlowOptions,
-    FlowResult,
+    run_control_flow, run_control_flow_with, ControllerArtifact, FlowError, FlowOptions, FlowResult,
 };
-pub use templates::{template_of, template_table, Template};
-pub use table3::{check_outcome, run_design, run_design_with, to_flow_scenario, BenchError};
+pub use profile::PhaseProfile;
 pub use simbuild::{simulate, Done, Scenario, SimBuildError, SimOutcome};
+pub use table3::{check_outcome, run_design, run_design_with, to_flow_scenario, BenchError};
+pub use templates::{template_of, template_table, Template};
 
 #[cfg(test)]
 mod tests;

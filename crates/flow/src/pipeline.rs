@@ -1,9 +1,8 @@
 //! The back-end pipeline of Fig. 1: partition → Balsa-to-CH → clustering →
 //! CH-to-BMS → Minimalist synthesis → technology mapping → hazard analysis.
 
-use crate::cache::{
-    synthesize_shape, ControllerCache, KeyedProgram, ShapeError, SynthArtifact,
-};
+use crate::cache::{synthesize_shape, ControllerCache, KeyedProgram, ShapeError, SynthArtifact};
+use crate::profile::PhaseProfile;
 use crate::templates::{template_table, Template};
 use bmbe_balsa::CompiledDesign;
 use bmbe_bm::synth::{Controller, MinimizeMode, SynthError};
@@ -66,7 +65,11 @@ impl FlowOptions {
     /// The unoptimized baseline: stock Balsa — one hand-optimized template
     /// component per handshake component, no clustering.
     pub fn unoptimized() -> Self {
-        FlowOptions { optimize: false, use_templates: true, ..Self::optimized() }
+        FlowOptions {
+            optimize: false,
+            use_templates: true,
+            ..Self::optimized()
+        }
     }
 
     /// The seed's serial, uncached behaviour: per-instance synthesis on one
@@ -161,7 +164,8 @@ impl ControllerArtifact {
 
     /// Worst input-to-output delay (ns).
     pub fn critical_delay(&self) -> f64 {
-        self.template.map_or_else(|| self.mapped.critical_delay(), |t| t.delay_ns)
+        self.template
+            .map_or_else(|| self.mapped.critical_delay(), |t| t.delay_ns)
     }
 }
 
@@ -184,12 +188,21 @@ pub struct FlowResult {
     /// Unique controller shapes synthesized by this run (every component
     /// when the cache is disabled).
     pub cache_misses: usize,
+    /// Worker threads the fan-out actually used (the resolved value of
+    /// [`FlowOptions::threads`]).
+    pub threads_used: usize,
+    /// Aggregate per-phase wall-clock profile of the shapes this run
+    /// synthesized (cache hits contribute nothing).
+    pub phases: PhaseProfile,
 }
 
 impl FlowResult {
     /// Total number of two-level products across controllers.
     pub fn total_products(&self) -> usize {
-        self.controllers.iter().map(|c| c.controller.num_products()).sum()
+        self.controllers
+            .iter()
+            .map(|c| c.controller.num_products())
+            .sum()
     }
 }
 
@@ -239,6 +252,7 @@ fn synthesize_direct(
     program: &bmbe_core::ast::ChExpr,
     options: &FlowOptions,
     library: &Library,
+    threads: usize,
 ) -> Result<SynthArtifact, ShapeError> {
     synthesize_shape(
         name,
@@ -247,7 +261,16 @@ fn synthesize_direct(
         options.map_objective,
         options.map_style,
         library,
+        threads,
     )
+}
+
+/// Splits a thread budget between the outer per-shape fan-out and the
+/// per-function minimizations inside each shape: with fewer jobs than
+/// workers the spare workers move inside the shapes, so a single long-pole
+/// controller still gets the full budget.
+fn inner_threads(threads: usize, jobs: usize) -> usize {
+    (threads / threads.min(jobs).max(1)).max(1)
 }
 
 /// Runs the control back-end on a compiled design with a private,
@@ -292,10 +315,15 @@ pub fn run_control_flow_with(
     } else {
         None
     };
-    let templates = if options.use_templates { template_table(&design.netlist) } else { Default::default() };
+    let templates = if options.use_templates {
+        template_table(&design.netlist)
+    } else {
+        Default::default()
+    };
     let threads = options.threads.unwrap_or_else(bmbe_par::default_threads);
 
     let mut controllers = Vec::with_capacity(ctrl.components.len());
+    let mut phases = PhaseProfile::default();
     let cache_hits;
     let cache_misses;
     if options.cache {
@@ -328,14 +356,16 @@ pub fn run_control_flow_with(
         cache_misses = pending.len();
         cache_hits = ctrl.components.len() - cache_misses;
         cache.record(cache_hits, cache_misses);
+        let inner = inner_threads(threads, pending.len());
         let synthesized: Vec<Result<SynthArtifact, ShapeError>> =
             par_map(&pending, threads, |_, k| {
-                synthesize_direct("shape", &k.canonical, options, library)
+                synthesize_direct("shape", &k.canonical, options, library, inner)
             });
         let mut failed: HashMap<&crate::cache::CacheKey, ShapeError> = HashMap::new();
         for (k, result) in pending.iter().zip(synthesized) {
             match result {
                 Ok(artifact) => {
+                    phases.accumulate(&artifact.profile);
                     let artifact = Arc::new(artifact);
                     cache.store(k.key.clone(), artifact.clone());
                     shapes.insert(&k.key, Some(artifact));
@@ -357,12 +387,13 @@ pub fn run_control_flow_with(
                 }
                 _ => {
                     debug_assert!(failed.contains_key(&k.key));
-                    match synthesize_direct(&comp.name, &comp.program, options, library) {
+                    match synthesize_direct(&comp.name, &comp.program, options, library, threads) {
                         Err(e) => return Err(e.into_flow(comp.name.clone())),
                         // Name-dependent divergence (canonical failed,
                         // direct succeeded) — use the direct artifact and
                         // leave the shape uncached.
                         Ok(shape) => {
+                            phases.accumulate(&shape.profile);
                             let template = templates.get(&comp.name).copied();
                             ControllerArtifact {
                                 name: comp.name.clone(),
@@ -381,12 +412,14 @@ pub fn run_control_flow_with(
     } else {
         cache_hits = 0;
         cache_misses = ctrl.components.len();
+        let inner = inner_threads(threads, ctrl.components.len());
         let synthesized: Vec<Result<SynthArtifact, ShapeError>> =
             par_map(&ctrl.components, threads, |_, comp| {
-                synthesize_direct(&comp.name, &comp.program, options, library)
+                synthesize_direct(&comp.name, &comp.program, options, library, inner)
             });
         for (comp, result) in ctrl.components.iter().zip(synthesized) {
             let shape = result.map_err(|e| e.into_flow(comp.name.clone()))?;
+            phases.accumulate(&shape.profile);
             let template = templates.get(&comp.name).copied();
             controllers.push(ControllerArtifact {
                 name: comp.name.clone(),
@@ -409,5 +442,7 @@ pub fn run_control_flow_with(
         control_area,
         cache_hits,
         cache_misses,
+        threads_used: threads,
+        phases,
     })
 }

@@ -89,7 +89,9 @@ pub enum SimBuildError {
 impl fmt::Display for SimBuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimBuildError::UnknownPort(p) => write!(f, "done condition references unknown port {p}"),
+            SimBuildError::UnknownPort(p) => {
+                write!(f, "done condition references unknown port {p}")
+            }
         }
     }
 }
@@ -134,7 +136,9 @@ pub fn simulate(
 ) -> Result<SimOutcome, SimBuildError> {
     let netlist = &design.netlist;
     let mut sim = Sim::new();
-    let mut table = ChannelTable { chans: HashMap::new() };
+    let mut table = ChannelTable {
+        chans: HashMap::new(),
+    };
 
     // Select channels needing an adapter, with branch counts.
     let mut adapted: HashMap<String, usize> = HashMap::new();
@@ -182,12 +186,18 @@ pub fn simulate(
     // Select adapters.
     for (chan, branches) in &adapted {
         let sel_req = sim.node(&format!("{chan}_r"));
-        let sel_acks: Vec<NodeId> =
-            (0..*branches).map(|i| sim.node(&format!("{chan}_a{i}"))).collect();
+        let sel_acks: Vec<NodeId> = (0..*branches)
+            .map(|i| sim.node(&format!("{chan}_a{i}")))
+            .collect();
         let provider = table.get(&mut sim, &provider_name(chan));
         let watch: Vec<NodeId> = [sel_req, provider.ack].into();
         sim.add_prim(
-            Box::new(SelectAdapterPrim::new(sel_req, sel_acks, provider, delays.select)),
+            Box::new(SelectAdapterPrim::new(
+                sel_req,
+                sel_acks,
+                provider,
+                delays.select,
+            )),
             &watch,
         );
     }
@@ -228,7 +238,11 @@ pub fn simulate(
             ComponentKind::Constant { value, .. } => {
                 let ch = table.get(&mut sim, &chan_name(netlist, comp, 0));
                 sim.add_prim(
-                    Box::new(ConstantPrim { ch, value: *value, delay: delays.constant }),
+                    Box::new(ConstantPrim {
+                        ch,
+                        value: *value,
+                        delay: delays.constant,
+                    }),
                     &[ch.req],
                 );
             }
@@ -237,7 +251,13 @@ pub fn simulate(
                 let lhs = table.get(&mut sim, &chan_name(netlist, comp, 1));
                 let rhs = table.get(&mut sim, &chan_name(netlist, comp, 2));
                 sim.add_prim(
-                    Box::new(BinFuncPrim { op: *op, out, lhs, rhs, delay: delays.binop(*op) }),
+                    Box::new(BinFuncPrim {
+                        op: *op,
+                        out,
+                        lhs,
+                        rhs,
+                        delay: delays.binop(*op),
+                    }),
                     &[out.req, lhs.ack, rhs.ack],
                 );
             }
@@ -246,7 +266,12 @@ pub fn simulate(
                 let operand = table.get(&mut sim, &chan_name(netlist, comp, 1));
                 let delay = if *op == UnOp::Id { 1 } else { delays.unary };
                 sim.add_prim(
-                    Box::new(UnFuncPrim { op: *op, out, operand, delay }),
+                    Box::new(UnFuncPrim {
+                        op: *op,
+                        out,
+                        operand,
+                        delay,
+                    }),
                     &[out.req, operand.ack],
                 );
             }
@@ -274,7 +299,12 @@ pub fn simulate(
                 watch.push(source.ack);
                 sim.add_prim(Box::new(PullMuxPrim::new(cl, source, delays.mux)), &watch);
             }
-            ComponentKind::Memory { words, reads, writes, .. } => {
+            ComponentKind::Memory {
+                words,
+                reads,
+                writes,
+                ..
+            } => {
                 // The memory's declared name is the first channel's prefix
                 // ("m_rd0" -> "m").
                 let mem_name = netlist
@@ -348,7 +378,12 @@ pub fn simulate(
             let req = sim.node(&format!("{name}_r"));
             let ack = sim.node(&format!("{name}_a"));
             let id = sim.add_prim(
-                Box::new(SyncResponderEnv { req, ack, delay: delays.env, count: 0 }),
+                Box::new(SyncResponderEnv {
+                    req,
+                    ack,
+                    delay: delays.env,
+                    count: 0,
+                }),
                 &[req],
             );
             sync_env.insert(name.clone(), id);
@@ -363,12 +398,21 @@ pub fn simulate(
             if scenario.input_values.contains_key(name) {
                 let values = scenario.input_values[name].clone();
                 sim.add_prim(
-                    Box::new(PullProviderEnv { ch, values, ix: 0, delay: delays.env }),
+                    Box::new(PullProviderEnv {
+                        ch,
+                        values,
+                        ix: 0,
+                        delay: delays.env,
+                    }),
                     &[ch.req],
                 );
             } else {
                 let id = sim.add_prim(
-                    Box::new(PushConsumerEnv { ch, received: Vec::new(), delay: delays.env }),
+                    Box::new(PushConsumerEnv {
+                        ch,
+                        received: Vec::new(),
+                        delay: delays.env,
+                    }),
                     &[ch.req],
                 );
                 out_env.insert(name.clone(), id);
@@ -397,34 +441,49 @@ pub fn simulate(
     let done = scenario.done.clone();
     let completed = sim.run_until(
         |s| match &done {
-            Done::Activations(n) => {
-                s.prim::<ActivationDriverEnv>(driver).is_some_and(|d| d.completions >= *n)
-            }
+            Done::Activations(n) => s
+                .prim::<ActivationDriverEnv>(driver)
+                .is_some_and(|d| d.completions >= *n),
             Done::Outputs { port, count } => s
                 .prim::<PushConsumerEnv>(out_env[port])
                 .is_some_and(|c| c.received.len() >= *count),
-            Done::Syncs { port, count } => {
-                s.prim::<SyncResponderEnv>(sync_env[port]).is_some_and(|c| c.count >= *count)
-            }
+            Done::Syncs { port, count } => s
+                .prim::<SyncResponderEnv>(sync_env[port])
+                .is_some_and(|c| c.count >= *count),
         },
         scenario.max_time,
     );
     let outputs: HashMap<String, Vec<u64>> = out_env
         .iter()
         .map(|(name, &id)| {
-            (name.clone(), sim.prim::<PushConsumerEnv>(id).map(|c| c.received.clone()).unwrap_or_default())
+            (
+                name.clone(),
+                sim.prim::<PushConsumerEnv>(id)
+                    .map(|c| c.received.clone())
+                    .unwrap_or_default(),
+            )
         })
         .collect();
     let sync_counts: HashMap<String, usize> = sync_env
         .iter()
         .map(|(name, &id)| {
-            (name.clone(), sim.prim::<SyncResponderEnv>(id).map(|c| c.count).unwrap_or(0))
+            (
+                name.clone(),
+                sim.prim::<SyncResponderEnv>(id)
+                    .map(|c| c.count)
+                    .unwrap_or(0),
+            )
         })
         .collect();
     let memories: HashMap<String, Vec<u64>> = mem_prims
         .iter()
         .map(|(name, id)| {
-            (name.clone(), sim.prim::<MemoryPrim>(*id).map(|m| m.words.clone()).unwrap_or_default())
+            (
+                name.clone(),
+                sim.prim::<MemoryPrim>(*id)
+                    .map(|m| m.words.clone())
+                    .unwrap_or_default(),
+            )
         })
         .collect();
     Ok(SimOutcome {

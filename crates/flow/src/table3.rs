@@ -12,8 +12,14 @@ use std::fmt;
 /// Converts a design scenario into a flow scenario.
 pub fn to_flow_scenario(s: &DesignScenario) -> Scenario {
     let done = match s.done.0.as_str() {
-        "sync" => Done::Syncs { port: s.done.1.clone(), count: s.done.2 },
-        "output" => Done::Outputs { port: s.done.1.clone(), count: s.done.2 },
+        "sync" => Done::Syncs {
+            port: s.done.1.clone(),
+            count: s.done.2,
+        },
+        "output" => Done::Outputs {
+            port: s.done.1.clone(),
+            count: s.done.2,
+        },
         _ => Done::Activations(s.done.2),
     };
     Scenario {
@@ -36,7 +42,11 @@ pub struct CheckFailure {
 
 impl fmt::Display for CheckFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} run failed its functional check: {}", self.side, self.detail)
+        write!(
+            f,
+            "{} run failed its functional check: {}",
+            self.side, self.detail
+        )
     }
 }
 
@@ -107,7 +117,11 @@ impl From<ExperimentError> for BenchError {
 /// # Errors
 ///
 /// See [`BenchError`].
-pub fn run_design(design: &Design, library: &Library, delays: &Delays) -> Result<Comparison, BenchError> {
+pub fn run_design(
+    design: &Design,
+    library: &Library,
+    delays: &Delays,
+) -> Result<Comparison, BenchError> {
     run_design_with(design, library, delays, &ControllerCache::new())
 }
 
@@ -126,9 +140,17 @@ pub fn run_design_with(
 ) -> Result<Comparison, BenchError> {
     let scenario = to_flow_scenario(&design.scenario);
     let comparison = compare_with(&design.compiled, &scenario, library, delays, cache)?;
-    check_outcome(&design.scenario.check, &comparison.unopt_run)
-        .map_err(|detail| BenchError::Check(CheckFailure { side: "unoptimized", detail }))?;
-    check_outcome(&design.scenario.check, &comparison.opt_run)
-        .map_err(|detail| BenchError::Check(CheckFailure { side: "optimized", detail }))?;
+    check_outcome(&design.scenario.check, &comparison.unopt_run).map_err(|detail| {
+        BenchError::Check(CheckFailure {
+            side: "unoptimized",
+            detail,
+        })
+    })?;
+    check_outcome(&design.scenario.check, &comparison.opt_run).map_err(|detail| {
+        BenchError::Check(CheckFailure {
+            side: "optimized",
+            detail,
+        })
+    })?;
     Ok(comparison)
 }

@@ -35,8 +35,14 @@ pub fn template_of(kind: &ComponentKind) -> Option<Template> {
             area: 36.0 + 73.0 * (*branches as f64 - 1.0),
             delay_ns: 0.30,
         },
-        ComponentKind::Loop => Template { area: 80.0, delay_ns: 0.16 },
-        ComponentKind::While => Template { area: 250.0, delay_ns: 0.42 },
+        ComponentKind::Loop => Template {
+            area: 80.0,
+            delay_ns: 0.16,
+        },
+        ComponentKind::While => Template {
+            area: 250.0,
+            delay_ns: 0.42,
+        },
         // Merge gates and a latch per caller.
         ComponentKind::Call { inputs } => Template {
             area: 40.0 + 90.0 * (*inputs as f64),
@@ -55,12 +61,18 @@ pub fn template_of(kind: &ComponentKind) -> Option<Template> {
             area: 73.0 * (*inputs as f64 - 1.0).max(1.0),
             delay_ns: 0.30,
         },
-        ComponentKind::Fetch => Template { area: 75.0, delay_ns: 0.20 },
+        ComponentKind::Fetch => Template {
+            area: 75.0,
+            delay_ns: 0.20,
+        },
         ComponentKind::Case { branches } => Template {
             area: 120.0 + 60.0 * (*branches as f64),
             delay_ns: 0.45,
         },
-        ComponentKind::Skip => Template { area: 10.0, delay_ns: 0.06 },
+        ComponentKind::Skip => Template {
+            area: 10.0,
+            delay_ns: 0.06,
+        },
         _ => return None,
     };
     Some(t)
@@ -102,8 +114,12 @@ mod tests {
 
     #[test]
     fn wider_components_cost_more() {
-        let s2 = template_of(&ComponentKind::Sequence { branches: 2 }).expect("t").area;
-        let s8 = template_of(&ComponentKind::Sequence { branches: 8 }).expect("t").area;
+        let s2 = template_of(&ComponentKind::Sequence { branches: 2 })
+            .expect("t")
+            .area;
+        let s8 = template_of(&ComponentKind::Sequence { branches: 8 })
+            .expect("t")
+            .area;
         assert!(s8 > s2);
     }
 }

@@ -21,11 +21,18 @@ fn two_sync_loop_runs_unoptimized() {
         activation_cycles: 1,
         input_values: HashMap::new(),
         memory_init: HashMap::new(),
-        done: Done::Syncs { port: "b".into(), count: 4 },
+        done: Done::Syncs {
+            port: "b".into(),
+            count: 4,
+        },
         max_time: 10_000_000,
     };
     let run = simulate(&d, &flow, &scenario, &Delays::default()).unwrap();
-    assert!(run.completed, "stalled at {} ns after {} events", run.time_ns, run.events);
+    assert!(
+        run.completed,
+        "stalled at {} ns after {} events",
+        run.time_ns, run.events
+    );
     assert!(run.sync_counts["a"] >= 4);
 }
 
@@ -40,7 +47,10 @@ fn two_sync_loop_runs_optimized_and_faster() {
         activation_cycles: 1,
         input_values: HashMap::new(),
         memory_init: HashMap::new(),
-        done: Done::Syncs { port: "b".into(), count: 8 },
+        done: Done::Syncs {
+            port: "b".into(),
+            count: 8,
+        },
         max_time: 10_000_000,
     };
     let run_u = simulate(&d, &unopt, &scenario, &Delays::default()).unwrap();
@@ -68,11 +78,18 @@ fn buffer_moves_data_end_to_end() {
         activation_cycles: 1,
         input_values: inputs,
         memory_init: HashMap::new(),
-        done: Done::Outputs { port: "o".into(), count: 3 },
+        done: Done::Outputs {
+            port: "o".into(),
+            count: 3,
+        },
         max_time: 10_000_000,
     };
     let run = simulate(&d, &flow, &scenario, &Delays::default()).unwrap();
-    assert!(run.completed, "stalled at {} ns after {} events", run.time_ns, run.events);
+    assert!(
+        run.completed,
+        "stalled at {} ns after {} events",
+        run.time_ns, run.events
+    );
     assert_eq!(run.outputs["o"], vec![11, 22, 33]);
 }
 
@@ -91,11 +108,18 @@ fn conditional_design_simulates() {
         activation_cycles: 1,
         input_values: inputs,
         memory_init: HashMap::new(),
-        done: Done::Syncs { port: "x".into(), count: 3 },
+        done: Done::Syncs {
+            port: "x".into(),
+            count: 3,
+        },
         max_time: 50_000_000,
     };
     let run = simulate(&d, &flow, &scenario, &Delays::default()).unwrap();
-    assert!(run.completed, "stalled at {} ns after {} events", run.time_ns, run.events);
+    assert!(
+        run.completed,
+        "stalled at {} ns after {} events",
+        run.time_ns, run.events
+    );
 }
 
 #[test]
@@ -112,11 +136,18 @@ fn optimized_flow_preserves_buffer_behaviour() {
         activation_cycles: 1,
         input_values: inputs,
         memory_init: HashMap::new(),
-        done: Done::Outputs { port: "o".into(), count: 2 },
+        done: Done::Outputs {
+            port: "o".into(),
+            count: 2,
+        },
         max_time: 10_000_000,
     };
     let run = simulate(&d, &flow, &scenario, &Delays::default()).unwrap();
-    assert!(run.completed, "stalled at {} ns after {} events", run.time_ns, run.events);
+    assert!(
+        run.completed,
+        "stalled at {} ns after {} events",
+        run.time_ns, run.events
+    );
     assert_eq!(run.outputs["o"], vec![5, 6]);
 }
 

@@ -1,8 +1,8 @@
 //! Cache-key canonicalization: the content address must be invariant under
 //! channel renaming and sensitive to every synthesis-relevant option.
 
-use bmbe_core::components::{call, decision_wait, sequencer};
 use bmbe_bm::synth::MinimizeMode;
+use bmbe_core::components::{call, decision_wait, sequencer};
 use bmbe_flow::{ControllerCache, KeyedProgram};
 use bmbe_gates::{Library, MapObjective, MapStyle};
 
@@ -10,8 +10,11 @@ fn names(xs: &[&str]) -> Vec<String> {
     xs.iter().map(|s| (*s).to_string()).collect()
 }
 
-const DEFAULTS: (MinimizeMode, MapObjective, MapStyle) =
-    (MinimizeMode::Speed, MapObjective::Delay, MapStyle::SplitModules);
+const DEFAULTS: (MinimizeMode, MapObjective, MapStyle) = (
+    MinimizeMode::Speed,
+    MapObjective::Delay,
+    MapStyle::SplitModules,
+);
 
 #[test]
 fn structurally_identical_programs_share_a_key() {
@@ -46,13 +49,30 @@ fn structurally_different_programs_get_different_keys() {
 #[test]
 fn synthesis_options_are_part_of_the_key() {
     let program = sequencer("a", &names(&["x", "y"]));
-    let base = KeyedProgram::new(&program, MinimizeMode::Speed, MapObjective::Delay, MapStyle::SplitModules);
-    let minmode =
-        KeyedProgram::new(&program, MinimizeMode::Area, MapObjective::Delay, MapStyle::SplitModules);
-    let objective =
-        KeyedProgram::new(&program, MinimizeMode::Speed, MapObjective::Area, MapStyle::SplitModules);
-    let style =
-        KeyedProgram::new(&program, MinimizeMode::Speed, MapObjective::Delay, MapStyle::WholeController);
+    let base = KeyedProgram::new(
+        &program,
+        MinimizeMode::Speed,
+        MapObjective::Delay,
+        MapStyle::SplitModules,
+    );
+    let minmode = KeyedProgram::new(
+        &program,
+        MinimizeMode::Area,
+        MapObjective::Delay,
+        MapStyle::SplitModules,
+    );
+    let objective = KeyedProgram::new(
+        &program,
+        MinimizeMode::Speed,
+        MapObjective::Area,
+        MapStyle::SplitModules,
+    );
+    let style = KeyedProgram::new(
+        &program,
+        MinimizeMode::Speed,
+        MapObjective::Delay,
+        MapStyle::WholeController,
+    );
     assert_ne!(base.key, minmode.key);
     assert_ne!(base.key, objective.key);
     assert_ne!(base.key, style.key);
@@ -81,7 +101,10 @@ fn renamed_instances_hit_and_options_miss() {
         .expect("cached sequencer");
     assert_eq!(cache.stats().hits, 1);
     assert_eq!(cache.stats().misses, 1);
-    assert!(std::sync::Arc::ptr_eq(&art1, &art2), "hit must reuse the stored artifact");
+    assert!(
+        std::sync::Arc::ptr_eq(&art1, &art2),
+        "hit must reuse the stored artifact"
+    );
     // The name table still maps canonical wires onto *this* instance.
     assert_eq!(keyed.rename_wire("k0_r"), "go_r");
     assert_eq!(keyed.rename_wire("k2_a"), "second_a");
@@ -93,7 +116,13 @@ fn renamed_instances_hit_and_options_miss() {
         .expect("area-mode sequencer");
     assert_eq!(cache.stats().misses, 2);
     cache
-        .get_or_synthesize(&renamed, mode, objective, MapStyle::WholeController, &library)
+        .get_or_synthesize(
+            &renamed,
+            mode,
+            objective,
+            MapStyle::WholeController,
+            &library,
+        )
         .expect("whole-controller-style sequencer");
     assert_eq!(cache.stats().misses, 3);
     assert_eq!(cache.len(), 3);

@@ -29,7 +29,11 @@ fn assert_identical(design: &str, label: &str, reference: &FlowResult, candidate
     );
     for (r, c) in reference.controllers.iter().zip(&candidate.controllers) {
         assert_eq!(r.name, c.name, "{design}/{label}: controller order");
-        assert_eq!(r.bm_states, c.bm_states, "{design}/{label}/{}: BM states", r.name);
+        assert_eq!(
+            r.bm_states, c.bm_states,
+            "{design}/{label}/{}: BM states",
+            r.name
+        );
         assert_eq!(
             r.controller.num_products(),
             c.controller.num_products(),
@@ -37,14 +41,12 @@ fn assert_identical(design: &str, label: &str, reference: &FlowResult, candidate
             r.name
         );
         assert_eq!(
-            r.controller.inputs,
-            c.controller.inputs,
+            r.controller.inputs, c.controller.inputs,
             "{design}/{label}/{}: input names",
             r.name
         );
         assert_eq!(
-            r.controller.outputs,
-            c.controller.outputs,
+            r.controller.outputs, c.controller.outputs,
             "{design}/{label}/{}: output names",
             r.name
         );
@@ -64,6 +66,18 @@ fn assert_identical(design: &str, label: &str, reference: &FlowResult, candidate
             r.critical_delay(),
             c.critical_delay()
         );
+        // Exact cover equality, cube for cube: any reordering introduced
+        // by a parallel schedule would show up here.
+        assert_eq!(
+            r.controller.output_covers, c.controller.output_covers,
+            "{design}/{label}/{}: output covers",
+            r.name
+        );
+        assert_eq!(
+            r.controller.next_state_covers, c.controller.next_state_covers,
+            "{design}/{label}/{}: next-state covers",
+            r.name
+        );
     }
 }
 
@@ -73,13 +87,17 @@ fn cached_parallel_flow_is_bit_identical_to_serial_uncached() {
     let designs = all_designs().expect("shipped designs build");
     let mut total_hits = 0usize;
     for design in &designs {
-        for (label, options) in
-            [("optimized", FlowOptions::optimized()), ("unoptimized", FlowOptions::unoptimized())]
-        {
+        for (label, options) in [
+            ("optimized", FlowOptions::optimized()),
+            ("unoptimized", FlowOptions::unoptimized()),
+        ] {
             // The seed behaviour: one component at a time, no memoization.
-            let reference =
-                run_control_flow(&design.compiled, &options.clone().serial_uncached(), &library)
-                    .unwrap_or_else(|e| panic!("{}/{label} serial: {e}", design.name));
+            let reference = run_control_flow(
+                &design.compiled,
+                &options.clone().serial_uncached(),
+                &library,
+            )
+            .unwrap_or_else(|e| panic!("{}/{label} serial: {e}", design.name));
             assert_eq!(reference.cache_hits, 0);
             assert_eq!(reference.cache_misses, reference.controllers.len());
 
@@ -103,11 +121,53 @@ fn cached_parallel_flow_is_bit_identical_to_serial_uncached() {
             let warm = run_control_flow_with(&design.compiled, &options, &library, &cache)
                 .unwrap_or_else(|e| panic!("{}/{label} warm: {e}", design.name));
             assert_identical(design.name, label, &reference, &warm);
-            assert_eq!(warm.cache_misses, 0, "{}/{label}: warm run must not miss", design.name);
+            assert_eq!(
+                warm.cache_misses, 0,
+                "{}/{label}: warm run must not miss",
+                design.name
+            );
             assert_eq!(warm.cache_hits, warm.controllers.len());
         }
     }
     // Real designs repeat component shapes; the cache must observe reuse
     // somewhere across the benchmark suite even on cold runs.
-    assert!(total_hits > 0, "no cold-run cache reuse across the four benchmark designs");
+    assert!(
+        total_hits > 0,
+        "no cold-run cache reuse across the four benchmark designs"
+    );
+}
+
+#[test]
+fn per_output_parallel_minimization_is_bit_identical_to_serial() {
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    for design in &designs {
+        // Serial, uncached: one function minimized at a time.
+        let reference = run_control_flow(
+            &design.compiled,
+            &FlowOptions::optimized().serial_uncached(),
+            &library,
+        )
+        .unwrap_or_else(|e| panic!("{} serial: {e}", design.name));
+        // Same uncached path, but with the per-output minimizations inside
+        // each controller fanned across workers. Every cover must come back
+        // cube-for-cube identical regardless of the worker count.
+        for threads in [1usize, 4] {
+            let mut options = FlowOptions::optimized().serial_uncached();
+            options.threads = Some(threads);
+            let candidate = run_control_flow(&design.compiled, &options, &library)
+                .unwrap_or_else(|e| panic!("{} {threads}t: {e}", design.name));
+            assert_eq!(
+                candidate.threads_used, threads,
+                "{}: reported worker count",
+                design.name
+            );
+            assert_identical(
+                design.name,
+                &format!("uncached-{threads}t"),
+                &reference,
+                &candidate,
+            );
+        }
+    }
 }

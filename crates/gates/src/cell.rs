@@ -85,9 +85,7 @@ impl CellKind {
         match self {
             CellKind::Inv => !inputs[0],
             CellKind::Buf => inputs[0],
-            CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => {
-                !inputs.iter().all(|&b| b)
-            }
+            CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => !inputs.iter().all(|&b| b),
             CellKind::And2 => inputs[0] && inputs[1],
             CellKind::Or2 => inputs[0] || inputs[1],
             CellKind::Nor2 => !(inputs[0] || inputs[1]),
@@ -115,7 +113,9 @@ pub struct Library {
 impl Library {
     /// The default synthetic 0.35 µm-class library.
     pub fn cmos035() -> Self {
-        Library { name: "synthetic-0.35um".to_string() }
+        Library {
+            name: "synthetic-0.35um".to_string(),
+        }
     }
 
     /// Library name.
@@ -186,8 +186,12 @@ mod tests {
         let lib = Library::cmos035();
         // AO21 must beat NAND2 + NAND2 + INV for area and delay, otherwise
         // the mapper would never pick it.
-        assert!(lib.area(CellKind::Ao21) < 2.0 * lib.area(CellKind::Nand2) + lib.area(CellKind::Inv));
-        assert!(lib.delay(CellKind::Ao21) < 2.0 * lib.delay(CellKind::Nand2) + lib.delay(CellKind::Inv));
+        assert!(
+            lib.area(CellKind::Ao21) < 2.0 * lib.area(CellKind::Nand2) + lib.area(CellKind::Inv)
+        );
+        assert!(
+            lib.delay(CellKind::Ao21) < 2.0 * lib.delay(CellKind::Nand2) + lib.delay(CellKind::Inv)
+        );
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub mod map;
 pub mod subject;
 
 pub use cell::{CellKind, Library};
-pub use hazard::{eval_ternary, verify_mapped, HazardViolation};
+pub use hazard::{
+    eval_ternary, verify_equivalence_algebraic, verify_equivalence_pointwise, verify_mapped,
+    HazardViolation,
+};
 pub use map::{map, MapObjective, MapStyle, MappedGate, MappedNetlist};
 pub use subject::{Module, SubjectGraph, SubjectNode};

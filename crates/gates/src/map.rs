@@ -76,8 +76,11 @@ impl MappedNetlist {
     /// a component's actual names; the netlist structure, areas, and delays
     /// are untouched.
     pub fn rename_roots<F: Fn(&str) -> String>(&mut self, f: F) {
-        self.output_delays =
-            self.output_delays.drain().map(|(name, delay)| (f(&name), delay)).collect();
+        self.output_delays = self
+            .output_delays
+            .drain()
+            .map(|(name, delay)| (f(&name), delay))
+            .collect();
         for (name, _) in &mut self.subject.roots {
             *name = f(name);
         }
@@ -107,7 +110,13 @@ impl MappedNetlist {
 
 impl fmt::Display for MappedNetlist {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "mapped: {} cells, {:.1} um^2, {:.3} ns critical", self.num_cells(), self.area, self.critical_delay())?;
+        writeln!(
+            f,
+            "mapped: {} cells, {:.1} um^2, {:.3} ns critical",
+            self.num_cells(),
+            self.area,
+            self.critical_delay()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {} n{} <- {:?}", g.cell, g.output, g.inputs)?;
         }
@@ -153,15 +162,15 @@ fn patterns() -> Vec<(CellKind, Shape)> {
         // NOR2 = INV(OR2)
         (
             CellKind::Nor2,
-            Inv(Box::new(Nand2(Box::new(Inv(leaf())), Box::new(Inv(leaf()))))),
+            Inv(Box::new(Nand2(
+                Box::new(Inv(leaf())),
+                Box::new(Inv(leaf())),
+            ))),
         ),
         // AO21: a·b + c = NAND2(NAND2(a,b), INV(c))
         (
             CellKind::Ao21,
-            Nand2(
-                Box::new(Nand2(leaf(), leaf())),
-                Box::new(Inv(leaf())),
-            ),
+            Nand2(Box::new(Nand2(leaf(), leaf())), Box::new(Inv(leaf()))),
         ),
         // AO22: a·b + c·d = NAND2(NAND2(a,b), NAND2(c,d))
         (
@@ -267,7 +276,12 @@ pub fn map(
                     }
                 };
                 if better && cost.is_finite() {
-                    candidate = Some(Best { cost, arrival, cell: *cell, leaves });
+                    candidate = Some(Best {
+                        cost,
+                        arrival,
+                        cell: *cell,
+                        leaves,
+                    });
                 }
             }
         }
@@ -306,7 +320,11 @@ pub fn map(
     for n in order {
         let b = best[n].as_ref().expect("coverable");
         area += library.area(b.cell);
-        gates.push(MappedGate { cell: b.cell, inputs: b.leaves.clone(), output: n });
+        gates.push(MappedGate {
+            cell: b.cell,
+            inputs: b.leaves.clone(),
+            output: n,
+        });
     }
     // Arrival per root via the DP values.
     let mut output_delays = HashMap::new();
@@ -317,7 +335,12 @@ pub fn map(
         };
         output_delays.insert(name.clone(), d);
     }
-    MappedNetlist { gates, area, output_delays, subject: subject.clone() }
+    MappedNetlist {
+        gates,
+        area,
+        output_delays,
+        subject: subject.clone(),
+    }
 }
 
 /// Tries to match `shape` rooted at node `n`; collects leaf node ids.
@@ -389,7 +412,11 @@ mod tests {
                 let g = SubjectGraph::from_covers(3, &[("f".into(), &f)]);
                 let m = map(&g, &Library::cmos035(), obj, style);
                 for point in 0..8u64 {
-                    assert_eq!(m.eval(point)[0], f.eval(point), "{style:?} {obj:?} {point:#b}");
+                    assert_eq!(
+                        m.eval(point)[0],
+                        f.eval(point),
+                        "{style:?} {obj:?} {point:#b}"
+                    );
                 }
             }
         }
@@ -398,32 +425,64 @@ mod tests {
     #[test]
     fn whole_mapping_no_worse_than_split() {
         // Crossing the level boundary can only help.
-        let split = map_fn(&["11-", "--1"], 3, MapObjective::Area, MapStyle::SplitModules);
-        let whole = map_fn(&["11-", "--1"], 3, MapObjective::Area, MapStyle::WholeController);
-        assert!(whole.area <= split.area, "whole {} vs split {}", whole.area, split.area);
+        let split = map_fn(
+            &["11-", "--1"],
+            3,
+            MapObjective::Area,
+            MapStyle::SplitModules,
+        );
+        let whole = map_fn(
+            &["11-", "--1"],
+            3,
+            MapObjective::Area,
+            MapStyle::WholeController,
+        );
+        assert!(
+            whole.area <= split.area,
+            "whole {} vs split {}",
+            whole.area,
+            split.area
+        );
     }
 
     #[test]
     fn ao_cells_picked_for_two_level_shapes() {
         // f = ab + cd maps to a single AO22 in whole-controller mode.
-        let m = map_fn(&["11--", "--11"], 4, MapObjective::Area, MapStyle::WholeController);
-        assert!(
-            m.gates.iter().any(|g| g.cell == CellKind::Ao22),
-            "{m}"
+        let m = map_fn(
+            &["11--", "--11"],
+            4,
+            MapObjective::Area,
+            MapStyle::WholeController,
         );
+        assert!(m.gates.iter().any(|g| g.cell == CellKind::Ao22), "{m}");
     }
 
     #[test]
     fn split_mode_cannot_cross_levels() {
         // In split mode the same f = ab + cd keeps its NAND-NAND structure.
-        let m = map_fn(&["11--", "--11"], 4, MapObjective::Area, MapStyle::SplitModules);
+        let m = map_fn(
+            &["11--", "--11"],
+            4,
+            MapObjective::Area,
+            MapStyle::SplitModules,
+        );
         assert!(m.gates.iter().all(|g| g.cell != CellKind::Ao22), "{m}");
     }
 
     #[test]
     fn delay_objective_not_slower_than_area() {
-        let fast = map_fn(&["1111", "0000"], 4, MapObjective::Delay, MapStyle::WholeController);
-        let small = map_fn(&["1111", "0000"], 4, MapObjective::Area, MapStyle::WholeController);
+        let fast = map_fn(
+            &["1111", "0000"],
+            4,
+            MapObjective::Delay,
+            MapStyle::WholeController,
+        );
+        let small = map_fn(
+            &["1111", "0000"],
+            4,
+            MapObjective::Area,
+            MapStyle::WholeController,
+        );
         assert!(fast.critical_delay() <= small.critical_delay() + 1e-9);
     }
 
@@ -432,7 +491,12 @@ mod tests {
         let f = cover(&["1-"]);
         let h = cover(&["01"]);
         let g = SubjectGraph::from_covers(2, &[("f".into(), &f), ("h".into(), &h)]);
-        let m = map(&g, &Library::cmos035(), MapObjective::Area, MapStyle::SplitModules);
+        let m = map(
+            &g,
+            &Library::cmos035(),
+            MapObjective::Area,
+            MapStyle::SplitModules,
+        );
         assert_eq!(m.output_delays.len(), 2);
         for point in 0..4u64 {
             let vals = m.eval(point);

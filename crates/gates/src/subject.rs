@@ -133,7 +133,12 @@ impl SubjectGraph {
 
 impl fmt::Display for SubjectGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "subject graph: {} nodes, {} roots", self.nodes.len(), self.roots.len())?;
+        writeln!(
+            f,
+            "subject graph: {} nodes, {} roots",
+            self.nodes.len(),
+            self.roots.len()
+        )?;
         for (name, r) in &self.roots {
             writeln!(f, "  {name} <- n{r}")?;
         }

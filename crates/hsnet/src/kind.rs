@@ -192,7 +192,11 @@ pub struct PortSpec {
 
 impl PortSpec {
     fn new(name: impl Into<String>, activity: Activity, control: bool) -> Self {
-        PortSpec { name: name.into(), activity, control }
+        PortSpec {
+            name: name.into(),
+            activity,
+            control,
+        }
     }
 }
 

@@ -31,4 +31,6 @@ pub mod kind;
 pub mod netlist;
 
 pub use kind::{Activity, BinOp, ComponentKind, PortSpec, UnOp};
-pub use netlist::{Channel, ChannelId, Component, ComponentId, Endpoint, Netlist, NetlistError, Partition};
+pub use netlist::{
+    Channel, ChannelId, Component, ComponentId, Endpoint, Netlist, NetlistError, Partition,
+};

@@ -104,7 +104,11 @@ pub enum NetlistError {
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetlistError::PortCountMismatch { kind, expected, got } => {
+            NetlistError::PortCountMismatch {
+                kind,
+                expected,
+                got,
+            } => {
                 write!(f, "component {kind} expects {expected} channels, got {got}")
             }
             NetlistError::DoubleConnection { channel, activity } => {
@@ -154,7 +158,12 @@ pub struct Netlist {
 impl Netlist {
     /// Creates an empty netlist.
     pub fn new(name: impl Into<String>) -> Self {
-        Netlist { name: name.into(), components: Vec::new(), channels: Vec::new(), names: HashMap::new() }
+        Netlist {
+            name: name.into(),
+            components: Vec::new(),
+            channels: Vec::new(),
+            names: HashMap::new(),
+        }
     }
 
     /// The netlist name.
@@ -174,7 +183,13 @@ impl Netlist {
         }
         let id = ChannelId(self.channels.len() as u32);
         self.names.insert(name.clone(), id);
-        self.channels.push(Channel { id, name, width, active: None, passive: None });
+        self.channels.push(Channel {
+            id,
+            name,
+            width,
+            active: None,
+            passive: None,
+        });
         id
     }
 
@@ -199,10 +214,17 @@ impl Netlist {
         }
         let id = ComponentId(self.components.len() as u32);
         for (i, (spec, &ch)) in ports.iter().zip(channels).enumerate() {
-            let endpoint = Endpoint::Port { component: id, port: i };
+            let endpoint = Endpoint::Port {
+                component: id,
+                port: i,
+            };
             self.connect(ch, spec.activity, endpoint)?;
         }
-        self.components.push(Component { id, kind, channels: channels.to_vec() });
+        self.components.push(Component {
+            id,
+            kind,
+            channels: channels.to_vec(),
+        });
         Ok(id)
     }
 
@@ -218,7 +240,10 @@ impl Netlist {
             Activity::Passive => &mut channel.passive,
         };
         if slot.is_some() {
-            return Err(NetlistError::DoubleConnection { channel: channel.name.clone(), activity });
+            return Err(NetlistError::DoubleConnection {
+                channel: channel.name.clone(),
+                activity,
+            });
         }
         *slot = Some(endpoint);
         Ok(())
@@ -279,10 +304,16 @@ impl Netlist {
     pub fn validate(&self) -> Result<(), NetlistError> {
         for c in &self.channels {
             if c.active.is_none() {
-                return Err(NetlistError::Dangling { channel: c.name.clone(), activity: Activity::Active });
+                return Err(NetlistError::Dangling {
+                    channel: c.name.clone(),
+                    activity: Activity::Active,
+                });
             }
             if c.passive.is_none() {
-                return Err(NetlistError::Dangling { channel: c.name.clone(), activity: Activity::Passive });
+                return Err(NetlistError::Dangling {
+                    channel: c.name.clone(),
+                    activity: Activity::Passive,
+                });
             }
         }
         Ok(())
@@ -310,7 +341,11 @@ impl Netlist {
                     && c.passive.as_ref().is_some_and(is_control_comp)
             })
             .collect();
-        Partition { control, datapath, internal_control }
+        Partition {
+            control,
+            datapath,
+            internal_control,
+        }
     }
 
     /// The port signature of a component's port.
@@ -321,7 +356,13 @@ impl Netlist {
 
 impl fmt::Display for Netlist {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "netlist {} ({} components, {} channels)", self.name, self.components.len(), self.channels.len())?;
+        writeln!(
+            f,
+            "netlist {} ({} components, {} channels)",
+            self.name,
+            self.components.len(),
+            self.channels.len()
+        )?;
         for c in &self.components {
             let chans: Vec<String> = c
                 .channels
@@ -358,8 +399,10 @@ mod tests {
         let link = n.add_channel("link", 0);
         let y = n.add_channel("y", 0);
         let z = n.add_channel("z", 0);
-        n.add_component(ComponentKind::Sequence { branches: 2 }, &[a, x, link]).unwrap();
-        n.add_component(ComponentKind::Sequence { branches: 2 }, &[link, y, z]).unwrap();
+        n.add_component(ComponentKind::Sequence { branches: 2 }, &[a, x, link])
+            .unwrap();
+        n.add_component(ComponentKind::Sequence { branches: 2 }, &[link, y, z])
+            .unwrap();
         for ch in [a, x, y, z] {
             n.expose(ch);
         }
@@ -422,9 +465,12 @@ mod tests {
         let pull = n.add_channel("pull", 8);
         let push = n.add_channel("push", 8);
         let wr = n.add_channel("wr", 8);
-        n.add_component(ComponentKind::Fetch, &[act, pull, push]).unwrap();
-        n.add_component(ComponentKind::Constant { value: 3, width: 8 }, &[pull]).unwrap();
-        n.add_component(ComponentKind::Variable { width: 8, reads: 0 }, &[push]).unwrap();
+        n.add_component(ComponentKind::Fetch, &[act, pull, push])
+            .unwrap();
+        n.add_component(ComponentKind::Constant { value: 3, width: 8 }, &[pull])
+            .unwrap();
+        n.add_component(ComponentKind::Variable { width: 8, reads: 0 }, &[push])
+            .unwrap();
         let _ = wr;
         n.expose(act);
         let p = n.partition();

@@ -17,7 +17,11 @@ pub enum Tv {
 impl Tv {
     /// Lifts a Boolean into a ternary value.
     pub fn from_bool(b: bool) -> Tv {
-        if b { Tv::One } else { Tv::Zero }
+        if b {
+            Tv::One
+        } else {
+            Tv::Zero
+        }
     }
 }
 
@@ -137,6 +141,31 @@ impl Cover {
         true
     }
 
+    /// A point of `cube` the union of products does *not* cover, if any —
+    /// the witness-producing variant of [`Cover::covers_cube`], used by the
+    /// algebraic hazard checker to report a concrete disagreement point.
+    pub fn uncovered_point(&self, cube: &Cube) -> Option<Point> {
+        if self.some_cube_contains(cube) {
+            return None;
+        }
+        let relevant: Vec<&Cube> = self.cubes.iter().filter(|c| c.intersects(cube)).collect();
+        if relevant.is_empty() {
+            return Some(cube.value_mask());
+        }
+        for i in 0..cube.num_vars() {
+            if cube.is_fixed(i) {
+                continue;
+            }
+            if relevant.iter().any(|c| c.is_fixed(i)) {
+                return self
+                    .uncovered_point(&cube.with_fixed(i, false))
+                    .or_else(|| self.uncovered_point(&cube.with_fixed(i, true)));
+            }
+        }
+        // As in covers_cube: some relevant product must contain the cube.
+        None
+    }
+
     /// Three-valued evaluation. `values[i]` is the value of variable `i`.
     ///
     /// # Panics
@@ -146,14 +175,22 @@ impl Cover {
     pub fn eval_ternary(&self, values: &[Tv]) -> Tv {
         let mut saw_x = false;
         for cube in &self.cubes {
-            assert_eq!(values.len(), cube.num_vars(), "ternary vector dimension mismatch");
+            assert_eq!(
+                values.len(),
+                cube.num_vars(),
+                "ternary vector dimension mismatch"
+            );
             match eval_cube_ternary(cube, values) {
                 Tv::One => return Tv::One,
                 Tv::X => saw_x = true,
                 Tv::Zero => {}
             }
         }
-        if saw_x { Tv::X } else { Tv::Zero }
+        if saw_x {
+            Tv::X
+        } else {
+            Tv::Zero
+        }
     }
 
     /// Removes product terms contained in other product terms.
@@ -194,7 +231,11 @@ fn eval_cube_ternary(cube: &Cube, values: &[Tv]) -> Tv {
             }
         }
     }
-    if saw_x { Tv::X } else { Tv::One }
+    if saw_x {
+        Tv::X
+    } else {
+        Tv::One
+    }
 }
 
 impl fmt::Display for Cover {
@@ -220,7 +261,9 @@ impl fmt::Debug for Cover {
 
 impl FromIterator<Cube> for Cover {
     fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
-        Cover { cubes: iter.into_iter().collect() }
+        Cover {
+            cubes: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -2,7 +2,8 @@
 //!
 //! Used by the two-level minimizers to select prime implicants. Provides an
 //! exact branch-and-bound solver with essential-column and dominance
-//! reductions, falling back to a greedy heuristic above a size threshold.
+//! reductions over bit-set rows/columns, pruned by a greedy independent-set
+//! lower bound, falling back to a greedy heuristic above a size threshold.
 
 /// A unate covering problem instance.
 ///
@@ -36,7 +37,10 @@ pub struct CoveringSolution {
 impl CoveringProblem {
     /// Creates a problem with `num_rows` rows and no columns yet.
     pub fn new(num_rows: usize) -> Self {
-        CoveringProblem { num_rows, columns: Vec::new() }
+        CoveringProblem {
+            num_rows,
+            columns: Vec::new(),
+        }
     }
 
     /// Adds a column covering `rows` with the given costs; returns its index.
@@ -50,7 +54,11 @@ impl CoveringProblem {
         for &r in &rows {
             assert!(r < self.num_rows, "row {r} out of range");
         }
-        self.columns.push(Column { rows, cost, tiebreak });
+        self.columns.push(Column {
+            rows,
+            cost,
+            tiebreak,
+        });
         self.columns.len() - 1
     }
 
@@ -71,18 +79,26 @@ impl CoveringProblem {
     /// `effort_limit` branch-and-bound nodes; afterwards the best solution
     /// found so far (completed greedily) is returned with `exact == false`.
     pub fn solve(&self, effort_limit: u64) -> Option<CoveringSolution> {
-        // Row -> covering columns.
-        let mut row_cols: Vec<Vec<usize>> = vec![Vec::new(); self.num_rows];
+        let mut col_rows: Vec<Bits> = Vec::with_capacity(self.columns.len());
+        for col in &self.columns {
+            let mut b = Bits::new(self.num_rows);
+            for &r in &col.rows {
+                b.set(r);
+            }
+            col_rows.push(b);
+        }
+        let mut row_cols: Vec<Bits> = vec![Bits::new(self.columns.len()); self.num_rows];
         for (ci, col) in self.columns.iter().enumerate() {
             for &r in &col.rows {
-                row_cols[r].push(ci);
+                row_cols[r].set(ci);
             }
         }
-        if row_cols.iter().any(|cols| cols.is_empty()) && self.num_rows > 0 {
+        if row_cols.iter().any(Bits::is_empty) && self.num_rows > 0 {
             return None;
         }
         let mut solver = Solver {
             problem: self,
+            col_rows,
             row_cols,
             best: None,
             nodes: 0,
@@ -91,21 +107,129 @@ impl CoveringProblem {
         };
         let greedy = solver.greedy(&(0..self.num_rows).collect::<Vec<_>>(), &[]);
         solver.best = Some(greedy);
-        let alive_rows: Vec<usize> = (0..self.num_rows).collect();
-        let alive_cols: Vec<usize> = (0..self.columns.len()).collect();
+        let mut alive_rows = Bits::new(self.num_rows);
+        for r in 0..self.num_rows {
+            alive_rows.set(r);
+        }
+        let mut alive_cols = Bits::new(self.columns.len());
+        for c in 0..self.columns.len() {
+            alive_cols.set(c);
+        }
         solver.search(alive_rows, alive_cols, Vec::new(), 0, 0);
         let (sel, cost, tb) = solver.best.expect("greedy always yields a solution");
         let _ = tb;
         let mut columns = sel;
         columns.sort_unstable();
         columns.dedup();
-        Some(CoveringSolution { columns, cost, exact: !solver.truncated })
+        Some(CoveringSolution {
+            columns,
+            cost,
+            exact: !solver.truncated,
+        })
+    }
+}
+
+/// A fixed-capacity bit set; rows and columns of the covering matrix are
+/// manipulated as machine words so containment/intersection tests cost a
+/// few ANDs instead of nested `Vec` scans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Bits {
+    words: Vec<u64>,
+}
+
+impl Bits {
+    fn new(len: usize) -> Self {
+        Bits {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn and_count(&self, other: &Bits) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    fn intersects(&self, other: &Bits) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    fn is_subset(&self, other: &Bits) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    fn and_assign(&mut self, other: &Bits) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    fn or_assign(&mut self, other: &Bits) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    fn subtract(&mut self, other: &Bits) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    fn and(&self, other: &Bits) -> Bits {
+        let mut out = self.clone();
+        out.and_assign(other);
+        out
+    }
+
+    /// Set bits in ascending order (matching the ascending `Vec` scans the
+    /// previous solver used, so essential/branch selection is unchanged).
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + i)
+            })
+        })
+    }
+
+    fn first(&self) -> Option<usize> {
+        self.iter().next()
     }
 }
 
 struct Solver<'a> {
     problem: &'a CoveringProblem,
-    row_cols: Vec<Vec<usize>>,
+    /// Per column: the rows it covers.
+    col_rows: Vec<Bits>,
+    /// Per row: the columns covering it.
+    row_cols: Vec<Bits>,
     best: Option<(Vec<usize>, u64, u64)>,
     nodes: u64,
     limit: u64,
@@ -118,6 +242,29 @@ impl<'a> Solver<'a> {
             None => true,
             Some((_, bc, bt)) => cost < *bc || (cost == *bc && tiebreak < *bt),
         }
+    }
+
+    /// Independent-set lower bound: rows whose alive-column sets are
+    /// pairwise disjoint must each be covered by a distinct column, so the
+    /// sum of their cheapest alive columns bounds any completion from
+    /// below. Greedy ascending-row selection keeps it deterministic.
+    fn lower_bound(&self, rows: &Bits, cols: &Bits) -> u64 {
+        let mut used = Bits::new(self.problem.columns.len());
+        let mut lb = 0u64;
+        for r in rows.iter() {
+            let alive = self.row_cols[r].and(cols);
+            if alive.intersects(&used) {
+                continue;
+            }
+            let cheapest = alive
+                .iter()
+                .map(|c| self.problem.columns[c].cost)
+                .min()
+                .unwrap_or(0);
+            lb += cheapest;
+            used.or_assign(&alive);
+        }
+        lb
     }
 
     /// Greedy completion: repeatedly pick the column covering the most
@@ -152,8 +299,8 @@ impl<'a> Solver<'a> {
 
     fn search(
         &mut self,
-        mut rows: Vec<usize>,
-        mut cols: Vec<usize>,
+        mut rows: Bits,
+        mut cols: Bits,
         mut chosen: Vec<usize>,
         mut cost: u64,
         mut tiebreak: u64,
@@ -176,63 +323,49 @@ impl<'a> Solver<'a> {
             }
             // Essential columns: a row covered by exactly one alive column.
             let mut essential = None;
-            for &r in &rows {
-                let alive: Vec<usize> = self.row_cols[r]
-                    .iter()
-                    .copied()
-                    .filter(|c| cols.contains(c))
-                    .collect();
-                if alive.is_empty() {
-                    return; // infeasible branch
-                }
-                if alive.len() == 1 {
-                    essential = Some(alive[0]);
-                    break;
+            for r in rows.iter() {
+                let alive = self.row_cols[r].and(&cols);
+                match alive.count() {
+                    0 => return, // infeasible branch
+                    1 => {
+                        essential = alive.first();
+                        break;
+                    }
+                    _ => {}
                 }
             }
             if let Some(ci) = essential {
                 chosen.push(ci);
                 cost += self.problem.columns[ci].cost;
                 tiebreak += self.problem.columns[ci].tiebreak;
-                rows.retain(|r| !self.problem.columns[ci].rows.contains(r));
-                cols.retain(|&c| c != ci);
+                rows.subtract(&self.col_rows[ci]);
+                cols.remove(ci);
                 continue;
             }
             // Column dominance: drop c1 if some c2 covers a superset of the
             // alive rows of c1 at <= cost.
-            let alive_rows_of = |c: usize| -> Vec<usize> {
-                self.problem.columns[c]
-                    .rows
-                    .iter()
-                    .copied()
-                    .filter(|r| rows.contains(r))
-                    .collect::<Vec<_>>()
-            };
             let mut removed_col = false;
             let cols_snapshot = cols.clone();
-            cols.retain(|&c1| {
-                let r1 = alive_rows_of(c1);
-                if r1.is_empty() {
+            for c1 in cols_snapshot.iter() {
+                let alive1 = self.col_rows[c1].and(&rows);
+                if alive1.is_empty() {
+                    cols.remove(c1);
                     removed_col = true;
-                    return false;
+                    continue;
                 }
                 // A strict preference order prevents mutual domination.
                 let prefer = |c2: usize, c1: usize| {
                     let (a, b) = (&self.problem.columns[c2], &self.problem.columns[c1]);
                     (a.cost, a.tiebreak, c2) < (b.cost, b.tiebreak, c1)
                 };
-                let dominated = cols_snapshot.iter().any(|&c2| {
-                    c2 != c1
-                        && prefer(c2, c1)
-                        && r1.iter().all(|r| self.problem.columns[c2].rows.contains(r))
-                });
+                let dominated = cols_snapshot
+                    .iter()
+                    .any(|c2| c2 != c1 && prefer(c2, c1) && alive1.is_subset(&self.col_rows[c2]));
                 if dominated {
+                    cols.remove(c1);
                     removed_col = true;
-                    false
-                } else {
-                    true
                 }
-            });
+            }
             if removed_col {
                 continue;
             }
@@ -240,51 +373,47 @@ impl<'a> Solver<'a> {
             // r2's, covering r1 forces covering r2, so drop r2. The strict
             // preference (proper subset, or equal sets with lower index)
             // prevents cyclic mutual domination.
-            let alive_cols_of = |r: usize| -> Vec<usize> {
-                self.row_cols[r].iter().copied().filter(|c| cols.contains(c)).collect()
-            };
-            let rows_snapshot = rows.clone();
-            let alive_sets: Vec<(usize, Vec<usize>)> =
-                rows_snapshot.iter().map(|&r| (r, alive_cols_of(r))).collect();
+            let alive_sets: Vec<(usize, Bits, usize)> = rows
+                .iter()
+                .map(|r| {
+                    let a = self.row_cols[r].and(&cols);
+                    let n = a.count();
+                    (r, a, n)
+                })
+                .collect();
             let mut removed_row = false;
-            rows.retain(|&r2| {
-                let a2 = alive_sets
+            for (r2, a2, n2) in &alive_sets {
+                let dominated = alive_sets
                     .iter()
-                    .find(|(r, _)| *r == r2)
-                    .map(|(_, a)| a)
-                    .expect("row in snapshot");
-                let dominated = alive_sets.iter().any(|(r1, a1)| {
-                    *r1 != r2
-                        && a1.iter().all(|c| a2.contains(c))
-                        && (a1.len() < a2.len() || *r1 < r2)
-                });
+                    .any(|(r1, a1, n1)| r1 != r2 && a1.is_subset(a2) && (n1 < n2 || r1 < r2));
                 if dominated {
+                    rows.remove(*r2);
                     removed_row = true;
-                    false
-                } else {
-                    true
                 }
-            });
+            }
             if removed_row {
                 continue;
             }
             break;
         }
+        // Independent-set bound: prune only on a strict excess so equal-cost
+        // solutions still compete on the tiebreak, exactly as before.
+        if let Some((_, best_cost, _)) = &self.best {
+            if cost + self.lower_bound(&rows, &cols) > *best_cost {
+                return;
+            }
+        }
         // Branch on the hardest row (fewest alive columns).
-        let branch_row = *rows
+        let branch_row = rows
             .iter()
-            .min_by_key(|&&r| self.row_cols[r].iter().filter(|c| cols.contains(c)).count())
+            .min_by_key(|&r| self.row_cols[r].and_count(&cols))
             .expect("rows nonempty");
-        let choices: Vec<usize> = self.row_cols[branch_row]
-            .iter()
-            .copied()
-            .filter(|c| cols.contains(c))
-            .collect();
-        for ci in choices {
+        let choices = self.row_cols[branch_row].and(&cols);
+        for ci in choices.iter() {
             let mut nrows = rows.clone();
-            nrows.retain(|r| !self.problem.columns[ci].rows.contains(r));
+            nrows.subtract(&self.col_rows[ci]);
             let mut ncols = cols.clone();
-            ncols.retain(|&c| c != ci);
+            ncols.remove(ci);
             let mut nchosen = chosen.clone();
             nchosen.push(ci);
             self.search(
@@ -457,7 +586,10 @@ mod fuzz_tests {
                     covered[r] = true;
                 }
             }
-            assert!(covered.iter().all(|&b| b), "iter {iter}: invalid solution {sol:?}");
+            assert!(
+                covered.iter().all(|&b| b),
+                "iter {iter}: invalid solution {sol:?}"
+            );
         }
     }
 }

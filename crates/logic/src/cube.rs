@@ -38,13 +38,21 @@ impl Cube {
     /// Panics if `n > 64`.
     pub fn universe(n: usize) -> Self {
         assert!(n <= 64, "cube space limited to 64 variables");
-        Cube { n: n as u8, care: 0, value: 0 }
+        Cube {
+            n: n as u8,
+            care: 0,
+            value: 0,
+        }
     }
 
     /// A minterm cube fixing every variable to the bits of `point`.
     pub fn minterm(n: usize, point: Point) -> Self {
         let mask = Self::space_mask(n);
-        Cube { n: n as u8, care: mask, value: point & mask }
+        Cube {
+            n: n as u8,
+            care: mask,
+            value: point & mask,
+        }
     }
 
     /// Builds a cube from raw `care` and `value` masks.
@@ -53,7 +61,11 @@ impl Cube {
     pub fn from_masks(n: usize, care: u64, value: u64) -> Self {
         let mask = Self::space_mask(n);
         let care = care & mask;
-        Cube { n: n as u8, care, value: value & care }
+        Cube {
+            n: n as u8,
+            care,
+            value: value & care,
+        }
     }
 
     /// The smallest cube containing the two points `a` and `b`
@@ -61,12 +73,20 @@ impl Cube {
     pub fn spanning(n: usize, a: Point, b: Point) -> Self {
         let mask = Self::space_mask(n);
         let care = !(a ^ b) & mask;
-        Cube { n: n as u8, care, value: a & care }
+        Cube {
+            n: n as u8,
+            care,
+            value: a & care,
+        }
     }
 
     fn space_mask(n: usize) -> u64 {
         assert!(n <= 64, "cube space limited to 64 variables");
-        if n == 64 { u64::MAX } else { (1u64 << n) - 1 }
+        if n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
     }
 
     /// Number of variables of the space this cube lives in.
@@ -127,7 +147,11 @@ impl Cube {
     pub fn supercube(&self, other: &Cube) -> Cube {
         debug_assert_eq!(self.n, other.n);
         let care = self.care & other.care & !(self.value ^ other.value);
-        Cube { n: self.n, care, value: self.value & care }
+        Cube {
+            n: self.n,
+            care,
+            value: self.value & care,
+        }
     }
 
     /// Whether variable `i` is fixed in this cube.
@@ -147,7 +171,11 @@ impl Cube {
     /// A copy of the cube with variable `i` freed.
     pub fn with_free(&self, i: usize) -> Cube {
         let bit = 1u64 << i;
-        Cube { n: self.n, care: self.care & !bit, value: self.value & !bit }
+        Cube {
+            n: self.n,
+            care: self.care & !bit,
+            value: self.value & !bit,
+        }
     }
 
     /// A copy of the cube with variable `i` fixed to `v`.
@@ -156,14 +184,22 @@ impl Cube {
         Cube {
             n: self.n,
             care: self.care | bit,
-            value: if v { self.value | bit } else { self.value & !bit },
+            value: if v {
+                self.value | bit
+            } else {
+                self.value & !bit
+            },
         }
     }
 
     /// Number of points in the cube (`2^num_free`); saturates at `u64::MAX`.
     pub fn num_points(&self) -> u64 {
         let free = self.num_free();
-        if free >= 64 { u64::MAX } else { 1u64 << free }
+        if free >= 64 {
+            u64::MAX
+        } else {
+            1u64 << free
+        }
     }
 
     /// Iterates over every point of the cube.
@@ -171,7 +207,12 @@ impl Cube {
     /// Intended for small cubes; cost is `2^num_free`.
     pub fn points(&self) -> Points {
         let free_mask = !self.care & Self::space_mask(self.num_vars());
-        Points { base: self.value, free_mask, sub: 0, done: false }
+        Points {
+            base: self.value,
+            free_mask,
+            sub: 0,
+            done: false,
+        }
     }
 
     /// Parses a cube from a string of `0`, `1` and `-` characters,
@@ -197,7 +238,11 @@ impl Cube {
                 _ => return None,
             }
         }
-        Some(Cube { n: s.len() as u8, care, value })
+        Some(Cube {
+            n: s.len() as u8,
+            care,
+            value,
+        })
     }
 }
 
@@ -283,7 +328,9 @@ mod tests {
         let b = Cube::parse("-0-").unwrap();
         let i = a.intersection(&b).unwrap();
         assert_eq!(i.to_string(), "10-");
-        let s = Cube::parse("100").unwrap().supercube(&Cube::parse("111").unwrap());
+        let s = Cube::parse("100")
+            .unwrap()
+            .supercube(&Cube::parse("111").unwrap());
         assert_eq!(s.to_string(), "1--");
     }
 

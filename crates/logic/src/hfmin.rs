@@ -20,6 +20,7 @@ use crate::covering::CoveringProblem;
 use crate::cube::{Cube, Point};
 use std::collections::HashSet;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Variable-count ceiling for exhaustive DHF-prime enumeration; larger
 /// functions use greedy expansion orders (see [`FunctionSpec::dhf_primes`]).
@@ -96,19 +97,39 @@ impl fmt::Display for HfminError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HfminError::ConflictingSpec { point } => {
-                write!(f, "conflicting function values specified at point {point:#b}")
+                write!(
+                    f,
+                    "conflicting function values specified at point {point:#b}"
+                )
             }
             HfminError::NoHazardFreeCover { required } => {
-                write!(f, "no hazard-free cover exists: required cube {required} is not a dhf-implicant")
+                write!(
+                    f,
+                    "no hazard-free cover exists: required cube {required} is not a dhf-implicant"
+                )
             }
             HfminError::DegenerateDynamic { transition } => {
-                write!(f, "dynamic transition with no changing inputs at {:#b}", transition.start)
+                write!(
+                    f,
+                    "dynamic transition with no changing inputs at {:#b}",
+                    transition.start
+                )
             }
         }
     }
 }
 
 impl std::error::Error for HfminError {}
+
+/// Wall-clock breakdown of one minimization run, used by the flow's
+/// per-phase profiler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinimizeStats {
+    /// Time spent generating DHF-prime implicants.
+    pub prime_gen: Duration,
+    /// Time spent in the unate-covering solver.
+    pub covering: Duration,
+}
 
 /// Result of a minimization run.
 #[derive(Debug, Clone)]
@@ -119,6 +140,8 @@ pub struct HfminResult {
     pub exact: bool,
     /// Number of DHF-prime implicants generated.
     pub num_primes: usize,
+    /// Per-phase timing of this run.
+    pub stats: MinimizeStats,
 }
 
 impl FunctionSpec {
@@ -129,7 +152,10 @@ impl FunctionSpec {
     /// Panics if `n > 64`.
     pub fn new(n: usize) -> Self {
         assert!(n <= 64);
-        FunctionSpec { n, transitions: Vec::new() }
+        FunctionSpec {
+            n,
+            transitions: Vec::new(),
+        }
     }
 
     /// Number of input variables.
@@ -150,12 +176,22 @@ impl FunctionSpec {
     /// Convenience: add a static transition holding value `v` across the
     /// cube spanned by `start`/`end`.
     pub fn add_static(&mut self, start: Point, end: Point, v: bool) {
-        self.add_transition(SpecTransition { start, end, from: v, to: v });
+        self.add_transition(SpecTransition {
+            start,
+            end,
+            from: v,
+            to: v,
+        });
     }
 
     /// Convenience: add a dynamic transition.
     pub fn add_dynamic(&mut self, start: Point, end: Point, from: bool) {
-        self.add_transition(SpecTransition { start, end, from, to: !from });
+        self.add_transition(SpecTransition {
+            start,
+            end,
+            from,
+            to: !from,
+        });
     }
 
     /// The ON-set as a cover (union of the points where the function is 1).
@@ -270,7 +306,12 @@ impl FunctionSpec {
 
     /// Whether `cube` is a DHF-implicant: an implicant (no OFF point) with no
     /// illegal privileged-cube intersection.
-    pub fn is_dhf_implicant(&self, cube: &Cube, off: &Cover, privileged: &[PrivilegedCube]) -> bool {
+    pub fn is_dhf_implicant(
+        &self,
+        cube: &Cube,
+        off: &Cover,
+        privileged: &[PrivilegedCube],
+    ) -> bool {
         if off.intersects(cube) {
             return false;
         }
@@ -284,11 +325,36 @@ impl FunctionSpec {
     /// required cubes).
     ///
     /// Up to [`EXACT_PRIME_VARS`] variables the enumeration is exhaustive
-    /// (exact minimization, as in Minimalist); beyond that a set of greedy
-    /// expansion orders is used per required cube — still hazard-free by
-    /// construction, possibly not minimum (this is the synthesis run-time
+    /// (exact minimization, as in Minimalist), via the canonical-ascent
+    /// worklist of [`FunctionSpec::expand_canonical`]; beyond that a set of
+    /// greedy expansion orders is used per required cube — still hazard-free
+    /// by construction, possibly not minimum (this is the synthesis run-time
     /// pressure the paper's §4.4 size restrictions exist to contain).
     pub fn dhf_primes(&self) -> Result<Vec<Cube>, HfminError> {
+        let off = self.off_set_ordered();
+        let privileged = self.privileged_cubes();
+        let required = self.required_cubes();
+        let mut primes: HashSet<Cube> = HashSet::new();
+        let exact = self.n <= EXACT_PRIME_VARS;
+        let mut visited: HashSet<Cube> = HashSet::new();
+        for r in &required {
+            if !self.is_dhf_implicant(r, &off, &privileged) {
+                return Err(HfminError::NoHazardFreeCover { required: *r });
+            }
+            if exact {
+                self.expand_canonical(*r, &off, &privileged, &mut visited, &mut primes);
+            } else {
+                self.expand_heuristic(*r, &off, &privileged, &mut primes);
+            }
+        }
+        Ok(Self::maximal_sorted(primes))
+    }
+
+    /// Reference implementation of [`FunctionSpec::dhf_primes`]: the seed's
+    /// exhaustive per-cube recursion. Kept as the oracle the canonical-ascent
+    /// worklist is property-tested (and benchmarked) against; the two return
+    /// exactly the same prime set.
+    pub fn dhf_primes_reference(&self) -> Result<Vec<Cube>, HfminError> {
         let off = self.off_set();
         let privileged = self.privileged_cubes();
         let required = self.required_cubes();
@@ -305,8 +371,21 @@ impl FunctionSpec {
                 self.expand_heuristic(*r, &off, &privileged, &mut primes);
             }
         }
+        Ok(Self::maximal_sorted(primes))
+    }
+
+    /// The OFF-set with its cubes ordered largest (fewest literals) first,
+    /// so [`FunctionSpec::is_dhf_implicant`] hits the likeliest blocker
+    /// early. Same set, same results, faster rejection.
+    fn off_set_ordered(&self) -> Cover {
+        let mut cubes = self.off_set().cubes().to_vec();
+        cubes.sort_by_key(Cube::num_literals);
+        Cover::from_cubes(cubes)
+    }
+
+    /// Keeps only maximal cubes, in a deterministic order.
+    fn maximal_sorted(primes: HashSet<Cube>) -> Vec<Cube> {
         let mut out: Vec<Cube> = primes.into_iter().collect();
-        // Keep only maximal cubes.
         out.sort_by_key(|c| c.num_literals());
         let mut maximal: Vec<Cube> = Vec::new();
         for c in out {
@@ -315,7 +394,7 @@ impl FunctionSpec {
             }
         }
         maximal.sort_unstable();
-        Ok(maximal)
+        maximal
     }
 
     /// Greedy maximal expansion under several variable orders.
@@ -331,7 +410,11 @@ impl FunctionSpec {
         for (pass, &start) in starts.iter().enumerate() {
             let mut cube = seed;
             for k in 0..n {
-                let i = if pass % 2 == 0 { (start + k) % n } else { (start + n - k) % n };
+                let i = if pass % 2 == 0 {
+                    (start + k) % n
+                } else {
+                    (start + n - k) % n
+                };
                 if !cube.is_fixed(i) {
                     continue;
                 }
@@ -341,6 +424,117 @@ impl FunctionSpec {
                 }
             }
             primes.insert(cube);
+        }
+    }
+
+    /// Canonical-ascent worklist expansion of one required cube to the DHF
+    /// primes above it. Produces exactly the set [`expand_to_primes`] would
+    /// (same reachable cubes, same primes), but:
+    ///
+    /// * the DHF-implicant test is compiled, per seed, into bit-mask
+    ///   constraints over the set `S` of freed variables — an OFF cube `o`
+    ///   blocks the expansion `S` iff its disagreement mask `D_o` (variables
+    ///   where the seed and `o` disagree) is contained in `S`, and an active
+    ///   privileged cube contributes the implication `D_q ⊆ S → A_q ⊆ S`
+    ///   (`A_q` = variables where the seed differs from the privileged
+    ///   point) — so each candidate check is a handful of word operations;
+    /// * variables not mentioned by any privileged constraint are *ordered*:
+    ///   they may only be freed in ascending index, which collapses the
+    ///   factorially many freeing orders the plain recursion wades through
+    ///   into one canonical chain per cube. Privileged-constrained variables
+    ///   stay unordered because their freeing order can decide whether an
+    ///   intermediate cube is hazard-free at all.
+    ///
+    /// [`expand_to_primes`]: FunctionSpec::expand_to_primes
+    fn expand_canonical(
+        &self,
+        seed: Cube,
+        off: &Cover,
+        privileged: &[PrivilegedCube],
+        visited: &mut HashSet<Cube>,
+        primes: &mut HashSet<Cube>,
+    ) {
+        let freeable = seed.care_mask();
+        let seed_value = seed.value_mask();
+        // OFF obstacles as disagreement masks, biggest cubes first (small
+        // masks are the likeliest to be contained in S).
+        let mut off_masks: Vec<u64> = off
+            .cubes()
+            .iter()
+            .map(|o| (seed_value ^ o.value_mask()) & (freeable & o.care_mask()))
+            .collect();
+        debug_assert!(
+            off_masks.iter().all(|&d| d != 0),
+            "seed must be an implicant"
+        );
+        off_masks.sort_unstable_by_key(|d| d.count_ones());
+        // Active privileged constraints: cubes disjoint from the seed.
+        let mut priv_masks: Vec<(u64, u64)> = Vec::new();
+        let mut ordered_exempt = 0u64;
+        for p in privileged {
+            let d = (seed_value ^ p.cube.value_mask()) & (freeable & p.cube.care_mask());
+            if d == 0 {
+                // The seed intersects this privileged cube; as a DHF
+                // implicant it contains the privileged point, and so does
+                // every expansion — the constraint can never bite.
+                debug_assert_eq!((p.point ^ seed_value) & freeable, 0);
+                continue;
+            }
+            let a = (p.point ^ seed_value) & freeable;
+            debug_assert_eq!(d & !a, 0, "D_q is a subset of A_q");
+            if a == d {
+                continue; // D ⊆ S → A ⊆ S holds trivially
+            }
+            ordered_exempt |= a;
+            priv_masks.push((d, a));
+        }
+        let ordered = freeable & !ordered_exempt;
+        let ok = |s: u64| -> bool {
+            for &d in &off_masks {
+                if d & !s == 0 {
+                    return false;
+                }
+            }
+            for &(d, a) in &priv_masks {
+                if d & !s == 0 && a & !s != 0 {
+                    return false;
+                }
+            }
+            true
+        };
+        let cube_of = |s: u64| Cube::from_masks(self.n, freeable & !s, seed_value);
+        if !visited.insert(seed) {
+            return; // region already explored from an earlier seed
+        }
+        let mut stack: Vec<u64> = vec![0];
+        while let Some(s) = stack.pop() {
+            // Ordered variables may only ascend past the highest one freed
+            // so far (a property of the *set* S, not of the path to it).
+            let freed_ordered = s & ordered;
+            let ascend = if freed_ordered == 0 {
+                ordered
+            } else {
+                ordered & !(u64::MAX >> freed_ordered.leading_zeros())
+            };
+            let expandable = ordered_exempt | ascend;
+            let mut grew = false;
+            let mut rest = freeable & !s;
+            while rest != 0 {
+                let i = rest.trailing_zeros();
+                rest &= rest - 1;
+                let s2 = s | 1u64 << i;
+                if ok(s2) {
+                    // Primality considers every variable; the canonical
+                    // order only restricts which successors are *explored*.
+                    grew = true;
+                    if expandable >> i & 1 == 1 && visited.insert(cube_of(s2)) {
+                        stack.push(s2);
+                    }
+                }
+            }
+            if !grew {
+                primes.insert(cube_of(s));
+            }
         }
     }
 
@@ -381,9 +575,16 @@ impl FunctionSpec {
         self.check_consistency()?;
         let required = self.required_cubes();
         if required.is_empty() {
-            return Ok(HfminResult { cover: Cover::empty(), exact: true, num_primes: 0 });
+            return Ok(HfminResult {
+                cover: Cover::empty(),
+                exact: true,
+                num_primes: 0,
+                stats: MinimizeStats::default(),
+            });
         }
+        let t_primes = Instant::now();
         let primes = self.dhf_primes()?;
+        let prime_gen = t_primes.elapsed();
         let mut problem = CoveringProblem::new(required.len());
         for p in &primes {
             let rows: Vec<usize> = required
@@ -394,9 +595,11 @@ impl FunctionSpec {
                 .collect();
             problem.add_column(rows, 1, p.num_literals() as u64);
         }
+        let t_cover = Instant::now();
         let solution = problem
             .solve(200_000)
             .expect("every required cube is a dhf-implicant contained in some prime");
+        let covering = t_cover.elapsed();
         let cover: Cover = solution.columns.iter().map(|&c| primes[c]).collect();
         if let Some(bad) = required.iter().find(|r| !cover.some_cube_contains(r)) {
             let holders = primes.iter().filter(|p| p.contains_cube(bad)).count();
@@ -407,7 +610,15 @@ impl FunctionSpec {
                 primes.len()
             );
         }
-        Ok(HfminResult { cover, exact: solution.exact, num_primes: primes.len() })
+        Ok(HfminResult {
+            cover,
+            exact: solution.exact,
+            num_primes: primes.len(),
+            stats: MinimizeStats {
+                prime_gen,
+                covering,
+            },
+        })
     }
 
     /// Verifies structurally that `cover` is a hazard-free cover of this
@@ -421,7 +632,9 @@ impl FunctionSpec {
         }
         for r in self.required_cubes() {
             if !cover.some_cube_contains(&r) {
-                return Err(format!("required cube {r} not contained in a single product"));
+                return Err(format!(
+                    "required cube {r} not contained in a single product"
+                ));
             }
         }
         for p in self.privileged_cubes() {
@@ -465,11 +678,18 @@ mod tests {
         // OFF-set the only such implicant is the consensus term itself, so
         // the hazard-free minimum has three products (vs two for QM).
         let t = Cube::parse("1-1").unwrap();
-        assert!(result.cover.some_cube_contains(&t), "cover: {}", result.cover);
+        assert!(
+            result.cover.some_cube_contains(&t),
+            "cover: {}",
+            result.cover
+        );
         assert_eq!(result.cover.len(), 3, "cover: {}", result.cover);
         spec.verify_cover(&result.cover).unwrap();
         // And a ternary check agrees: with x1 = X, output stays 1.
-        assert_eq!(result.cover.eval_ternary(&[Tv::One, Tv::X, Tv::One]), Tv::One);
+        assert_eq!(
+            result.cover.eval_ternary(&[Tv::One, Tv::X, Tv::One]),
+            Tv::One
+        );
     }
 
     #[test]
@@ -477,14 +697,20 @@ mod tests {
         let mut spec = FunctionSpec::new(2);
         spec.add_static(0b00, 0b00, true);
         spec.add_static(0b00, 0b00, false);
-        assert!(matches!(spec.check_consistency(), Err(HfminError::ConflictingSpec { .. })));
+        assert!(matches!(
+            spec.check_consistency(),
+            Err(HfminError::ConflictingSpec { .. })
+        ));
     }
 
     #[test]
     fn degenerate_dynamic_detected() {
         let mut spec = FunctionSpec::new(2);
         spec.add_dynamic(0b00, 0b00, false);
-        assert!(matches!(spec.check_consistency(), Err(HfminError::DegenerateDynamic { .. })));
+        assert!(matches!(
+            spec.check_consistency(),
+            Err(HfminError::DegenerateDynamic { .. })
+        ));
     }
 
     #[test]
@@ -533,7 +759,10 @@ mod tests {
         spec.verify_cover(&result.cover).unwrap();
         for c in result.cover.cubes() {
             let pcube = Cube::spanning(3, 0b000, 0b110);
-            assert!(!c.intersects(&pcube) || c.contains_point(0b000), "bad product {c}");
+            assert!(
+                !c.intersects(&pcube) || c.contains_point(0b000),
+                "bad product {c}"
+            );
         }
     }
 
@@ -548,8 +777,9 @@ mod tests {
     fn verify_rejects_bad_cover() {
         let spec = consensus_spec();
         // Cover without consensus term violates the required cube.
-        let bad: Cover =
-            [Cube::parse("10-").unwrap(), Cube::parse("-11").unwrap()].into_iter().collect();
+        let bad: Cover = [Cube::parse("10-").unwrap(), Cube::parse("-11").unwrap()]
+            .into_iter()
+            .collect();
         assert!(spec.verify_cover(&bad).is_err());
     }
 

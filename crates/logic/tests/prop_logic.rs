@@ -75,8 +75,14 @@ proptest! {
 /// A burst-mode-like random function: a cycle of transitions alternating
 /// the function value, mimicking how the synthesizer specifies outputs.
 fn arb_spec() -> impl Strategy<Value = FunctionSpec> {
-    proptest::collection::vec((arb_point(), any::<bool>()), 2..8).prop_map(|steps| {
-        let mut spec = FunctionSpec::new(N);
+    arb_spec_n(N)
+}
+
+/// Same walk, parameterized on the variable count (the kernel equivalence
+/// properties are exercised up to 10 variables).
+fn arb_spec_n(n: usize) -> impl Strategy<Value = FunctionSpec> {
+    proptest::collection::vec((0u64..(1 << n), any::<bool>()), 2..8).prop_map(move |steps| {
+        let mut spec = FunctionSpec::new(n);
         let mut cur = 0u64;
         let mut val = false;
         // Walk a path of transitions; each step moves to a new point and
@@ -121,6 +127,23 @@ proptest! {
     }
 
     #[test]
+    fn canonical_ascent_primes_match_reference(spec in arb_spec()) {
+        if spec.check_consistency().is_err() {
+            return Ok(());
+        }
+        match (spec.dhf_primes(), spec.dhf_primes_reference()) {
+            (Ok(fast), Ok(slow)) => prop_assert_eq!(fast, slow),
+            (Err(_), Err(_)) => {}
+            (fast, slow) => prop_assert!(
+                false,
+                "disagree on feasibility: fast={:?} slow={:?}",
+                fast.is_ok(),
+                slow.is_ok()
+            ),
+        }
+    }
+
+    #[test]
     fn on_off_sets_never_overlap_for_consistent_specs(spec in arb_spec()) {
         if spec.check_consistency().is_err() {
             return Ok(());
@@ -129,6 +152,26 @@ proptest! {
         let off = spec.off_set();
         for p in 0u64..(1 << N) {
             prop_assert!(!(on.eval(p) && off.eval(p)), "point {:#b}", p);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn canonical_ascent_primes_match_reference_wide(spec in arb_spec_n(10)) {
+        if spec.check_consistency().is_err() {
+            return Ok(());
+        }
+        match (spec.dhf_primes(), spec.dhf_primes_reference()) {
+            (Ok(fast), Ok(slow)) => prop_assert_eq!(fast, slow),
+            (Err(_), Err(_)) => {}
+            (fast, slow) => prop_assert!(
+                false,
+                "disagree on feasibility: fast={:?} slow={:?}",
+                fast.is_ok(),
+                slow.is_ok()
+            ),
         }
     }
 }

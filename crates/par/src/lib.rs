@@ -43,7 +43,11 @@ where
     let n = items.len();
     let workers = threads.min(n).max(1);
     if workers == 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
@@ -70,7 +74,10 @@ where
     for (i, r) in buckets.into_iter().flatten() {
         slots[i] = Some(r);
     }
-    slots.into_iter().map(|slot| slot.expect("every index computed exactly once")).collect()
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index computed exactly once"))
+        .collect()
 }
 
 #[cfg(test)]

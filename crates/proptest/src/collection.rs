@@ -14,13 +14,19 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { start: r.start, end: r.end }
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
     }
 }
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { start: n, end: n + 1 }
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
     }
 }
 
@@ -41,5 +47,8 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 
 /// Vector of `size` values drawn from `element`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }

@@ -23,7 +23,9 @@ pub struct TestRng {
 impl TestRng {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
     }
 
     /// Next raw 64-bit value.

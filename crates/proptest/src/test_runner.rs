@@ -31,7 +31,9 @@ pub struct TestCaseError {
 impl TestCaseError {
     /// Builds a failure with a message.
     pub fn fail(message: impl Into<String>) -> Self {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 }
 

@@ -190,7 +190,9 @@ impl Sim {
 
     /// Inspects a primitive after (or during) simulation.
     pub fn prim<T: 'static>(&self, id: PrimId) -> Option<&T> {
-        self.prims[id.0].as_ref().and_then(|p| p.as_any().downcast_ref::<T>())
+        self.prims[id.0]
+            .as_ref()
+            .and_then(|p| p.as_any().downcast_ref::<T>())
     }
 
     /// The current time (ps).
@@ -240,7 +242,10 @@ impl Sim {
                     }
                     self.nodes[node.0] = value;
                     if self.trace {
-                        eprintln!("[{:>8}ps] {} <- {}", t, self.node_names[node.0], value as u8);
+                        eprintln!(
+                            "[{:>8}ps] {} <- {}",
+                            t, self.node_names[node.0], value as u8
+                        );
                     }
                     let watchers = self.watchers[node.0].clone();
                     for w in watchers {
@@ -290,8 +295,22 @@ mod tests {
         let a = sim.node("a");
         let b = sim.node("b");
         let c = sim.node("c");
-        sim.add_prim(Box::new(Inv { input: a, output: b, delay: 100 }), &[a]);
-        sim.add_prim(Box::new(Inv { input: b, output: c, delay: 100 }), &[b]);
+        sim.add_prim(
+            Box::new(Inv {
+                input: a,
+                output: b,
+                delay: 100,
+            }),
+            &[a],
+        );
+        sim.add_prim(
+            Box::new(Inv {
+                input: b,
+                output: c,
+                delay: 100,
+            }),
+            &[b],
+        );
         sim.init();
         // after init: b = 1 (at t=100), c = !b ... settles: a=0,b=1,c=0.
         let settled = sim.run_until(|s| s.value(b) && !s.value(c) && s.now() >= 200, 10_000);
@@ -302,7 +321,14 @@ mod tests {
     fn ring_oscillator_keeps_running_until_limit() {
         let mut sim = Sim::new();
         let a = sim.node("a");
-        sim.add_prim(Box::new(Inv { input: a, output: a, delay: 50 }), &[a]);
+        sim.add_prim(
+            Box::new(Inv {
+                input: a,
+                output: a,
+                delay: 50,
+            }),
+            &[a],
+        );
         sim.init();
         let done = sim.run_until(|_| false, 1_000);
         assert!(!done);

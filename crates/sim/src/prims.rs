@@ -279,7 +279,11 @@ impl Primitive for BinFuncPrim {
             && ctx.get(self.rhs.ack)
             && out_req
         {
-            let v = eval_binop(self.op, ctx.read_slot(self.lhs.slot), ctx.read_slot(self.rhs.slot));
+            let v = eval_binop(
+                self.op,
+                ctx.read_slot(self.lhs.slot),
+                ctx.read_slot(self.rhs.slot),
+            );
             ctx.write_slot(self.out.slot, v);
             ctx.set_after(self.out.ack, true, self.delay);
             ctx.set_after(self.lhs.req, false, 1);
@@ -344,7 +348,12 @@ pub struct CallMuxPrim {
 impl CallMuxPrim {
     /// Creates the primitive.
     pub fn new(ins: Vec<DataCh>, out: DataCh, delay: Time) -> Self {
-        CallMuxPrim { ins, out, delay, active: None }
+        CallMuxPrim {
+            ins,
+            out,
+            delay,
+            active: None,
+        }
     }
 }
 
@@ -393,7 +402,12 @@ pub struct PullMuxPrim {
 impl PullMuxPrim {
     /// Creates the primitive.
     pub fn new(clients: Vec<DataCh>, source: DataCh, delay: Time) -> Self {
-        PullMuxPrim { clients, source, delay, active: None }
+        PullMuxPrim {
+            clients,
+            source,
+            delay,
+            active: None,
+        }
     }
 }
 
@@ -456,7 +470,13 @@ impl MemoryPrim {
     /// Creates a memory with all words zero.
     pub fn new(words: usize, reads: Vec<MemSite>, writes: Vec<MemSite>, delay: Time) -> Self {
         let n = reads.len();
-        MemoryPrim { words: vec![0; words], reads, writes, delay, raddr: vec![0; n] }
+        MemoryPrim {
+            words: vec![0; words],
+            reads,
+            writes,
+            delay,
+            raddr: vec![0; n],
+        }
     }
 }
 
@@ -531,7 +551,13 @@ pub struct SelectAdapterPrim {
 impl SelectAdapterPrim {
     /// Creates the adapter.
     pub fn new(sel_req: NodeId, sel_acks: Vec<NodeId>, provider: DataCh, delay: Time) -> Self {
-        SelectAdapterPrim { sel_req, sel_acks, provider, delay, chosen: None }
+        SelectAdapterPrim {
+            sel_req,
+            sel_acks,
+            provider,
+            delay,
+            chosen: None,
+        }
     }
 }
 
@@ -727,7 +753,14 @@ mod tests {
     fn constant_answers_pulls() {
         let mut sim = Sim::new();
         let c = ch(&mut sim, "k");
-        sim.add_prim(Box::new(ConstantPrim { ch: c, value: 42, delay: 100 }), &[c.req]);
+        sim.add_prim(
+            Box::new(ConstantPrim {
+                ch: c,
+                value: 42,
+                delay: 100,
+            }),
+            &[c.req],
+        );
         sim.init();
         // Drive a pull by scheduling req+ manually through a driver prim.
         struct Once {
@@ -751,7 +784,12 @@ mod tests {
             }
         }
         let driver = sim.add_prim(
-            Box::new(Once { req: c.req, ack: c.ack, got: None, slot: c.slot }),
+            Box::new(Once {
+                req: c.req,
+                ack: c.ack,
+                got: None,
+                slot: c.slot,
+            }),
             &[c.ack],
         );
         sim.init();
@@ -766,7 +804,13 @@ mod tests {
         let w = ch(&mut sim, "v_w");
         let r = ch(&mut sim, "v_rd");
         sim.add_prim(
-            Box::new(VariablePrim { value: 0, write: w, reads: vec![r], wdelay: 50, rdelay: 50 }),
+            Box::new(VariablePrim {
+                value: 0,
+                write: w,
+                reads: vec![r],
+                wdelay: 50,
+                rdelay: 50,
+            }),
             &[w.req, r.req],
         );
         struct Script {
@@ -801,8 +845,15 @@ mod tests {
                 self
             }
         }
-        let script =
-            sim.add_prim(Box::new(Script { w, r, phase: 0, got: None }), &[w.ack, r.ack]);
+        let script = sim.add_prim(
+            Box::new(Script {
+                w,
+                r,
+                phase: 0,
+                got: None,
+            }),
+            &[w.ack, r.ack],
+        );
         sim.init();
         sim.run_until(|_| false, 100_000);
         let s: &Script = sim.prim(script).unwrap();
@@ -815,10 +866,30 @@ mod tests {
         let out = ch(&mut sim, "f");
         let l = ch(&mut sim, "l");
         let r = ch(&mut sim, "r");
-        sim.add_prim(Box::new(ConstantPrim { ch: l, value: 30, delay: 50 }), &[l.req]);
-        sim.add_prim(Box::new(ConstantPrim { ch: r, value: 12, delay: 70 }), &[r.req]);
         sim.add_prim(
-            Box::new(BinFuncPrim { op: BinOp::Add, out, lhs: l, rhs: r, delay: 200 }),
+            Box::new(ConstantPrim {
+                ch: l,
+                value: 30,
+                delay: 50,
+            }),
+            &[l.req],
+        );
+        sim.add_prim(
+            Box::new(ConstantPrim {
+                ch: r,
+                value: 12,
+                delay: 70,
+            }),
+            &[r.req],
+        );
+        sim.add_prim(
+            Box::new(BinFuncPrim {
+                op: BinOp::Add,
+                out,
+                lhs: l,
+                rhs: r,
+                delay: 200,
+            }),
             &[out.req, l.ack, r.ack],
         );
         struct Puller {

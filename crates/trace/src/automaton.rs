@@ -132,7 +132,10 @@ impl TraceStructure {
     pub fn add_symbol(&mut self, name: impl Into<String>, dir: Dir) -> usize {
         let name = name.into();
         if let Some(&i) = self.by_name.get(&name) {
-            assert_eq!(self.symbols[i].1, dir, "symbol {name} re-added with different direction");
+            assert_eq!(
+                self.symbols[i].1, dir,
+                "symbol {name} re-added with different direction"
+            );
             return i;
         }
         let i = self.symbols.len();
@@ -230,7 +233,9 @@ impl TraceStructure {
         for name in trace {
             let sym = self
                 .symbol_index(name)
-                .ok_or_else(|| TraceError::UnknownSymbol { symbol: (*name).to_string() })?;
+                .ok_or_else(|| TraceError::UnknownSymbol {
+                    symbol: (*name).to_string(),
+                })?;
             if !self.possible(state, sym) {
                 return Ok(false);
             }
@@ -284,7 +289,9 @@ impl TraceStructure {
                     let da = dirs[i];
                     match (da, dir) {
                         (Dir::Output, Dir::Output) => {
-                            return Err(TraceError::OutputConflict { symbol: name.clone() })
+                            return Err(TraceError::OutputConflict {
+                                symbol: name.clone(),
+                            })
                         }
                         (Dir::Output, Dir::Input) | (Dir::Input, Dir::Output) => {
                             dirs[i] = Dir::Output
@@ -372,7 +379,10 @@ impl TraceStructure {
                 }
             }
         }
-        Ok(Composite { structure: result, failure_reachable })
+        Ok(Composite {
+            structure: result,
+            failure_reachable,
+        })
     }
 
     /// Hides output symbols, determinizing the result.
@@ -389,9 +399,13 @@ impl TraceStructure {
         for name in hidden {
             let i = self
                 .symbol_index(name)
-                .ok_or_else(|| TraceError::UnknownSymbol { symbol: (*name).to_string() })?;
+                .ok_or_else(|| TraceError::UnknownSymbol {
+                    symbol: (*name).to_string(),
+                })?;
             if self.symbols[i].1 != Dir::Output {
-                return Err(TraceError::HideNonOutput { symbol: (*name).to_string() });
+                return Err(TraceError::HideNonOutput {
+                    symbol: (*name).to_string(),
+                });
             }
             hide_set.insert(i);
         }
@@ -410,8 +424,9 @@ impl TraceStructure {
             }
             set
         };
-        let visible: Vec<usize> =
-            (0..self.symbols.len()).filter(|s| !hide_set.contains(s)).collect();
+        let visible: Vec<usize> = (0..self.symbols.len())
+            .filter(|s| !hide_set.contains(s))
+            .collect();
         let mut out = TraceStructure::new();
         let mut sym_map: HashMap<usize, usize> = HashMap::new();
         for &s in &visible {
@@ -491,7 +506,6 @@ impl TraceStructure {
     }
 }
 
-
 /// Result of [`TraceStructure::compose`]: the composed structure plus
 /// whether any failure (choke) is reachable.
 #[derive(Debug, Clone)]
@@ -530,7 +544,10 @@ mod tests {
     #[test]
     fn unknown_symbol_is_error() {
         let t = handshake_echo();
-        assert!(matches!(t.accepts(&["zap"]), Err(TraceError::UnknownSymbol { .. })));
+        assert!(matches!(
+            t.accepts(&["zap"]),
+            Err(TraceError::UnknownSymbol { .. })
+        ));
     }
 
     #[test]
@@ -589,7 +606,10 @@ mod tests {
         let t = handshake_echo();
         let mut u = TraceStructure::new();
         u.add_symbol("other", Dir::Input);
-        assert!(matches!(t.conforms_to(&u), Err(TraceError::AlphabetMismatch { .. })));
+        assert!(matches!(
+            t.conforms_to(&u),
+            Err(TraceError::AlphabetMismatch { .. })
+        ));
     }
 
     #[test]
@@ -668,12 +688,18 @@ mod tests {
         a.add_symbol("x", Dir::Output);
         let mut b = TraceStructure::new();
         b.add_symbol("x", Dir::Output);
-        assert!(matches!(a.compose(&b), Err(TraceError::OutputConflict { .. })));
+        assert!(matches!(
+            a.compose(&b),
+            Err(TraceError::OutputConflict { .. })
+        ));
     }
 
     #[test]
     fn hide_rejects_inputs() {
         let t = handshake_echo();
-        assert!(matches!(t.hide(&["req"]), Err(TraceError::HideNonOutput { .. })));
+        assert!(matches!(
+            t.hide(&["req"]),
+            Err(TraceError::HideNonOutput { .. })
+        ));
     }
 }

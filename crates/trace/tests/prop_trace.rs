@@ -7,8 +7,11 @@ use proptest::prelude::*;
 /// transitions over a fixed 4-symbol alphabet (2 in, 2 out).
 fn arb_ts() -> impl Strategy<Value = TraceStructure> {
     let states = 1usize..5;
-    (states, proptest::collection::vec((0usize..4, 0usize..4, 0usize..4), 0..12)).prop_map(
-        |(n, edges)| {
+    (
+        states,
+        proptest::collection::vec((0usize..4, 0usize..4, 0usize..4), 0..12),
+    )
+        .prop_map(|(n, edges)| {
             let mut t = TraceStructure::new();
             let i0 = t.add_symbol("i0", Dir::Input);
             let i1 = t.add_symbol("i1", Dir::Input);
@@ -22,8 +25,7 @@ fn arb_ts() -> impl Strategy<Value = TraceStructure> {
                 t.add_transition(from % n, syms[sym], to % n);
             }
             t
-        },
-    )
+        })
 }
 
 proptest! {

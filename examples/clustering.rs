@@ -16,7 +16,11 @@ use bmbe::core::parse::print_ch;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Fig. 4: Activation Channel Removal -----------------------------
-    let dw = decision_wait("a1", &["i1".into(), "i2".into()], &["o1".into(), "o2".into()]);
+    let dw = decision_wait(
+        "a1",
+        &["i1".into(), "i2".into()],
+        &["o1".into(), "o2".into()],
+    );
     let seq = sequencer("o2", &["c1".into(), "c2".into()]);
     println!("decision-wait: {}", print_ch(&dw));
     println!("sequencer:     {}", print_ch(&seq));
@@ -25,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map_err(|e| format!("merge failed: {e}"))?;
     println!("merged:        {}", print_ch(&merged));
     let spec = compile_to_bm("merged", &merged)?;
-    println!("merged machine: {} states (Fig. 4 shows 11)", spec.num_states());
+    println!(
+        "merged machine: {} states (Fig. 4 shows 11)",
+        spec.num_states()
+    );
 
     // §4.3-style verification: compose + hide must equal the merged program.
     let verdict = verify_acr(&dw, &seq, "o2")?;
@@ -41,6 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = &netlist.components[0];
     println!("result:        {}", print_ch(&result.program));
     let spec = compile_to_bm("result", &result.program)?;
-    println!("result machine: {} states (Fig. 5 shows 6)", spec.num_states());
+    println!(
+        "result machine: {} states (Fig. 5 shows 6)",
+        spec.num_states()
+    );
     Ok(())
 }

@@ -28,7 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Minimalist-equivalent synthesis: hazard-free two-level logic.
     let ctrl = synthesize(&spec, MinimizeMode::Speed)?;
-    ctrl.verify_ternary().map_err(|e| format!("hazard found: {e}"))?;
+    ctrl.verify_ternary()
+        .map_err(|e| format!("hazard found: {e}"))?;
     println!("=== Synthesized controller ===");
     println!(
         "{} inputs, {} outputs, {} state bits, {} products, {} literals",
@@ -49,10 +50,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .cloned()
         .chain((0..ctrl.num_state_bits).map(|j| format!("y{j}")))
-        .zip(ctrl.output_covers.iter().chain(ctrl.next_state_covers.iter()))
+        .zip(
+            ctrl.output_covers
+                .iter()
+                .chain(ctrl.next_state_covers.iter()),
+        )
         .collect();
     let subject = SubjectGraph::from_covers(ctrl.num_vars(), &functions);
-    let mapped = map(&subject, &Library::cmos035(), MapObjective::Delay, MapStyle::SplitModules);
+    let mapped = map(
+        &subject,
+        &Library::cmos035(),
+        MapObjective::Delay,
+        MapStyle::SplitModules,
+    );
     let violations = bmbe::gates::verify_mapped(&ctrl, &mapped);
     println!("=== Technology mapped ===");
     println!(

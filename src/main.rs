@@ -89,7 +89,11 @@ fn cmd_flow(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let optimize = !args.iter().any(|a| a == "--no-opt");
     let program = bmbe::balsa::parse(&read_file(path)?)?;
     let design = bmbe::balsa::compile_procedure(&program.procedures[0])?;
-    let options = if optimize { FlowOptions::optimized() } else { FlowOptions::unoptimized() };
+    let options = if optimize {
+        FlowOptions::optimized()
+    } else {
+        FlowOptions::unoptimized()
+    };
     let flow = run_control_flow(&design, &options, &Library::cmos035())?;
     println!(
         "{}: {} control components -> {} controllers, {:.0} um^2 control area",

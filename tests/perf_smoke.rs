@@ -1,0 +1,65 @@
+//! Performance smoke test: the warm-cache optimized flow over all four
+//! benchmark designs must finish well inside a generous wall-clock bound.
+//! This is not a benchmark — the bound is an order of magnitude above the
+//! measured time (milliseconds on release builds) — it exists to catch
+//! catastrophic regressions (an accidental exponential path, a lost cache)
+//! in ordinary `cargo test` runs.
+
+use bmbe_designs::all_designs;
+use bmbe_flow::{run_control_flow_with, ControllerCache, FlowOptions, PhaseProfile};
+use bmbe_gates::Library;
+use std::time::{Duration, Instant};
+
+#[test]
+fn warm_cache_full_flow_stays_within_wall_clock_bound() {
+    // Debug builds are roughly an order of magnitude slower; stay generous
+    // in both profiles so a loaded CI host never flakes.
+    let bound = if cfg!(debug_assertions) {
+        Duration::from_secs(300)
+    } else {
+        Duration::from_secs(60)
+    };
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let cache = ControllerCache::new();
+    // Cold pass populates the cache; the timed pass must then hit on every
+    // controller of every design.
+    for design in &designs {
+        run_control_flow_with(
+            &design.compiled,
+            &FlowOptions::optimized(),
+            &library,
+            &cache,
+        )
+        .unwrap_or_else(|e| panic!("{} cold: {e}", design.name));
+    }
+    let start = Instant::now();
+    let mut phases = PhaseProfile::default();
+    for design in &designs {
+        let result = run_control_flow_with(
+            &design.compiled,
+            &FlowOptions::optimized(),
+            &library,
+            &cache,
+        )
+        .unwrap_or_else(|e| panic!("{} warm: {e}", design.name));
+        assert_eq!(
+            result.cache_misses, 0,
+            "{}: warm run must not re-synthesize",
+            design.name
+        );
+        phases.accumulate(&result.phases);
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < bound,
+        "warm-cache flow over all designs took {elapsed:?} (bound {bound:?}); \
+         phase totals: {phases:?}"
+    );
+    // Warm runs serve every shape from the cache, so no synthesis phase
+    // time may be re-spent.
+    assert_eq!(
+        phases.shapes, 0,
+        "warm runs must not re-run the per-shape chain"
+    );
+}

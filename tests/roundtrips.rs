@@ -18,7 +18,10 @@ fn standard_components() -> Vec<(&'static str, bmbe::core::ast::ChExpr)> {
         ("call", components::call(&names(&["x", "y"]), "z")),
         ("passivator", components::passivator("a", "b")),
         ("sync3", components::sync(&names(&["a", "b", "c"]))),
-        ("dw", components::decision_wait("p", &names(&["i1", "i2"]), &names(&["o1", "o2"]))),
+        (
+            "dw",
+            components::decision_wait("p", &names(&["i1", "i2"]), &names(&["o1", "o2"])),
+        ),
         ("loop", components::loop_forever("a", "b")),
         ("xfer", components::transferrer("a", "pl", "ps")),
         ("case", components::case("a", "s", &names(&["b0", "b1"]))),
@@ -80,7 +83,7 @@ fn verb_channel_joins_the_pipeline() {
     let a = compile_to_bm("verb", &with_verb).expect("compiles");
     let b = compile_to_bm("plain", &plain).expect("compiles");
     assert_eq!(a.num_states(), b.num_states());
-    let ctrl = bmbe::bm::synth::synthesize(&a, bmbe::bm::synth::MinimizeMode::Speed)
-        .expect("synthesizes");
+    let ctrl =
+        bmbe::bm::synth::synthesize(&a, bmbe::bm::synth::MinimizeMode::Speed).expect("synthesizes");
     ctrl.verify_ternary().expect("hazard-free");
 }
