@@ -16,20 +16,31 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-const SAMPLES: usize = 5;
+const SAMPLES: usize = 9;
 
-/// Median wall-clock seconds over `SAMPLES` runs (after one warm-up).
-fn median_secs<F: FnMut()>(mut routine: F) -> f64 {
-    routine(); // warm-up, untimed
-    let mut samples: Vec<f64> = (0..SAMPLES)
-        .map(|_| {
-            let start = Instant::now();
-            routine();
-            start.elapsed().as_secs_f64()
-        })
-        .collect();
+/// Median of a sample vector.
+fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
+}
+
+/// Medians of `routines.len()` interleaved routines over `SAMPLES` rounds
+/// (after one untimed warm-up round). Interleaving round-robins the
+/// routines so host-load drift between sampling windows lands on every
+/// routine equally instead of biasing whichever ran last.
+fn interleaved_median_secs(routines: &mut [&mut dyn FnMut()]) -> Vec<f64> {
+    for routine in routines.iter_mut() {
+        routine();
+    }
+    let mut samples = vec![Vec::with_capacity(SAMPLES); routines.len()];
+    for _ in 0..SAMPLES {
+        for (routine, out) in routines.iter_mut().zip(&mut samples) {
+            let start = Instant::now();
+            routine();
+            out.push(start.elapsed().as_secs_f64());
+        }
+    }
+    samples.into_iter().map(median).collect()
 }
 
 struct Row {
@@ -85,31 +96,39 @@ fn main() {
     let mut threads_used = 1;
     for design in &designs {
         let (prev_serial_s, prev_cached_s) = previous_numbers(design.name);
-        let serial_s = median_secs(|| {
-            black_box(
-                run_control_flow(
-                    &design.compiled,
-                    &FlowOptions::optimized().serial_uncached(),
-                    &library,
-                )
-                .expect("serial flow"),
-            );
-        });
-        // Fresh cache every run: cold-cache dedup + parallel fan-out, the
-        // honest comparison against the seed.
-        let cached_s = median_secs(|| {
-            black_box(
-                run_control_flow(&design.compiled, &FlowOptions::optimized(), &library)
-                    .expect("cached flow"),
-            );
-        });
         let warm = ControllerCache::new();
-        let warm_s = median_secs(|| {
-            black_box(
-                run_control_flow_with(&design.compiled, &FlowOptions::optimized(), &library, &warm)
+        // Fresh cache on every "cached" run: cold-cache dedup + parallel
+        // fan-out, the honest comparison against the seed.
+        let timings = interleaved_median_secs(&mut [
+            &mut || {
+                black_box(
+                    run_control_flow(
+                        &design.compiled,
+                        &FlowOptions::optimized().serial_uncached(),
+                        &library,
+                    )
+                    .expect("serial flow"),
+                );
+            },
+            &mut || {
+                black_box(
+                    run_control_flow(&design.compiled, &FlowOptions::optimized(), &library)
+                        .expect("cached flow"),
+                );
+            },
+            &mut || {
+                black_box(
+                    run_control_flow_with(
+                        &design.compiled,
+                        &FlowOptions::optimized(),
+                        &library,
+                        &warm,
+                    )
                     .expect("warm flow"),
-            );
-        });
+                );
+            },
+        ]);
+        let (serial_s, cached_s, warm_s) = (timings[0], timings[1], timings[2]);
         let result = run_control_flow(&design.compiled, &FlowOptions::optimized(), &library)
             .expect("cached flow");
         threads_used = result.threads_used;
@@ -171,6 +190,14 @@ fn main() {
     let mut json = String::from("{\n  \"bench\": \"flow_e2e\",\n");
     let _ = writeln!(json, "  \"threads\": {threads_used},");
     let _ = writeln!(json, "  \"samples\": {SAMPLES},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"cold-cache shape fan-out is gated by a small-work cutoff \
+         (pipeline::PAR_COST_CUTOFF), so designs whose pending shapes are too small to \
+         amortize a worker pool run inline; on a host without spare cores every design runs \
+         inline and the serial-vs-cached ratio sits at 1.0 within measurement noise, with \
+         dedup (cache hits) the only structural saving\","
+    );
     json.push_str("  \"designs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(

@@ -1,0 +1,258 @@
+//! Checking-side performance report: times the event-wheel scheduler
+//! against the seed's binary-heap scheduler on every benchmark scenario
+//! (asserting identical simulated outcomes), compares on-the-fly against
+//! materialized ACR trace verification, and writes `BENCH_sim.json`.
+//!
+//! Run with `--release`; the debug build is an order of magnitude slower.
+
+use bmbe_core::components::{decision_wait, sequencer};
+use bmbe_core::opt::verify_acr_compared;
+use bmbe_designs::all_designs;
+use bmbe_flow::{
+    run_control_flow, simulate_with, to_flow_scenario, FlowOptions, FlowResult, Scenario,
+    SimOutcome,
+};
+use bmbe_gates::Library;
+use bmbe_sim::prims::Delays;
+use bmbe_sim::SchedulerKind;
+use std::fmt::Write as _;
+
+const SAMPLES: usize = 9;
+
+struct SchedNumbers {
+    wall_s: f64,
+    total_s: f64,
+    events_per_sec: f64,
+    peak_queue_depth: usize,
+}
+
+struct Row {
+    design: String,
+    events: u64,
+    wheel: SchedNumbers,
+    heap: SchedNumbers,
+    /// Run-loop events/sec of the pre-wheel engine, from
+    /// `BENCH_sim_baseline.json` (measured at the commit before this
+    /// change), when that file is present.
+    baseline_events_per_sec: Option<f64>,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.wheel.events_per_sec / self.heap.events_per_sec
+    }
+
+    /// Run-loop throughput gain over the pre-change engine.
+    fn speedup_vs_baseline(&self) -> Option<f64> {
+        Some(self.wheel.events_per_sec / self.baseline_events_per_sec?)
+    }
+}
+
+/// Pulls `"field": <number>` out of `text` after position `from`.
+fn field_after(text: &str, from: usize, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Reads the pre-change engine's throughput for one design from
+/// `BENCH_sim_baseline.json`. Tolerant by construction: a missing file,
+/// design, or field simply yields `None`.
+fn baseline_events_per_sec(design: &str) -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_sim_baseline.json").ok()?;
+    let at = text.find(&format!("\"design\": \"{design}\""))?;
+    field_after(&text, at, "run_loop_events_per_sec")
+}
+
+/// Runs one scenario `SAMPLES` times per scheduler, interleaved so host
+/// drift lands on both equally, and keeps the median run-loop wall time.
+fn measure(
+    design: &bmbe_designs::scenarios::Design,
+    flow: &FlowResult,
+    scenario: &Scenario,
+    delays: &Delays,
+) -> Row {
+    let run_one = |kind: SchedulerKind| -> (SimOutcome, f64) {
+        let start = std::time::Instant::now();
+        let run = simulate_with(&design.compiled, flow, scenario, delays, kind)
+            .unwrap_or_else(|e| panic!("{} sim: {e}", design.name));
+        let total_s = start.elapsed().as_secs_f64();
+        assert!(run.completed, "{}: scenario must complete", design.name);
+        (run, total_s)
+    };
+    // Warm-up, and the outcome-identity check the numbers depend on.
+    let (wheel_ref, _) = run_one(SchedulerKind::Wheel);
+    let (heap_ref, _) = run_one(SchedulerKind::Heap);
+    assert!(
+        wheel_ref.same_result(&heap_ref),
+        "{}: wheel and heap schedulers disagree",
+        design.name
+    );
+    let mut walls = [Vec::with_capacity(SAMPLES), Vec::with_capacity(SAMPLES)];
+    let mut totals = [Vec::with_capacity(SAMPLES), Vec::with_capacity(SAMPLES)];
+    for _ in 0..SAMPLES {
+        for (i, kind) in [SchedulerKind::Wheel, SchedulerKind::Heap].into_iter().enumerate() {
+            let (run, total_s) = run_one(kind);
+            walls[i].push(run.stats.wall_s);
+            totals[i].push(total_s);
+        }
+    }
+    for w in walls.iter_mut().chain(totals.iter_mut()) {
+        w.sort_by(f64::total_cmp);
+    }
+    let events = wheel_ref.events;
+    let numbers = |wall_s: f64, total_s: f64, reference: &SimOutcome| SchedNumbers {
+        wall_s,
+        total_s,
+        events_per_sec: events as f64 / wall_s,
+        peak_queue_depth: reference.stats.peak_queue_depth,
+    };
+    Row {
+        design: design.name.to_string(),
+        events,
+        wheel: numbers(walls[0][SAMPLES / 2], totals[0][SAMPLES / 2], &wheel_ref),
+        heap: numbers(walls[1][SAMPLES / 2], totals[1][SAMPLES / 2], &heap_ref),
+        baseline_events_per_sec: baseline_events_per_sec(design.name),
+    }
+}
+
+struct VerifyRow {
+    obligation: &'static str,
+    otf_states: usize,
+    materialized_states: usize,
+    verdicts_agree: bool,
+}
+
+fn verify_rows() -> Vec<VerifyRow> {
+    let dw = decision_wait(
+        "a1",
+        &["i1".to_string(), "i2".to_string()],
+        &["o1".to_string(), "o2".to_string()],
+    );
+    let seq = sequencer("o2", &["c1".to_string(), "c2".to_string()]);
+    let s1 = sequencer("p", &["x".to_string(), "m".to_string()]);
+    let s2 = sequencer("m", &["y".to_string(), "z".to_string()]);
+    [
+        ("decision_wait+sequencer", verify_acr_compared(&dw, &seq, "o2")),
+        ("chained_sequencers", verify_acr_compared(&s1, &s2, "m")),
+    ]
+    .into_iter()
+    .map(|(obligation, cmp)| {
+        let cmp = cmp.unwrap_or_else(|e| panic!("{obligation}: {e}"));
+        VerifyRow {
+            obligation,
+            otf_states: cmp.otf_states,
+            materialized_states: cmp.materialized_states,
+            verdicts_agree: cmp.verdict.same_outcome(&cmp.oracle),
+        }
+    })
+    .collect()
+}
+
+fn main() {
+    let library = Library::cmos035();
+    let delays = Delays::default();
+    let designs = all_designs().expect("shipped designs build");
+    let rows: Vec<Row> = designs
+        .iter()
+        .map(|design| {
+            let flow = run_control_flow(&design.compiled, &FlowOptions::optimized(), &library)
+                .unwrap_or_else(|e| panic!("{} flow: {e}", design.name));
+            let scenario = to_flow_scenario(&design.scenario);
+            measure(design, &flow, &scenario, &delays)
+        })
+        .collect();
+    let verify = verify_rows();
+
+    println!("sim perf (median of {SAMPLES} interleaved runs; run loop only)");
+    println!(
+        "{:<22} {:>9} {:>12} {:>14} {:>12} {:>14} {:>8} {:>9}",
+        "design", "events", "wheel s", "wheel ev/s", "heap s", "heap ev/s", "vs heap", "vs seed"
+    );
+    for r in &rows {
+        let vs_base = r
+            .speedup_vs_baseline()
+            .map_or_else(|| "-".to_string(), |s| format!("{s:.2}x"));
+        println!(
+            "{:<22} {:>9} {:>12.6} {:>14.0} {:>12.6} {:>14.0} {:>7.2}x {:>9}",
+            r.design,
+            r.events,
+            r.wheel.wall_s,
+            r.wheel.events_per_sec,
+            r.heap.wall_s,
+            r.heap.events_per_sec,
+            r.speedup(),
+            vs_base
+        );
+    }
+    println!("\nverification (states explored, on-the-fly vs materialized):");
+    for v in &verify {
+        println!(
+            "{:<28} otf {:>5}  materialized {:>5}  agree {}",
+            v.obligation, v.otf_states, v.materialized_states, v.verdicts_agree
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"sim_verify\",\n");
+    let _ = writeln!(json, "  \"samples\": {SAMPLES},");
+    json.push_str(
+        "  \"note\": \"events_per_sec_speedup compares the wheel against the in-tree heap \
+         oracle in the same build, run loop only; both sides share the controller transition \
+         memoization and hoisted done checks added alongside the wheel, and the shipped \
+         scenarios idle at queue depth 1-3 where a binary heap is nearly free, so this ratio \
+         sits near 1.0 (the sim_kernels ring benchmarks, which isolate the scheduler at \
+         steady depth 4/256, show the wheel 1.2-1.4x ahead). \
+         events_per_sec_speedup_vs_baseline is the headline before/after: run-loop \
+         throughput against the pre-change engine recorded in BENCH_sim_baseline.json \
+         (measured at the prior commit, run loop estimated by subtracting an \
+         empty-scenario call), capturing scheduler, free-listed action slots, \
+         memoization, and done-check hoisting together.\",\n",
+    );
+    json.push_str("  \"designs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"design\": \"{}\", \"events\": {}, \
+             \"wheel\": {{\"wall_s\": {:.6}, \"total_s\": {:.6}, \"events_per_sec\": {:.0}, \"peak_queue_depth\": {}}}, \
+             \"heap\": {{\"wall_s\": {:.6}, \"total_s\": {:.6}, \"events_per_sec\": {:.0}, \"peak_queue_depth\": {}}}, \
+             \"events_per_sec_speedup\": {:.3}",
+            r.design,
+            r.events,
+            r.wheel.wall_s,
+            r.wheel.total_s,
+            r.wheel.events_per_sec,
+            r.wheel.peak_queue_depth,
+            r.heap.wall_s,
+            r.heap.total_s,
+            r.heap.events_per_sec,
+            r.heap.peak_queue_depth,
+            r.speedup()
+        );
+        if let (Some(base), Some(vs)) = (r.baseline_events_per_sec, r.speedup_vs_baseline()) {
+            let _ = write!(
+                json,
+                ", \"baseline_events_per_sec\": {base:.0}, \
+                 \"events_per_sec_speedup_vs_baseline\": {vs:.3}"
+            );
+        }
+        json.push_str("}");
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"verification\": [\n");
+    for (i, v) in verify.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"obligation\": \"{}\", \"otf_states\": {}, \"materialized_states\": {}, \
+             \"verdicts_agree\": {}}}",
+            v.obligation, v.otf_states, v.materialized_states, v.verdicts_agree
+        );
+        json.push_str(if i + 1 < verify.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("\nwrote BENCH_sim.json");
+}

@@ -16,7 +16,7 @@ fn main() {
             row.op_activated.keyword(),
             row.verdict
         );
-        if row.verdict == AcrVerdict::NotEquivalent {
+        if row.verdict.is_mismatch() {
             bad += 1;
         }
     }

@@ -12,4 +12,7 @@ pub use cluster::{
 
 pub mod verify;
 
-pub use verify::{run_acr_experiment, verify_acr, AcrVerdict, ExperimentRow, VerifyError};
+pub use verify::{
+    run_acr_experiment, verify_acr, verify_acr_compared, verify_acr_materialized, AcrComparison,
+    AcrVerdict, ExperimentRow, MismatchDirection, VerifyError,
+};

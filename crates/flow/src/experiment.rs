@@ -139,14 +139,22 @@ pub fn compare_with(
 ) -> Result<Comparison, ExperimentError> {
     let unopt = run_control_flow_with(design, &FlowOptions::unoptimized(), library, cache)?;
     let opt = run_control_flow_with(design, &FlowOptions::optimized(), library, cache)?;
-    let unopt_run = simulate(design, &unopt, scenario, delays)?;
+    // The two benchmark runs are independent; fan them across workers.
+    // Outcomes are checked in unoptimized-then-optimized order, so the
+    // reported error is the one the serial code would have raised.
+    let flows = [&unopt, &opt];
+    let mut runs = bmbe_par::par_map(&flows, flows.len(), |_, flow| {
+        simulate(design, flow, scenario, delays)
+    })
+    .into_iter();
+    let unopt_run = runs.next().expect("one result per job")?;
+    let opt_run = runs.next().expect("one result per job")?;
     if !unopt_run.completed {
         return Err(ExperimentError::Incomplete {
             side: "unoptimized",
             at_ns: unopt_run.time_ns,
         });
     }
-    let opt_run = simulate(design, &opt, scenario, delays)?;
     if !opt_run.completed {
         return Err(ExperimentError::Incomplete {
             side: "optimized",

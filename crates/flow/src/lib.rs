@@ -28,8 +28,13 @@ pub use pipeline::{
     run_control_flow, run_control_flow_with, ControllerArtifact, FlowError, FlowOptions, FlowResult,
 };
 pub use profile::PhaseProfile;
-pub use simbuild::{simulate, Done, Scenario, SimBuildError, SimOutcome};
-pub use table3::{check_outcome, run_design, run_design_with, to_flow_scenario, BenchError};
+pub use simbuild::{
+    simulate, simulate_all, simulate_with, Done, Scenario, SimBuildError, SimJob, SimOutcome,
+    SimStats,
+};
+pub use table3::{
+    check_outcome, run_design, run_design_with, run_designs_with, to_flow_scenario, BenchError,
+};
 pub use templates::{template_of, template_table, Template};
 
 #[cfg(test)]

@@ -273,6 +273,23 @@ fn inner_threads(threads: usize, jobs: usize) -> usize {
     (threads / threads.min(jobs).max(1)).max(1)
 }
 
+/// Canonical-program-text length below which a shape counts as small work:
+/// cheap controllers finish in well under the cost of parking them on a
+/// worker thread, so fanning them out loses time. The value sits between
+/// the largest shape of the small benchmark designs and the long-pole
+/// cluster controllers that actually profit from a worker (measured via
+/// `perf_report`; see BENCH_flow.json).
+const PAR_COST_CUTOFF: usize = 160;
+
+/// Whether a per-shape fan-out is worth spawning workers for: only when at
+/// least two shapes are above the small-work cutoff. Otherwise the outer
+/// loop stays serial and the whole thread budget moves *inside* the shapes
+/// (see [`inner_threads`]), which is where a single long pole spends it
+/// best.
+fn worth_fanning_out(costs: impl Iterator<Item = usize>) -> bool {
+    costs.filter(|&c| c >= PAR_COST_CUTOFF).count() >= 2
+}
+
 /// Runs the control back-end on a compiled design with a private,
 /// run-local controller cache.
 ///
@@ -356,9 +373,18 @@ pub fn run_control_flow_with(
         cache_misses = pending.len();
         cache_hits = ctrl.components.len() - cache_misses;
         cache.record(cache_hits, cache_misses);
-        let inner = inner_threads(threads, pending.len());
+        // Longest job first, so the long-pole shape never starts last;
+        // results are matched back through `shapes` by key, so dispatch
+        // order is free to differ from component order.
+        pending.sort_by_key(|k| std::cmp::Reverse(k.key.canonical.len()));
+        let workers = if worth_fanning_out(pending.iter().map(|k| k.key.canonical.len())) {
+            threads
+        } else {
+            1
+        };
+        let inner = inner_threads(threads, if workers == 1 { 1 } else { pending.len() });
         let synthesized: Vec<Result<SynthArtifact, ShapeError>> =
-            par_map(&pending, threads, |_, k| {
+            par_map(&pending, workers, |_, k| {
                 synthesize_direct("shape", &k.canonical, options, library, inner)
             });
         let mut failed: HashMap<&crate::cache::CacheKey, ShapeError> = HashMap::new();
@@ -412,9 +438,26 @@ pub fn run_control_flow_with(
     } else {
         cache_hits = 0;
         cache_misses = ctrl.components.len();
-        let inner = inner_threads(threads, ctrl.components.len());
+        let costs: Vec<usize> = ctrl
+            .components
+            .iter()
+            .map(|comp| bmbe_core::parse::print_ch(&comp.program).len())
+            .collect();
+        let workers = if worth_fanning_out(costs.into_iter()) {
+            threads
+        } else {
+            1
+        };
+        let inner = inner_threads(
+            threads,
+            if workers == 1 {
+                1
+            } else {
+                ctrl.components.len()
+            },
+        );
         let synthesized: Vec<Result<SynthArtifact, ShapeError>> =
-            par_map(&ctrl.components, threads, |_, comp| {
+            par_map(&ctrl.components, workers, |_, comp| {
                 synthesize_direct(&comp.name, &comp.program, options, library, inner)
             });
         for (comp, result) in ctrl.components.iter().zip(synthesized) {

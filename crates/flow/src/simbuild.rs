@@ -9,9 +9,10 @@ use bmbe_sim::prims::{
     FetchDataPrim, MemSite, MemoryPrim, PullMuxPrim, PullProviderEnv, PushConsumerEnv,
     SelectAdapterPrim, SyncResponderEnv, UnFuncPrim, VariablePrim,
 };
-use bmbe_sim::{NodeId, PrimId, Sim, Time};
+use bmbe_sim::{NodeId, PrimId, SchedulerKind, Sim, Time};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 /// When a benchmark run is considered complete.
 #[derive(Debug, Clone)]
@@ -62,6 +63,19 @@ impl Scenario {
     }
 }
 
+/// Scheduler-side statistics of one simulation run — diagnostics, excluded
+/// from [`SimOutcome::same_result`] (wall time varies run to run; the
+/// simulated behaviour must not).
+#[derive(Debug, Clone)]
+pub struct SimStats {
+    /// The scheduler the run used.
+    pub scheduler: SchedulerKind,
+    /// Largest number of simultaneously pending events.
+    pub peak_queue_depth: usize,
+    /// Host wall-clock seconds spent inside the event loop.
+    pub wall_s: f64,
+}
+
 /// Result of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimOutcome {
@@ -77,6 +91,23 @@ pub struct SimOutcome {
     pub sync_counts: HashMap<String, usize>,
     /// Final memory contents by memory name.
     pub memories: HashMap<String, Vec<u64>>,
+    /// Scheduler statistics (not part of the simulated behaviour).
+    pub stats: SimStats,
+}
+
+impl SimOutcome {
+    /// Whether two runs simulated identical behaviour: same completion,
+    /// simulated time, event count, port data, and memory contents. Stats
+    /// (wall time, queue depth, scheduler) are ignored — this is the
+    /// equality the wheel-vs-heap differential checks assert.
+    pub fn same_result(&self, other: &SimOutcome) -> bool {
+        self.completed == other.completed
+            && self.time_ns == other.time_ns
+            && self.events == other.events
+            && self.outputs == other.outputs
+            && self.sync_counts == other.sync_counts
+            && self.memories == other.memories
+    }
 }
 
 /// Errors raised while building the simulation.
@@ -123,7 +154,33 @@ fn provider_name(name: &str) -> String {
     format!("{name}$p")
 }
 
-/// Simulates a design with its synthesized controllers.
+/// One independent simulation job for [`simulate_all`].
+pub struct SimJob<'a> {
+    /// The compiled design.
+    pub design: &'a CompiledDesign,
+    /// Its synthesized flow artifacts.
+    pub flow: &'a FlowResult,
+    /// The scenario to run.
+    pub scenario: &'a Scenario,
+    /// The scheduler to run it on.
+    pub scheduler: SchedulerKind,
+}
+
+/// Runs independent simulation scenarios across worker threads; results
+/// come back in job order, each identical to a serial [`simulate_with`]
+/// call (simulations share nothing, so parallelism cannot change them).
+pub fn simulate_all(
+    jobs: &[SimJob<'_>],
+    delays: &Delays,
+    threads: usize,
+) -> Vec<Result<SimOutcome, SimBuildError>> {
+    bmbe_par::par_map(jobs, threads, |_, job| {
+        simulate_with(job.design, job.flow, job.scenario, delays, job.scheduler)
+    })
+}
+
+/// Simulates a design with its synthesized controllers, on the production
+/// event-wheel scheduler.
 ///
 /// # Errors
 ///
@@ -134,8 +191,25 @@ pub fn simulate(
     scenario: &Scenario,
     delays: &Delays,
 ) -> Result<SimOutcome, SimBuildError> {
+    simulate_with(design, flow, scenario, delays, SchedulerKind::default())
+}
+
+/// Simulates a design on a chosen scheduler. [`SchedulerKind::Heap`] is the
+/// seed engine, kept for before/after benchmarks and the differential
+/// tests; both schedulers produce [`SimOutcome::same_result`] outcomes.
+///
+/// # Errors
+///
+/// See [`SimBuildError`].
+pub fn simulate_with(
+    design: &CompiledDesign,
+    flow: &FlowResult,
+    scenario: &Scenario,
+    delays: &Delays,
+    scheduler: SchedulerKind,
+) -> Result<SimOutcome, SimBuildError> {
     let netlist = &design.netlist;
-    let mut sim = Sim::new();
+    let mut sim = Sim::with_scheduler(scheduler);
     let mut table = ChannelTable {
         chans: HashMap::new(),
     };
@@ -172,14 +246,14 @@ pub fn simulate(
                 (ns * 1000.0) as Time + delays.wire
             })
             .collect();
-        let prim = ControllerPrim {
-            inputs: inputs.clone(),
+        let prim = ControllerPrim::new(
+            inputs.clone(),
             outputs,
-            output_covers: art.controller.output_covers.clone(),
-            next_state_covers: art.controller.next_state_covers.clone(),
-            state: art.controller.initial_code,
+            art.controller.output_covers.clone(),
+            art.controller.next_state_covers.clone(),
+            art.controller.initial_code,
             output_delays,
-        };
+        );
         sim.add_prim(Box::new(prim), &inputs);
     }
 
@@ -420,39 +494,49 @@ pub fn simulate(
         }
     }
 
-    // Done condition.
-    match &scenario.done {
-        Done::Activations(_) => {}
-        Done::Outputs { port, .. } => {
-            if !out_env.contains_key(port) {
-                return Err(SimBuildError::UnknownPort(port.clone()));
-            }
-        }
-        Done::Syncs { port, .. } => {
-            if !sync_env.contains_key(port) {
-                return Err(SimBuildError::UnknownPort(port.clone()));
-            }
-        }
+    // Done condition, with the port name resolved to its primitive up
+    // front: the closure runs once per event, so it must not re-hash the
+    // port string every time.
+    enum DoneCheck {
+        Activations { driver: PrimId, n: usize },
+        Outputs { id: PrimId, count: usize },
+        Syncs { id: PrimId, count: usize },
     }
+    let check = match &scenario.done {
+        Done::Activations(n) => DoneCheck::Activations { driver, n: *n },
+        Done::Outputs { port, count } => DoneCheck::Outputs {
+            id: *out_env
+                .get(port)
+                .ok_or_else(|| SimBuildError::UnknownPort(port.clone()))?,
+            count: *count,
+        },
+        Done::Syncs { port, count } => DoneCheck::Syncs {
+            id: *sync_env
+                .get(port)
+                .ok_or_else(|| SimBuildError::UnknownPort(port.clone()))?,
+            count: *count,
+        },
+    };
     if std::env::var("BMBE_SIM_TRACE").is_ok() {
         sim.trace = true;
     }
     sim.init();
-    let done = scenario.done.clone();
+    let loop_start = Instant::now();
     let completed = sim.run_until(
-        |s| match &done {
-            Done::Activations(n) => s
+        |s| match check {
+            DoneCheck::Activations { driver, n } => s
                 .prim::<ActivationDriverEnv>(driver)
-                .is_some_and(|d| d.completions >= *n),
-            Done::Outputs { port, count } => s
-                .prim::<PushConsumerEnv>(out_env[port])
-                .is_some_and(|c| c.received.len() >= *count),
-            Done::Syncs { port, count } => s
-                .prim::<SyncResponderEnv>(sync_env[port])
-                .is_some_and(|c| c.count >= *count),
+                .is_some_and(|d| d.completions >= n),
+            DoneCheck::Outputs { id, count } => s
+                .prim::<PushConsumerEnv>(id)
+                .is_some_and(|c| c.received.len() >= count),
+            DoneCheck::Syncs { id, count } => s
+                .prim::<SyncResponderEnv>(id)
+                .is_some_and(|c| c.count >= count),
         },
         scenario.max_time,
     );
+    let wall_s = loop_start.elapsed().as_secs_f64();
     let outputs: HashMap<String, Vec<u64>> = out_env
         .iter()
         .map(|(name, &id)| {
@@ -493,5 +577,10 @@ pub fn simulate(
         outputs,
         sync_counts,
         memories,
+        stats: SimStats {
+            scheduler,
+            peak_queue_depth: sim.peak_queue_depth(),
+            wall_s,
+        },
     })
 }

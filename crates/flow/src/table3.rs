@@ -154,3 +154,19 @@ pub fn run_design_with(
     })?;
     Ok(comparison)
 }
+
+/// Runs every design across worker threads, sharing one controller cache,
+/// and returns each design's comparison in input order. The per-design
+/// results (artifacts, outcomes, first error) are identical to calling
+/// [`run_design_with`] serially — only wall-clock time changes.
+pub fn run_designs_with(
+    designs: &[Design],
+    library: &Library,
+    delays: &Delays,
+    cache: &ControllerCache,
+    threads: usize,
+) -> Vec<Result<Comparison, BenchError>> {
+    bmbe_par::par_map(designs, threads, |_, design| {
+        run_design_with(design, library, delays, cache)
+    })
+}

@@ -5,11 +5,31 @@
 //! behavioural datapath components, and environment processes — react to
 //! wire changes and schedule further changes after their delays. Time is in
 //! picoseconds.
+//!
+//! # Scheduling
+//!
+//! The production scheduler is a hierarchical event wheel (a calendar
+//! queue, [`EventWheel`]): events within a fixed horizon live in
+//! granularity-sized buckets indexed by an occupancy bitmap, events beyond
+//! the horizon wait in an overflow heap and cascade into the wheel when it
+//! rebases. Same-timestamp events are drained as one batch sorted by
+//! sequence number, which reproduces the exact `(time, seq)` FIFO
+//! tie-break of a binary heap while touching each bucket once. The seed's
+//! `BinaryHeap` scheduler is kept, bit-for-bit, as [`SchedulerKind::Heap`]
+//! — the reference oracle the differential property tests and the
+//! `BENCH_sim` before/after numbers compare against.
+//!
+//! Action slots are free-listed: a slot is recycled as soon as its event
+//! fires, so the action table stays as small as the peak number of
+//! in-flight events instead of growing with the lifetime event count (the
+//! heap oracle intentionally keeps the seed's append-only log). Watcher
+//! delivery is indexed — no per-event clone of the watcher list.
 
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Simulation time in picoseconds.
 pub type Time = u64;
@@ -32,6 +52,271 @@ enum Action {
     Notify(PrimId, u64),
 }
 
+/// Which scheduler backs a [`Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The calendar-queue event wheel with free-listed action slots and
+    /// indexed watcher delivery (the production path).
+    #[default]
+    Wheel,
+    /// The seed's `BinaryHeap` scheduler with its append-only action log
+    /// and per-event watcher-list clone, kept as the reference oracle.
+    Heap,
+}
+
+/// A scheduled event: `(time, seq, action slot)`. Ordered by `(time, seq)`;
+/// `seq` is globally monotonic, so ties in time resolve FIFO.
+type Event = (Time, u64, u32);
+
+const MIN_SHIFT: u32 = 6; // finest bucket granularity: 64 ps
+const MAX_SHIFT: u32 = 26; // coarsest: ~67 µs per bucket
+const WHEEL_BUCKETS: usize = 128;
+const WORDS: usize = WHEEL_BUCKETS / 64;
+
+/// A hierarchical event wheel (calendar queue) with adaptive bucket width.
+///
+/// Events with `time < wheel_start + horizon` live in one of
+/// [`WHEEL_BUCKETS`] buckets of `2^shift` ps each; an occupancy bitmap
+/// finds the next non-empty bucket in a few word operations. Events beyond
+/// the horizon wait in an overflow min-heap and migrate into the buckets
+/// when the wheel rebases (which only happens once every bucket is empty,
+/// so no event is ever left behind). At each rebase the bucket width is
+/// re-fit to the observed inter-event gap, so sparse event streams (gaps
+/// wider than the whole fine-grained horizon) do not thrash the overflow
+/// heap. Bucket width affects only how events are grouped, never the order
+/// they come back out: within a bucket, the minimum timestamp is extracted
+/// as a whole batch and sorted by sequence number — identical pop order to
+/// a `(time, seq)` binary heap, pinned by the differential property tests
+/// in `tests/prop_sched.rs`.
+#[derive(Debug)]
+pub struct EventWheel {
+    buckets: Vec<Vec<Event>>,
+    occupied: [u64; WORDS],
+    wheel_start: Time,
+    shift: u32,
+    cursor: usize,
+    near: usize,
+    far: BinaryHeap<Reverse<Event>>,
+    batch: Vec<Event>,
+    batch_ix: usize,
+    len: usize,
+    peak: usize,
+    /// EWMA of the time gap between consecutively popped events, the
+    /// density estimate the next rebase fits the bucket width to.
+    avg_gap: Time,
+    last_pop: Time,
+}
+
+impl Default for EventWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventWheel {
+    /// An empty wheel based at time zero.
+    pub fn new() -> Self {
+        EventWheel {
+            buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            wheel_start: 0,
+            shift: MIN_SHIFT,
+            cursor: 0,
+            near: 0,
+            far: BinaryHeap::new(),
+            batch: Vec::new(),
+            batch_ix: 0,
+            len: 0,
+            peak: 0,
+            avg_gap: 1 << MIN_SHIFT,
+            last_pop: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Largest number of simultaneously pending events seen so far.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Schedules an event. `time` must not precede the last popped event's
+    /// time (simulation time never runs backwards).
+    pub fn push(&mut self, time: Time, seq: u64, slot: u32) {
+        debug_assert!(time >= self.wheel_start, "event scheduled in the past");
+        self.len += 1;
+        self.peak = self.peak.max(self.len);
+        let offset = ((time - self.wheel_start) >> self.shift) as usize;
+        if offset >= WHEEL_BUCKETS {
+            self.far.push(Reverse((time, seq, slot)));
+            return;
+        }
+        self.buckets[offset].push((time, seq, slot));
+        self.occupied[offset / 64] |= 1 << (offset % 64);
+        self.near += 1;
+    }
+
+    /// Records the inter-event gap of a popped event for the density
+    /// estimate (integer EWMA over the last ~8 events).
+    fn note_pop(&mut self, time: Time) {
+        let gap = time - self.last_pop;
+        self.last_pop = time;
+        self.avg_gap = (self.avg_gap - self.avg_gap / 8 + gap / 8).max(1);
+    }
+
+    /// Pops the pending event with the least `(time, seq)`.
+    pub fn pop(&mut self) -> Option<Event> {
+        loop {
+            if self.batch_ix < self.batch.len() {
+                let e = self.batch[self.batch_ix];
+                self.batch_ix += 1;
+                self.len -= 1;
+                self.note_pop(e.0);
+                return Some(e);
+            }
+            self.batch.clear();
+            self.batch_ix = 0;
+            if self.len == 0 {
+                return None;
+            }
+            if self.near == 0 {
+                self.rebase();
+            }
+            let b = self.next_occupied_bucket();
+            self.cursor = b;
+            let bucket = &mut self.buckets[b];
+            // Fast path: a lone event needs none of the batch machinery.
+            // This is the common case at the low queue depths handshake
+            // circuits run at.
+            if bucket.len() == 1 {
+                let e = bucket.pop().expect("occupied");
+                self.occupied[b / 64] &= !(1 << (b % 64));
+                self.near -= 1;
+                self.len -= 1;
+                self.note_pop(e.0);
+                return Some(e);
+            }
+            // Extract the whole minimum-timestamp batch; later same-time
+            // arrivals carry larger seqs and form the next batch, exactly
+            // as a heap would interleave them.
+            let tmin = bucket.iter().map(|e| e.0).min().expect("occupied");
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].0 == tmin {
+                    self.batch.push(bucket.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            self.near -= self.batch.len();
+            if bucket.is_empty() {
+                self.occupied[b / 64] &= !(1 << (b % 64));
+            }
+            self.batch.sort_unstable_by_key(|&(_, seq, _)| seq);
+        }
+    }
+
+    /// First non-empty bucket at or after the cursor (callers guarantee one
+    /// exists: `near > 0`, and events are never scheduled before the last
+    /// popped time, so nothing sits behind the cursor).
+    fn next_occupied_bucket(&self) -> usize {
+        let mut word = self.cursor / 64;
+        let mut bits = self.occupied[word] & (!0u64 << (self.cursor % 64));
+        loop {
+            if bits != 0 {
+                return word * 64 + bits.trailing_zeros() as usize;
+            }
+            word += 1;
+            debug_assert!(word < WORDS, "near > 0 but no occupied bucket");
+            bits = self.occupied[word];
+        }
+    }
+
+    /// Re-bases the (fully drained) wheel at the earliest overflow event
+    /// and migrates everything within the new horizon into the buckets.
+    ///
+    /// Bucket width is re-fit here from the observed inter-event gap so the
+    /// horizon tracks the workload's time scale: sparse schedules (large
+    /// gaps) get wide buckets instead of thrashing the overflow heap.
+    /// Since the wheel is empty at rebase and width only affects grouping
+    /// (order is resolved per-bucket in `pop`), this never reorders events.
+    fn rebase(&mut self) {
+        debug_assert_eq!(self.near, 0);
+        // Aim for a bucket width of roughly twice the average gap, i.e.
+        // ~2 events per bucket, clamped to the supported range.
+        let target = self.avg_gap << 1;
+        self.shift = (63 - target.max(1).leading_zeros()).clamp(MIN_SHIFT, MAX_SHIFT);
+        let &Reverse((t0, _, _)) = self.far.peek().expect("len > 0 with empty wheel");
+        self.wheel_start = t0 & !((1 << self.shift) - 1);
+        self.cursor = 0;
+        let horizon = self.wheel_start + ((WHEEL_BUCKETS as Time) << self.shift);
+        while let Some(&Reverse((t, _, _))) = self.far.peek() {
+            if t >= horizon {
+                break;
+            }
+            let Reverse(e) = self.far.pop().expect("peeked");
+            let offset = ((e.0 - self.wheel_start) >> self.shift) as usize;
+            self.buckets[offset].push(e);
+            self.occupied[offset / 64] |= 1 << (offset % 64);
+            self.near += 1;
+        }
+    }
+}
+
+/// The scheduler behind a [`Sim`]: the event wheel or the heap oracle.
+#[derive(Debug)]
+enum EventQueue {
+    Wheel(EventWheel),
+    Heap {
+        heap: BinaryHeap<Reverse<Event>>,
+        peak: usize,
+    },
+}
+
+impl EventQueue {
+    fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Wheel => EventQueue::Wheel(EventWheel::new()),
+            SchedulerKind::Heap => EventQueue::Heap {
+                heap: BinaryHeap::new(),
+                peak: 0,
+            },
+        }
+    }
+
+    fn push(&mut self, time: Time, seq: u64, slot: u32) {
+        match self {
+            EventQueue::Wheel(w) => w.push(time, seq, slot),
+            EventQueue::Heap { heap, peak } => {
+                heap.push(Reverse((time, seq, slot)));
+                *peak = (*peak).max(heap.len());
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Wheel(w) => w.pop(),
+            EventQueue::Heap { heap, .. } => heap.pop().map(|Reverse(e)| e),
+        }
+    }
+
+    fn peak(&self) -> usize {
+        match self {
+            EventQueue::Wheel(w) => w.peak(),
+            EventQueue::Heap { peak, .. } => *peak,
+        }
+    }
+}
+
 /// A behavioural element of the simulation.
 pub trait Primitive: Any {
     /// Called once before simulation starts.
@@ -51,8 +336,9 @@ pub trait Primitive: Any {
 pub struct Ctx<'a> {
     nodes: &'a [bool],
     slots: &'a mut [u64],
-    queue: &'a mut BinaryHeap<Reverse<(Time, u64, usize)>>,
+    queue: &'a mut EventQueue,
     actions: &'a mut Vec<Action>,
+    free: &'a mut Vec<u32>,
     seq: &'a mut u64,
     now: Time,
     self_id: PrimId,
@@ -84,7 +370,7 @@ impl Ctx<'_> {
     pub fn set_after(&mut self, node: NodeId, value: bool, delay: Time) {
         *self.seq += 1;
         let idx = self.push_action(Action::SetNode(node, value));
-        self.queue.push(Reverse((self.now + delay, *self.seq, idx)));
+        self.queue.push(self.now + delay, *self.seq, idx);
     }
 
     /// Schedules a notification to this primitive.
@@ -92,25 +378,36 @@ impl Ctx<'_> {
         *self.seq += 1;
         let id = self.self_id;
         let idx = self.push_action(Action::Notify(id, tag));
-        self.queue.push(Reverse((self.now + delay, *self.seq, idx)));
+        self.queue.push(self.now + delay, *self.seq, idx);
     }
 
-    fn push_action(&mut self, a: Action) -> usize {
-        self.actions.push(a);
-        self.actions.len() - 1
+    /// Claims an action slot from the free list, or extends the table.
+    fn push_action(&mut self, a: Action) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.actions[i as usize] = a;
+                i
+            }
+            None => {
+                self.actions.push(a);
+                (self.actions.len() - 1) as u32
+            }
+        }
     }
 }
 
 /// The simulator.
 pub struct Sim {
     nodes: Vec<bool>,
-    node_names: Vec<String>,
-    names: HashMap<String, NodeId>,
+    node_names: Vec<Arc<str>>,
+    names: HashMap<Arc<str>, NodeId>,
     slots: Vec<u64>,
     prims: Vec<Option<Box<dyn Primitive>>>,
     watchers: Vec<Vec<PrimId>>,
-    queue: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    queue: EventQueue,
     actions: Vec<Action>,
+    free: Vec<u32>,
+    kind: SchedulerKind,
     seq: u64,
     now: Time,
     /// Count of processed events (for run-away detection).
@@ -126,8 +423,17 @@ impl Default for Sim {
 }
 
 impl Sim {
-    /// Creates an empty simulator.
+    /// Creates an empty simulator on the event-wheel scheduler.
     pub fn new() -> Self {
+        Self::with_scheduler(SchedulerKind::Wheel)
+    }
+
+    /// Creates an empty simulator on the given scheduler.
+    ///
+    /// [`SchedulerKind::Heap`] reproduces the seed engine exactly — binary
+    /// heap, append-only action log, per-event watcher clone — and exists
+    /// as the reference oracle for differential tests and benchmarks.
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
         Sim {
             nodes: Vec::new(),
             node_names: Vec::new(),
@@ -135,8 +441,10 @@ impl Sim {
             slots: Vec::new(),
             prims: Vec::new(),
             watchers: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(kind),
             actions: Vec::new(),
+            free: Vec::new(),
+            kind,
             seq: 0,
             now: 0,
             events_processed: 0,
@@ -144,15 +452,23 @@ impl Sim {
         }
     }
 
-    /// Creates (or finds) a named wire, initially 0.
+    /// Which scheduler this simulator runs on.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// Creates (or finds) a named wire, initially 0. The name is interned
+    /// once (the lookup table and the id-to-name table share one
+    /// allocation).
     pub fn node(&mut self, name: &str) -> NodeId {
         if let Some(&id) = self.names.get(name) {
             return id;
         }
         let id = NodeId(self.nodes.len());
+        let interned: Arc<str> = Arc::from(name);
         self.nodes.push(false);
-        self.node_names.push(name.to_string());
-        self.names.insert(name.to_string(), id);
+        self.node_names.push(interned.clone());
+        self.names.insert(interned, id);
         self.watchers.push(Vec::new());
         id
     }
@@ -200,6 +516,19 @@ impl Sim {
         self.now
     }
 
+    /// Largest number of simultaneously pending events seen so far.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue.peak()
+    }
+
+    /// Size of the action-slot table. On the wheel scheduler slots are
+    /// free-listed, so this is bounded by the peak queue depth, not the
+    /// lifetime event count (the heap oracle keeps the seed's append-only
+    /// log, where it equals total scheduled events).
+    pub fn action_slots(&self) -> usize {
+        self.actions.len()
+    }
+
     fn call<F: FnOnce(&mut dyn Primitive, &mut Ctx<'_>)>(&mut self, id: PrimId, f: F) {
         let mut prim = self.prims[id.0].take().expect("no reentrant prim calls");
         let mut ctx = Ctx {
@@ -207,6 +536,7 @@ impl Sim {
             slots: &mut self.slots,
             queue: &mut self.queue,
             actions: &mut self.actions,
+            free: &mut self.free,
             seq: &mut self.seq,
             now: self.now,
             self_id: id,
@@ -228,14 +558,18 @@ impl Sim {
         if done(self) {
             return true;
         }
-        while let Some(Reverse((t, _, action_ix))) = self.queue.pop() {
+        while let Some((t, _, action_ix)) = self.queue.pop() {
             if t > max_time {
                 self.now = t;
                 return false;
             }
             self.now = t;
             self.events_processed += 1;
-            match self.actions[action_ix] {
+            let action = self.actions[action_ix as usize];
+            if self.kind == SchedulerKind::Wheel {
+                self.free.push(action_ix);
+            }
+            match action {
                 Action::SetNode(node, value) => {
                     if self.nodes[node.0] == value {
                         continue;
@@ -247,9 +581,24 @@ impl Sim {
                             t, self.node_names[node.0], value as u8
                         );
                     }
-                    let watchers = self.watchers[node.0].clone();
-                    for w in watchers {
-                        self.call(w, |p, ctx| p.on_change(ctx, node));
+                    match self.kind {
+                        SchedulerKind::Wheel => {
+                            // Indexed delivery: the watcher lists are fixed
+                            // once simulation starts (primitives cannot
+                            // register new ones), so no defensive clone.
+                            for i in 0..self.watchers[node.0].len() {
+                                let w = self.watchers[node.0][i];
+                                self.call(w, |p, ctx| p.on_change(ctx, node));
+                            }
+                        }
+                        SchedulerKind::Heap => {
+                            // The seed's per-event clone, preserved in the
+                            // oracle so before/after numbers are honest.
+                            let watchers = self.watchers[node.0].clone();
+                            for w in watchers {
+                                self.call(w, |p, ctx| p.on_change(ctx, node));
+                            }
+                        }
                     }
                 }
                 Action::Notify(prim, tag) => {
@@ -289,9 +638,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn inverter_chain_propagates_with_delay() {
-        let mut sim = Sim::new();
+    fn inverter_chain(kind: SchedulerKind) -> bool {
+        let mut sim = Sim::with_scheduler(kind);
         let a = sim.node("a");
         let b = sim.node("b");
         let c = sim.node("c");
@@ -313,8 +661,13 @@ mod tests {
         );
         sim.init();
         // after init: b = 1 (at t=100), c = !b ... settles: a=0,b=1,c=0.
-        let settled = sim.run_until(|s| s.value(b) && !s.value(c) && s.now() >= 200, 10_000);
-        assert!(settled);
+        sim.run_until(|s| s.value(b) && !s.value(c) && s.now() >= 200, 10_000)
+    }
+
+    #[test]
+    fn inverter_chain_propagates_with_delay() {
+        assert!(inverter_chain(SchedulerKind::Wheel));
+        assert!(inverter_chain(SchedulerKind::Heap));
     }
 
     #[test]
@@ -336,6 +689,62 @@ mod tests {
     }
 
     #[test]
+    fn action_slots_are_recycled() {
+        // A ring oscillator processes one event per 50 ps with exactly one
+        // event in flight; after hundreds of thousands of events the slot
+        // table must still be O(peak depth), not O(events).
+        let mut sim = Sim::new();
+        let a = sim.node("a");
+        sim.add_prim(
+            Box::new(Inv {
+                input: a,
+                output: a,
+                delay: 50,
+            }),
+            &[a],
+        );
+        sim.init();
+        sim.run_until(|_| false, 10_000_000);
+        assert!(sim.events_processed > 100_000);
+        assert!(
+            sim.action_slots() <= sim.peak_queue_depth() + 1,
+            "slots {} vs peak depth {}",
+            sim.action_slots(),
+            sim.peak_queue_depth()
+        );
+        assert!(sim.action_slots() < 16);
+    }
+
+    #[test]
+    fn far_events_cascade_through_the_overflow_heap() {
+        // Delays far beyond the wheel horizon (65 536 ps) must still fire
+        // in order.
+        struct SlowInv {
+            input: NodeId,
+            output: NodeId,
+        }
+        impl Primitive for SlowInv {
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_after(self.output, true, 1_000_000);
+            }
+            fn on_change(&mut self, ctx: &mut Ctx<'_>, _node: NodeId) {
+                let v = ctx.get(self.input);
+                ctx.set_after(self.output, !v, 3_000_000);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut sim = Sim::new();
+        let a = sim.node("a");
+        sim.add_prim(Box::new(SlowInv { input: a, output: a }), &[a]);
+        sim.init();
+        let done = sim.run_until(|s| s.events_processed >= 5, 100_000_000);
+        assert!(done);
+        assert_eq!(sim.now(), 1_000_000 + 4 * 3_000_000);
+    }
+
+    #[test]
     fn named_nodes_are_shared() {
         let mut sim = Sim::new();
         let a1 = sim.node("x_r");
@@ -349,5 +758,26 @@ mod tests {
         let mut sim = Sim::new();
         let s = sim.slot();
         assert_eq!(sim.slot_value(s), 0);
+    }
+
+    #[test]
+    fn wheel_pops_in_time_seq_order() {
+        let mut w = EventWheel::new();
+        // Same time, out-of-order seqs; far events; batch interleaving.
+        w.push(100, 3, 0);
+        w.push(100, 1, 1);
+        w.push(50, 2, 2);
+        w.push(1_000_000, 4, 3); // beyond the horizon
+        w.push(100, 5, 4);
+        assert_eq!(w.pop(), Some((50, 2, 2)));
+        assert_eq!(w.pop(), Some((100, 1, 1)));
+        assert_eq!(w.pop(), Some((100, 3, 0)));
+        assert_eq!(w.pop(), Some((100, 5, 4)));
+        // Push at current time after partial drain still orders by seq.
+        w.push(200, 6, 5);
+        assert_eq!(w.pop(), Some((200, 6, 5)));
+        assert_eq!(w.pop(), Some((1_000_000, 4, 3)));
+        assert_eq!(w.pop(), None);
+        assert_eq!(w.peak(), 5);
     }
 }

@@ -13,7 +13,7 @@
 pub mod engine;
 pub mod prims;
 
-pub use engine::{Ctx, NodeId, PrimId, Primitive, Sim, SlotId, Time};
+pub use engine::{Ctx, EventWheel, NodeId, PrimId, Primitive, SchedulerKind, Sim, SlotId, Time};
 pub use prims::{
     ActivationDriverEnv, BinFuncPrim, CallMuxPrim, ConstantPrim, ControllerPrim, DataCh, Delays,
     FetchDataPrim, MemSite, MemoryPrim, PullMuxPrim, PullProviderEnv, PushConsumerEnv,

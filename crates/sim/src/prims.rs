@@ -132,9 +132,45 @@ pub struct ControllerPrim {
     pub state: u64,
     /// Per-output delay (ps), including the inter-component wire delay.
     pub output_delays: Vec<Time>,
+    /// Memoized settled transitions: slot = (key + 1, settled state,
+    /// packed output bits), key = inputs | state << |inputs|, 0 = empty.
+    /// Burst-mode controllers revisit a handful of (input, state) points
+    /// millions of times in a long run; one open-addressed probe replaces
+    /// the full cover evaluation. Empty when the packing preconditions
+    /// (key and output bits each fit a `u64`) do not hold.
+    memo: Vec<(u64, u64, u64)>,
 }
 
+const MEMO_SLOTS: usize = 256;
+const MEMO_PROBES: usize = 8;
+
 impl ControllerPrim {
+    /// Builds a controller primitive in its initial state.
+    pub fn new(
+        inputs: Vec<NodeId>,
+        outputs: Vec<NodeId>,
+        output_covers: Vec<Cover>,
+        next_state_covers: Vec<Cover>,
+        initial_state: u64,
+        output_delays: Vec<Time>,
+    ) -> Self {
+        let memoizable =
+            inputs.len() + next_state_covers.len() < 64 && output_covers.len() <= 64;
+        ControllerPrim {
+            inputs,
+            outputs,
+            output_covers,
+            next_state_covers,
+            state: initial_state,
+            output_delays,
+            memo: if memoizable {
+                vec![(0, 0, 0); MEMO_SLOTS]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
     fn input_point(&self, ctx: &Ctx<'_>) -> u64 {
         let mut p = 0u64;
         for (i, &n) in self.inputs.iter().enumerate() {
@@ -150,23 +186,82 @@ impl ControllerPrim {
             .enumerate()
             .fold(0u64, |acc, (j, c)| acc | (c.eval(p) as u64) << j)
     }
+
+    fn memo_slot(key: u64) -> usize {
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 56) as usize
+    }
+
+    fn memo_get(&self, key: u64) -> Option<(u64, u64)> {
+        if self.memo.is_empty() {
+            return None;
+        }
+        let mut i = Self::memo_slot(key);
+        for _ in 0..MEMO_PROBES {
+            let (k, s, b) = self.memo[i & (MEMO_SLOTS - 1)];
+            if k == key + 1 {
+                return Some((s, b));
+            }
+            if k == 0 {
+                return None;
+            }
+            i += 1;
+        }
+        None
+    }
+
+    fn memo_put(&mut self, key: u64, state: u64, bits: u64) {
+        if self.memo.is_empty() {
+            return;
+        }
+        let mut i = Self::memo_slot(key);
+        for _ in 0..MEMO_PROBES {
+            let slot = &mut self.memo[i & (MEMO_SLOTS - 1)];
+            if slot.0 == 0 {
+                *slot = (key + 1, state, bits);
+                return;
+            }
+            i += 1;
+        }
+        // Saturated neighborhood: this transition stays unmemoized.
+    }
+
+    /// Settles the feedback and evaluates the outputs at input point `x`
+    /// from the current state (one step suffices for an STT assignment; a
+    /// couple more guard against pathological inputs).
+    fn settle(&self, x: u64) -> (u64, u64) {
+        let mut state = self.state;
+        for _ in 0..4 {
+            let y = self.next_state(x, state);
+            if y == state {
+                break;
+            }
+            state = y;
+        }
+        let p = x | state << self.inputs.len();
+        let bits = self
+            .output_covers
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, c)| acc | (c.eval(p) as u64) << i);
+        (state, bits)
+    }
 }
 
 impl Primitive for ControllerPrim {
     fn on_change(&mut self, ctx: &mut Ctx<'_>, _node: NodeId) {
         let x = self.input_point(ctx);
-        // Settle the feedback (one step suffices for an STT assignment; a
-        // couple more guard against pathological inputs).
-        for _ in 0..4 {
-            let y = self.next_state(x, self.state);
-            if y == self.state {
-                break;
+        let key = x | self.state << self.inputs.len();
+        let (state, bits) = match self.memo_get(key) {
+            Some(hit) => hit,
+            None => {
+                let computed = self.settle(x);
+                self.memo_put(key, computed.0, computed.1);
+                computed
             }
-            self.state = y;
-        }
-        let p = x | self.state << self.inputs.len();
-        for (i, cover) in self.output_covers.iter().enumerate() {
-            let v = cover.eval(p);
+        };
+        self.state = state;
+        for i in 0..self.outputs.len() {
+            let v = (bits >> i) & 1 != 0;
             if v != ctx.get(self.outputs[i]) {
                 ctx.set_after(self.outputs[i], v, self.output_delays[i]);
             }

@@ -268,47 +268,12 @@ impl TraceStructure {
     /// Returns [`TraceError::OutputConflict`] when both modules drive the
     /// same symbol.
     pub fn compose(&self, other: &TraceStructure) -> Result<Composite, TraceError> {
-        // Build the composite alphabet.
-        let mut names: Vec<String> = Vec::new();
-        let mut dirs: Vec<Dir> = Vec::new();
-        let mut in_a: Vec<Option<usize>> = Vec::new();
-        let mut in_b: Vec<Option<usize>> = Vec::new();
-        let mut seen: BTreeMap<String, usize> = BTreeMap::new();
-        for (name, dir) in &self.symbols {
-            let i = names.len();
-            seen.insert(name.clone(), i);
-            names.push(name.clone());
-            dirs.push(*dir);
-            in_a.push(self.by_name.get(name).copied());
-            in_b.push(None);
-        }
-        for (name, dir) in &other.symbols {
-            match seen.get(name) {
-                Some(&i) => {
-                    in_b[i] = other.by_name.get(name).copied();
-                    let da = dirs[i];
-                    match (da, dir) {
-                        (Dir::Output, Dir::Output) => {
-                            return Err(TraceError::OutputConflict {
-                                symbol: name.clone(),
-                            })
-                        }
-                        (Dir::Output, Dir::Input) | (Dir::Input, Dir::Output) => {
-                            dirs[i] = Dir::Output
-                        }
-                        (Dir::Input, Dir::Input) => {}
-                    }
-                }
-                None => {
-                    let i = names.len();
-                    seen.insert(name.clone(), i);
-                    names.push(name.clone());
-                    dirs.push(*dir);
-                    in_a.push(None);
-                    in_b.push(other.by_name.get(name).copied());
-                }
-            }
-        }
+        let MergedAlphabet {
+            names,
+            dirs,
+            in_a,
+            in_b,
+        } = merge_alphabets(&self.symbols, &other.symbols)?;
         // Explore the product.
         let mut result = TraceStructure::new();
         for (n, d) in names.iter().zip(&dirs) {
@@ -503,6 +468,615 @@ impl TraceStructure {
     /// Propagates alphabet mismatches.
     pub fn equivalent_to(&self, other: &TraceStructure) -> Result<bool, TraceError> {
         Ok(self.conforms_to(other)? && other.conforms_to(self)?)
+    }
+
+    /// On-the-fly conformance check `self ≤ spec`.
+    ///
+    /// Decides the same question as [`conforms_to`](Self::conforms_to) but
+    /// explores the product with `mirror(spec)` lazily: state pairs are
+    /// hash-interned as they are reached, no composite transitions are
+    /// stored, and the search stops at the first reachable failure — with a
+    /// shortest witness trace for diagnostics. When the answer is "yes" the
+    /// search visits exactly the composite's reachable states; when "no" it
+    /// usually visits far fewer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::AlphabetMismatch`] if alphabets differ.
+    pub fn conforms_to_otf(&self, spec: &TraceStructure) -> Result<OtfOutcome, TraceError> {
+        let mut a: Vec<(String, Dir)> = self.symbols.clone();
+        let mut b: Vec<(String, Dir)> = spec.symbols.clone();
+        a.sort();
+        b.sort();
+        if a != b {
+            return Err(TraceError::AlphabetMismatch {
+                detail: format!("{a:?} vs {b:?}"),
+            });
+        }
+        let mut lhs = ConcreteView {
+            t: self,
+            flip: false,
+        };
+        let mut rhs = ConcreteView {
+            t: spec,
+            flip: true,
+        };
+        search_failure(&mut lhs, &mut rhs)
+    }
+
+    /// On-the-fly failure-reachability of the composition `self ∥ other`.
+    ///
+    /// Answers the same question as `compose(other)?.failure_reachable`
+    /// without materializing the composite automaton: early exit on the
+    /// first failure, with a shortest witness trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::OutputConflict`] when both modules drive the
+    /// same symbol.
+    pub fn failure_search(&self, other: &TraceStructure) -> Result<OtfOutcome, TraceError> {
+        let mut lhs = ConcreteView {
+            t: self,
+            flip: false,
+        };
+        let mut rhs = ConcreteView {
+            t: other,
+            flip: false,
+        };
+        search_failure(&mut lhs, &mut rhs)
+    }
+}
+
+/// Result of an on-the-fly failure-reachability search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OtfOutcome {
+    /// Whether no failure is reachable: for a conformance search the
+    /// implementation conforms, for a composition search the composition is
+    /// safe.
+    pub ok: bool,
+    /// Distinct product states interned before the search stopped. With
+    /// `ok` this equals the reachable composite state count; on early exit
+    /// it is usually much smaller.
+    pub states_visited: usize,
+    /// A shortest trace driving the product into a failure, when `ok` is
+    /// `false`.
+    pub counterexample: Option<Vec<String>>,
+}
+
+/// The merged alphabet of a composition: composite name/direction tables
+/// plus each side's symbol index for every composite symbol.
+struct MergedAlphabet {
+    names: Vec<String>,
+    dirs: Vec<Dir>,
+    in_a: Vec<Option<usize>>,
+    in_b: Vec<Option<usize>>,
+}
+
+/// Merges two alphabets under Dill composition rules: shared symbols
+/// synchronize, an output met by an input stays an output of the composite,
+/// two outputs conflict.
+fn merge_alphabets(
+    a: &[(String, Dir)],
+    b: &[(String, Dir)],
+) -> Result<MergedAlphabet, TraceError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut dirs: Vec<Dir> = Vec::new();
+    let mut in_a: Vec<Option<usize>> = Vec::new();
+    let mut in_b: Vec<Option<usize>> = Vec::new();
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for (ai, (name, dir)) in a.iter().enumerate() {
+        let i = names.len();
+        seen.insert(name.clone(), i);
+        names.push(name.clone());
+        dirs.push(*dir);
+        in_a.push(Some(ai));
+        in_b.push(None);
+    }
+    for (bi, (name, dir)) in b.iter().enumerate() {
+        match seen.get(name) {
+            Some(&i) => {
+                in_b[i] = Some(bi);
+                match (dirs[i], dir) {
+                    (Dir::Output, Dir::Output) => {
+                        return Err(TraceError::OutputConflict {
+                            symbol: name.clone(),
+                        })
+                    }
+                    (Dir::Output, Dir::Input) | (Dir::Input, Dir::Output) => dirs[i] = Dir::Output,
+                    (Dir::Input, Dir::Input) => {}
+                }
+            }
+            None => {
+                let i = names.len();
+                seen.insert(name.clone(), i);
+                names.push(name.clone());
+                dirs.push(*dir);
+                in_a.push(None);
+                in_b.push(Some(bi));
+            }
+        }
+    }
+    Ok(MergedAlphabet {
+        names,
+        dirs,
+        in_a,
+        in_b,
+    })
+}
+
+/// One side of a lazily explored product: a concrete structure (possibly
+/// viewed through a mirror) or a lazily determinized hidden composition.
+/// States are side-local `usize` ids; `step` returns `None` on a choke.
+trait ProductSide {
+    /// The side's effective alphabet (mirroring already applied).
+    fn alphabet(&self) -> Vec<(String, Dir)>;
+    /// The side's initial state (may intern lazily).
+    fn initial(&mut self) -> usize;
+    /// Receptive possibility: effective inputs always may occur, effective
+    /// outputs only where the side defines a transition.
+    fn possible(&mut self, state: usize, sym: usize) -> bool;
+    /// Takes the symbol; `None` is a choke (no defined transition).
+    fn step(&mut self, state: usize, sym: usize) -> Option<usize>;
+}
+
+/// A `&TraceStructure` as a product side; `flip` views it mirrored without
+/// cloning.
+struct ConcreteView<'a> {
+    t: &'a TraceStructure,
+    flip: bool,
+}
+
+impl ConcreteView<'_> {
+    fn dir(&self, sym: usize) -> Dir {
+        let d = self.t.symbols[sym].1;
+        if self.flip {
+            d.flip()
+        } else {
+            d
+        }
+    }
+}
+
+impl ProductSide for ConcreteView<'_> {
+    fn alphabet(&self) -> Vec<(String, Dir)> {
+        (0..self.t.symbols.len())
+            .map(|i| (self.t.symbols[i].0.clone(), self.dir(i)))
+            .collect()
+    }
+
+    fn initial(&mut self) -> usize {
+        self.t.initial
+    }
+
+    fn possible(&mut self, state: usize, sym: usize) -> bool {
+        match self.dir(sym) {
+            Dir::Input => true,
+            Dir::Output => self.t.delta.contains_key(&(state, sym)),
+        }
+    }
+
+    fn step(&mut self, state: usize, sym: usize) -> Option<usize> {
+        self.t.delta.get(&(state, sym)).copied()
+    }
+}
+
+/// Lazy failure search over the product of two sides.
+///
+/// Mirrors [`TraceStructure::compose`]'s semantics exactly — same
+/// producible rule, same both-participants-step rule, a choke on a
+/// composite *output* is the failure — but breadth-first with hash-interned
+/// state pairs and parent pointers, stopping at the first failure and
+/// reconstructing a shortest witness trace. Composite transitions are never
+/// stored.
+fn search_failure<A: ProductSide, B: ProductSide>(
+    a: &mut A,
+    b: &mut B,
+) -> Result<OtfOutcome, TraceError> {
+    let alpha_a = a.alphabet();
+    let alpha_b = b.alphabet();
+    let MergedAlphabet {
+        names,
+        dirs,
+        in_a,
+        in_b,
+    } = merge_alphabets(&alpha_a, &alpha_b)?;
+    let start = (a.initial(), b.initial());
+    let mut index: HashMap<(usize, usize), usize> = HashMap::new();
+    index.insert(start, 0);
+    let mut states: Vec<(usize, usize)> = vec![start];
+    let mut parents: Vec<Option<(usize, usize)>> = vec![None];
+    let mut head = 0;
+    while head < states.len() {
+        let (sa, sb) = states[head];
+        for sym in 0..names.len() {
+            let a_sym = in_a[sym];
+            let b_sym = in_b[sym];
+            let producible = match dirs[sym] {
+                Dir::Input => true,
+                Dir::Output => {
+                    let a_out = a_sym
+                        .is_some_and(|s| alpha_a[s].1 == Dir::Output && a.possible(sa, s));
+                    let b_out = b_sym
+                        .is_some_and(|s| alpha_b[s].1 == Dir::Output && b.possible(sb, s));
+                    a_out || b_out
+                }
+            };
+            if !producible {
+                continue;
+            }
+            let na = match a_sym {
+                Some(s) => a.step(sa, s),
+                None => Some(sa),
+            };
+            let nb = match b_sym {
+                Some(s) => b.step(sb, s),
+                None => Some(sb),
+            };
+            match (na, nb) {
+                (Some(na), Some(nb)) => {
+                    if let std::collections::hash_map::Entry::Vacant(e) = index.entry((na, nb)) {
+                        e.insert(states.len());
+                        states.push((na, nb));
+                        parents.push(Some((head, sym)));
+                    }
+                }
+                _ => {
+                    // An input choke stays an implicit receptive failure of
+                    // the composite (no successor); a choke on a produced
+                    // symbol is the reachable failure we are looking for.
+                    if dirs[sym] == Dir::Output {
+                        let mut trace = vec![names[sym].clone()];
+                        let mut at = head;
+                        while let Some((p, s)) = parents[at] {
+                            trace.push(names[s].clone());
+                            at = p;
+                        }
+                        trace.reverse();
+                        return Ok(OtfOutcome {
+                            ok: false,
+                            states_visited: states.len(),
+                            counterexample: Some(trace),
+                        });
+                    }
+                }
+            }
+        }
+        head += 1;
+    }
+    Ok(OtfOutcome {
+        ok: true,
+        states_visited: states.len(),
+        counterexample: None,
+    })
+}
+
+/// A lazily determinized hidden composition: the automaton
+/// `hide(compose(a, b), hidden)` explored on demand.
+///
+/// States are ε-closed subsets of composite state pairs, hash-interned the
+/// first time a conformance search reaches them; transitions are memoized
+/// and shared across every search run against the same value. Nothing of
+/// the composite — neither its state table nor its transitions — is ever
+/// materialized, which is where the on-the-fly verification path saves its
+/// states over the `compose` + `hide` pipeline.
+pub struct HiddenComposition<'a> {
+    a: &'a TraceStructure,
+    b: &'a TraceStructure,
+    names: Vec<String>,
+    dirs: Vec<Dir>,
+    in_a: Vec<Option<usize>>,
+    in_b: Vec<Option<usize>>,
+    hidden: Vec<usize>,
+    /// Visible composite symbols, as `(composite index, name, dir)`.
+    visible: Vec<(usize, String, Dir)>,
+    subsets: Vec<BTreeSet<(usize, usize)>>,
+    subset_index: HashMap<BTreeSet<(usize, usize)>, usize>,
+    memo: HashMap<(usize, usize), Option<usize>>,
+    initial: Option<usize>,
+    /// First composite failure (a produced symbol choking a receiver)
+    /// encountered while stepping members — the lazy counterpart of
+    /// `compose`'s `failure_reachable` flag. Interior-mutable because it is
+    /// recorded from the `&self` stepping helpers.
+    comp_failure: std::cell::RefCell<Option<String>>,
+}
+
+impl<'a> HiddenComposition<'a> {
+    /// Sets up the lazy composition of `a` and `b` with the named output
+    /// symbols hidden. No exploration happens yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::OutputConflict`] when both modules drive the
+    /// same symbol, [`TraceError::UnknownSymbol`] for a hidden name outside
+    /// the composite alphabet, and [`TraceError::HideNonOutput`] for a
+    /// hidden name that is not a composite output.
+    pub fn new(
+        a: &'a TraceStructure,
+        b: &'a TraceStructure,
+        hidden: &[&str],
+    ) -> Result<Self, TraceError> {
+        let MergedAlphabet {
+            names,
+            dirs,
+            in_a,
+            in_b,
+        } = merge_alphabets(&a.symbols, &b.symbols)?;
+        let mut hide_set = BTreeSet::new();
+        for name in hidden {
+            let i = names.iter().position(|n| n == name).ok_or_else(|| {
+                TraceError::UnknownSymbol {
+                    symbol: (*name).to_string(),
+                }
+            })?;
+            if dirs[i] != Dir::Output {
+                return Err(TraceError::HideNonOutput {
+                    symbol: (*name).to_string(),
+                });
+            }
+            hide_set.insert(i);
+        }
+        let visible = names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !hide_set.contains(i))
+            .map(|(i, n)| (i, n.clone(), dirs[i]))
+            .collect();
+        Ok(HiddenComposition {
+            a,
+            b,
+            names,
+            dirs,
+            in_a,
+            in_b,
+            hidden: hide_set.into_iter().collect(),
+            visible,
+            subsets: Vec::new(),
+            subset_index: HashMap::new(),
+            memo: HashMap::new(),
+            initial: None,
+            comp_failure: std::cell::RefCell::new(None),
+        })
+    }
+
+    /// A composite failure noticed during lazy exploration: the name of a
+    /// produced symbol that choked a receiver, if one was stepped over.
+    ///
+    /// When a conformance search has run in **both** directions and both
+    /// held, the exploration has covered every reachable composite state
+    /// (equivalence makes every visible trace of the composition a trace of
+    /// the spec, so the product walks them all, and subsets partition the
+    /// composite's reachable states by visible projection) — `None` then
+    /// proves `compose(a, b).failure_reachable` would be `false`. After a
+    /// failed or one-sided search the answer is only partial; fall back to
+    /// [`TraceStructure::failure_search`] for a definitive check.
+    pub fn composition_failure(&self) -> Option<String> {
+        self.comp_failure.borrow().clone()
+    }
+
+    /// The visible alphabet (the hidden automaton's symbols).
+    pub fn symbols(&self) -> Vec<(String, Dir)> {
+        self.visible
+            .iter()
+            .map(|(_, n, d)| (n.clone(), *d))
+            .collect()
+    }
+
+    /// Number of subset states materialized so far.
+    pub fn subset_states(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// On-the-fly conformance `hide(a ∥ b) ≤ spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::AlphabetMismatch`] if the visible alphabet
+    /// differs from the spec's.
+    pub fn conforms_to(&mut self, spec: &TraceStructure) -> Result<OtfOutcome, TraceError> {
+        self.check_alphabet(spec)?;
+        let mut rhs = ConcreteView {
+            t: spec,
+            flip: true,
+        };
+        let mut lhs = HiddenSide {
+            h: self,
+            flip: false,
+        };
+        search_failure(&mut lhs, &mut rhs)
+    }
+
+    /// On-the-fly conformance `spec ≤ hide(a ∥ b)` (the reverse direction;
+    /// together with [`conforms_to`](Self::conforms_to) this decides
+    /// equivalence, sharing the subset states already materialized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::AlphabetMismatch`] if the visible alphabet
+    /// differs from the spec's.
+    pub fn conformed_by(&mut self, spec: &TraceStructure) -> Result<OtfOutcome, TraceError> {
+        self.check_alphabet(spec)?;
+        let mut lhs = ConcreteView {
+            t: spec,
+            flip: false,
+        };
+        let mut rhs = HiddenSide {
+            h: self,
+            flip: true,
+        };
+        search_failure(&mut lhs, &mut rhs)
+    }
+
+    fn check_alphabet(&self, spec: &TraceStructure) -> Result<(), TraceError> {
+        let mut a = self.symbols();
+        let mut b: Vec<(String, Dir)> = spec.symbols.clone();
+        a.sort();
+        b.sort();
+        if a != b {
+            return Err(TraceError::AlphabetMismatch {
+                detail: format!("{a:?} vs {b:?}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether the composite symbol can occur at the member pair: the same
+    /// producible rule as [`TraceStructure::compose`], with "the transition
+    /// is defined" meaning both participants step.
+    fn comp_possible(&self, sa: usize, sb: usize, sym: usize) -> bool {
+        match self.dirs[sym] {
+            Dir::Input => true,
+            Dir::Output => self.comp_step(sa, sb, sym).is_some(),
+        }
+    }
+
+    /// The composite transition at a member pair, `None` where the
+    /// materialized composite would leave it undefined (not producible, or
+    /// a participant chokes).
+    fn comp_step(&self, sa: usize, sb: usize, sym: usize) -> Option<(usize, usize)> {
+        let a_sym = self.in_a[sym];
+        let b_sym = self.in_b[sym];
+        let producible = match self.dirs[sym] {
+            Dir::Input => true,
+            Dir::Output => {
+                let a_out = a_sym.is_some_and(|s| {
+                    self.a.symbols[s].1 == Dir::Output && self.a.possible(sa, s)
+                });
+                let b_out = b_sym.is_some_and(|s| {
+                    self.b.symbols[s].1 == Dir::Output && self.b.possible(sb, s)
+                });
+                a_out || b_out
+            }
+        };
+        if !producible {
+            return None;
+        }
+        let na = match a_sym {
+            Some(s) => match self.a.step(sa, s) {
+                Step::To(t) => Some(t),
+                Step::Failure => None,
+            },
+            None => Some(sa),
+        };
+        let nb = match b_sym {
+            Some(s) => match self.b.step(sb, s) {
+                Step::To(t) => Some(t),
+                Step::Failure => None,
+            },
+            None => Some(sb),
+        };
+        match (na, nb) {
+            (Some(na), Some(nb)) => Some((na, nb)),
+            _ => {
+                // The same condition `compose` records in its
+                // `failure_reachable` flag: a choke on a produced symbol
+                // (input chokes stay implicit receptive failures).
+                if self.dirs[sym] == Dir::Output {
+                    self.comp_failure
+                        .borrow_mut()
+                        .get_or_insert_with(|| self.names[sym].clone());
+                }
+                None
+            }
+        }
+    }
+
+    /// ε-closure over the hidden (defined) composite transitions.
+    fn closure(&self, seed: BTreeSet<(usize, usize)>) -> BTreeSet<(usize, usize)> {
+        let mut set = seed;
+        let mut stack: Vec<(usize, usize)> = set.iter().copied().collect();
+        while let Some((sa, sb)) = stack.pop() {
+            for hi in 0..self.hidden.len() {
+                let h = self.hidden[hi];
+                if let Some(t) = self.comp_step(sa, sb, h) {
+                    if set.insert(t) {
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    fn intern(&mut self, set: BTreeSet<(usize, usize)>) -> usize {
+        if let Some(&i) = self.subset_index.get(&set) {
+            return i;
+        }
+        let i = self.subsets.len();
+        self.subset_index.insert(set.clone(), i);
+        self.subsets.push(set);
+        i
+    }
+
+    fn initial_subset(&mut self) -> usize {
+        if let Some(i) = self.initial {
+            return i;
+        }
+        let start = self.closure(BTreeSet::from([(self.a.initial, self.b.initial)]));
+        let i = self.intern(start);
+        self.initial = Some(i);
+        i
+    }
+
+    /// The hidden automaton's transition on a visible symbol, memoized:
+    /// `None` exactly where the materialized `hide` would drop the edge
+    /// (no member admits the symbol, or every admitting member chokes).
+    fn resolve(&mut self, state: usize, vis: usize) -> Option<usize> {
+        if let Some(&r) = self.memo.get(&(state, vis)) {
+            return r;
+        }
+        let sym = self.visible[vis].0;
+        let mut any_possible = false;
+        let mut next = BTreeSet::new();
+        for &(sa, sb) in &self.subsets[state] {
+            if self.comp_possible(sa, sb, sym) {
+                any_possible = true;
+                if let Some(t) = self.comp_step(sa, sb, sym) {
+                    next.insert(t);
+                }
+            }
+        }
+        let r = if !any_possible || next.is_empty() {
+            None
+        } else {
+            let closed = self.closure(next);
+            Some(self.intern(closed))
+        };
+        self.memo.insert((state, vis), r);
+        r
+    }
+}
+
+/// A mutable [`HiddenComposition`] as a product side; `flip` views it
+/// mirrored.
+struct HiddenSide<'h, 'a> {
+    h: &'h mut HiddenComposition<'a>,
+    flip: bool,
+}
+
+impl ProductSide for HiddenSide<'_, '_> {
+    fn alphabet(&self) -> Vec<(String, Dir)> {
+        self.h
+            .visible
+            .iter()
+            .map(|(_, n, d)| (n.clone(), if self.flip { d.flip() } else { *d }))
+            .collect()
+    }
+
+    fn initial(&mut self) -> usize {
+        self.h.initial_subset()
+    }
+
+    fn possible(&mut self, state: usize, sym: usize) -> bool {
+        let d = self.h.visible[sym].2;
+        let d = if self.flip { d.flip() } else { d };
+        match d {
+            Dir::Input => true,
+            Dir::Output => self.h.resolve(state, sym).is_some(),
+        }
+    }
+
+    fn step(&mut self, state: usize, sym: usize) -> Option<usize> {
+        self.h.resolve(state, sym)
     }
 }
 
@@ -700,6 +1274,144 @@ mod tests {
         assert!(matches!(
             t.hide(&["req"]),
             Err(TraceError::HideNonOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn otf_conformance_matches_materialized() {
+        let spec = handshake_echo();
+        let ok = spec.conforms_to_otf(&spec).unwrap();
+        assert!(ok.ok);
+        assert!(ok.counterexample.is_none());
+        // The otf search with a positive verdict visits exactly the
+        // reachable composite states.
+        let composite = spec.compose(&spec.mirror()).unwrap();
+        assert_eq!(ok.states_visited, composite.structure.num_states());
+
+        let mut eager = TraceStructure::new();
+        let r = eager.add_symbol("req", Dir::Input);
+        let a = eager.add_symbol("ack", Dir::Output);
+        let s1 = eager.add_state();
+        eager.add_transition(0, a, s1);
+        eager.add_transition(s1, r, 0);
+        let bad = eager.conforms_to_otf(&spec).unwrap();
+        assert!(!bad.ok);
+        // Failure in the very first step: either the eager ack the spec's
+        // environment does not expect, or the req it sends that the eager
+        // module (busy acking) chokes on. Both are one-symbol witnesses.
+        let witness = bad.counterexample.expect("witness");
+        assert_eq!(witness.len(), 1);
+        assert!(witness[0] == "ack" || witness[0] == "req");
+        assert_eq!(
+            bad.ok,
+            eager.conforms_to(&spec).unwrap(),
+            "otf and materialized verdicts must agree"
+        );
+    }
+
+    #[test]
+    fn otf_failure_search_matches_compose() {
+        // Overrunnable pipeline: failure reachable, with a witness.
+        let mut s1 = TraceStructure::new();
+        let a = s1.add_symbol("a", Dir::Input);
+        let m = s1.add_symbol("m", Dir::Output);
+        let q1 = s1.add_state();
+        s1.add_transition(0, a, q1);
+        s1.add_transition(q1, m, 0);
+        let mut s2 = TraceStructure::new();
+        let m2 = s2.add_symbol("m", Dir::Input);
+        let b = s2.add_symbol("b", Dir::Output);
+        let q2 = s2.add_state();
+        s2.add_transition(0, m2, q2);
+        s2.add_transition(q2, b, 0);
+        let otf = s1.failure_search(&s2).unwrap();
+        let mat = s1.compose(&s2).unwrap();
+        assert!(mat.failure_reachable);
+        assert!(!otf.ok);
+        let witness = otf.counterexample.expect("witness trace");
+        assert_eq!(witness.last().map(String::as_str), Some("m"));
+        // The witness must actually drive the composite into its failure:
+        // every proper prefix is a trace of the composite, the full trace
+        // is not.
+        let names: Vec<&str> = witness.iter().map(String::as_str).collect();
+        assert!(mat.structure.accepts(&names[..names.len() - 1]).unwrap());
+        assert!(!mat.structure.accepts(&names).unwrap());
+    }
+
+    #[test]
+    fn lazy_hidden_composition_matches_materialized_pipeline() {
+        // Same scenario as compose_pipeline_and_hide_internal, via the lazy
+        // path: equal verdicts both directions, strictly fewer states
+        // (the composite is never materialized).
+        let mut s1 = TraceStructure::new();
+        let ar = s1.add_symbol("a_req", Dir::Input);
+        let mr = s1.add_symbol("m_req", Dir::Output);
+        let ma = s1.add_symbol("m_ack", Dir::Input);
+        let aa = s1.add_symbol("a_ack", Dir::Output);
+        let (q1, q2, q3) = (s1.add_state(), s1.add_state(), s1.add_state());
+        s1.add_transition(0, ar, q1);
+        s1.add_transition(q1, mr, q2);
+        s1.add_transition(q2, ma, q3);
+        s1.add_transition(q3, aa, 0);
+        let mut s2 = TraceStructure::new();
+        let mr2 = s2.add_symbol("m_req", Dir::Input);
+        let ma2 = s2.add_symbol("m_ack", Dir::Output);
+        let p1 = s2.add_state();
+        s2.add_transition(0, mr2, p1);
+        s2.add_transition(p1, ma2, 0);
+        let mut spec = TraceStructure::new();
+        let sa = spec.add_symbol("a_req", Dir::Input);
+        let sb = spec.add_symbol("a_ack", Dir::Output);
+        let t1 = spec.add_state();
+        spec.add_transition(0, sa, t1);
+        spec.add_transition(t1, sb, 0);
+
+        let mut lazy = HiddenComposition::new(&s1, &s2, &["m_req", "m_ack"]).unwrap();
+        let fwd = lazy.conforms_to(&spec).unwrap();
+        let bwd = lazy.conformed_by(&spec).unwrap();
+        assert!(fwd.ok && bwd.ok);
+
+        let materialized = s1
+            .compose(&s2)
+            .unwrap()
+            .structure
+            .hide(&["m_req", "m_ack"])
+            .unwrap();
+        assert!(materialized.equivalent_to(&spec).unwrap());
+        // The lazy path materializes the same determinized states as the
+        // hide() subset construction, at most.
+        assert!(lazy.subset_states() <= materialized.num_states());
+
+        // A wrong spec must be rejected identically, with a witness.
+        let mut wrong = TraceStructure::new();
+        let wa = wrong.add_symbol("a_req", Dir::Input);
+        let wb = wrong.add_symbol("a_ack", Dir::Output);
+        let w1 = wrong.add_state();
+        wrong.add_transition(0, wb, w1); // acks before any request
+        wrong.add_transition(w1, wa, 0);
+        let mut lazy2 = HiddenComposition::new(&s1, &s2, &["m_req", "m_ack"]).unwrap();
+        let fwd2 = lazy2.conforms_to(&wrong).unwrap();
+        let bwd2 = lazy2.conformed_by(&wrong).unwrap();
+        assert_eq!(fwd2.ok, materialized.conforms_to(&wrong).unwrap());
+        assert_eq!(bwd2.ok, wrong.conforms_to(&materialized).unwrap());
+        assert!(!(fwd2.ok && bwd2.ok));
+        assert!(fwd2.counterexample.is_some() || bwd2.counterexample.is_some());
+    }
+
+    #[test]
+    fn hidden_composition_propagates_setup_errors() {
+        let t = handshake_echo();
+        assert!(matches!(
+            HiddenComposition::new(&t, &t.mirror(), &["zap"]),
+            Err(TraceError::UnknownSymbol { .. })
+        ));
+        let mut a = TraceStructure::new();
+        a.add_symbol("x", Dir::Output);
+        let mut b = TraceStructure::new();
+        b.add_symbol("x", Dir::Output);
+        assert!(matches!(
+            HiddenComposition::new(&a, &b, &[]),
+            Err(TraceError::OutputConflict { .. })
         ));
     }
 }

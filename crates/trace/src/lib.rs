@@ -16,4 +16,4 @@
 //! them represented only by that flag.
 pub mod automaton;
 
-pub use automaton::{Composite, Dir, TraceError, TraceStructure};
+pub use automaton::{Composite, Dir, HiddenComposition, OtfOutcome, TraceError, TraceStructure};
