@@ -1,0 +1,145 @@
+//! Observability report: runs the Stack benchmark design through the full
+//! back-end (flow synthesis, simulation, one trace-verification obligation)
+//! with tracing enabled, writes the Chrome trace (`BMBE_TRACE_OUT`,
+//! default `trace.json`) plus a JSONL event log next to it, and prints a
+//! machine-readable summary — trace shape plus the metrics registry — to
+//! stdout. Human-readable progress goes to stderr (`BMBE_VERBOSE=1`).
+//!
+//! `--check` additionally validates everything a trace consumer relies on
+//! and exits non-zero on the first violation:
+//!
+//! - the emitted Chrome trace and every JSONL line parse as JSON
+//!   (`bmbe_obs::export::validate_json`, dependency-free);
+//! - every span closes exactly once, LIFO per lane, nothing dropped
+//!   (`bmbe_obs::export::validate`);
+//! - the span lanes cover all five per-shape flow phases and the simulator
+//!   run loop.
+//!
+//! This is the smoke gate the tier-1 CI script runs.
+
+use bmbe_core::components::{decision_wait, sequencer};
+use bmbe_core::opt::verify_acr_compared;
+use bmbe_designs::all_designs;
+use bmbe_flow::{run_control_flow, simulate, to_flow_scenario, FlowOptions};
+use bmbe_gates::Library;
+use bmbe_obs::export::{export_chrome, export_jsonl, validate, validate_json};
+use bmbe_sim::prims::Delays;
+use std::fmt::Write as _;
+
+/// The span names a complete trace must contain: the five per-shape flow
+/// phases plus the simulator run loop.
+const REQUIRED_SPANS: &[&str] = &[
+    "shape.compile",
+    "shape.statemin",
+    "shape.synth",
+    "shape.verify",
+    "shape.map",
+    "sim.run",
+];
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs_report --check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    bmbe_obs::init_from_env();
+    bmbe_obs::set_enabled(true);
+
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let design = designs
+        .iter()
+        .find(|d| d.name == "Stack")
+        .expect("Stack benchmark design");
+
+    bmbe_obs::vlog!(1, "tracing flow synthesis of {} ...", design.name);
+    let flow = run_control_flow(&design.compiled, &FlowOptions::optimized(), &library)
+        .unwrap_or_else(|e| panic!("{} flow: {e}", design.name));
+    bmbe_obs::vlog!(1, "tracing simulation ...");
+    let scenario = to_flow_scenario(&design.scenario);
+    let outcome = simulate(&design.compiled, &flow, &scenario, &Delays::default())
+        .unwrap_or_else(|e| panic!("{} sim: {e}", design.name));
+    bmbe_obs::vlog!(1, "tracing trace verification ...");
+    let dw = decision_wait(
+        "a1",
+        &["i1".to_string(), "i2".to_string()],
+        &["o1".to_string(), "o2".to_string()],
+    );
+    let seq = sequencer("o2", &["c1".to_string(), "c2".to_string()]);
+    verify_acr_compared(&dw, &seq, "o2").expect("verification obligation");
+
+    bmbe_obs::set_enabled(false);
+    let trace = bmbe_obs::flush();
+
+    let out_path = bmbe_obs::trace_out_path();
+    let jsonl_path = match out_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.jsonl"),
+        None => format!("{out_path}.jsonl"),
+    };
+    let chrome = export_chrome(&trace);
+    std::fs::write(&out_path, &chrome).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    let jsonl = export_jsonl(&trace);
+    std::fs::write(&jsonl_path, &jsonl).unwrap_or_else(|e| panic!("write {jsonl_path}: {e}"));
+    bmbe_obs::vlog!(1, "wrote {out_path} and {jsonl_path}");
+
+    let mut covered: Vec<&str> = REQUIRED_SPANS
+        .iter()
+        .copied()
+        .filter(|name| trace.has_callsite(name))
+        .collect();
+    covered.sort_unstable();
+
+    if check {
+        if let Err(e) = validate(&trace) {
+            fail(&format!("trace validation: {e}"));
+        }
+        if let Err((at, e)) = validate_json(&chrome) {
+            fail(&format!("{out_path} is not valid JSON at byte {at}: {e}"));
+        }
+        for (n, line) in jsonl.lines().enumerate() {
+            if let Err((at, e)) = validate_json(line) {
+                fail(&format!("{jsonl_path} line {}: byte {at}: {e}", n + 1));
+            }
+        }
+        for name in REQUIRED_SPANS {
+            if !trace.has_callsite(name) {
+                fail(&format!("required span {name:?} missing from the trace"));
+            }
+        }
+        if !outcome.completed {
+            fail("simulation scenario did not complete");
+        }
+        bmbe_obs::vlog!(1, "all checks passed");
+    }
+
+    let mut summary = String::from("{\n");
+    let _ = writeln!(summary, "  \"report\": \"obs\",");
+    let _ = writeln!(summary, "  \"design\": \"{}\",", escape(design.name));
+    let _ = writeln!(summary, "  \"trace_out\": \"{}\",", escape(&out_path));
+    let _ = writeln!(summary, "  \"jsonl_out\": \"{}\",", escape(&jsonl_path));
+    let _ = writeln!(summary, "  \"trace_records\": {},", trace.events.len());
+    let _ = writeln!(summary, "  \"lanes\": {},", trace.lanes.len());
+    let _ = writeln!(summary, "  \"dropped\": {},", trace.dropped);
+    let _ = writeln!(summary, "  \"sim_events\": {},", outcome.events);
+    let _ = writeln!(summary, "  \"checked\": {check},");
+    let _ = write!(summary, "  \"spans_covered\": [");
+    for (i, name) in covered.iter().enumerate() {
+        let _ = write!(
+            summary,
+            "{}\"{name}\"",
+            if i > 0 { ", " } else { "" }
+        );
+    }
+    let _ = writeln!(summary, "],");
+    let _ = writeln!(summary, "  \"metrics\": {}", bmbe_obs::metrics::snapshot_json());
+    summary.push_str("}\n");
+    // Stdout is the machine-readable channel: the summary JSON and nothing
+    // else.
+    print!("{summary}");
+}

@@ -6,6 +6,10 @@
 //! before/after numbers against it.
 //!
 //! Run with `--release`; the debug build is an order of magnitude slower.
+//!
+//! Stdout carries the pure JSON report (the same text written to
+//! `BENCH_flow.json`); the human-readable tables go to **stderr** via
+//! `bmbe_obs::vlog!` at verbosity ≥ 1 (`BMBE_VERBOSE=1`).
 
 use bmbe_designs::all_designs;
 use bmbe_flow::{
@@ -90,6 +94,7 @@ fn previous_numbers(design: &str) -> (Option<f64>, Option<f64>) {
 }
 
 fn main() {
+    bmbe_obs::init_from_env();
     let library = Library::cmos035();
     let designs = all_designs().expect("shipped designs build");
     let mut rows = Vec::new();
@@ -146,15 +151,25 @@ fn main() {
         });
     }
 
-    println!(
+    bmbe_obs::vlog!(
+        1,
         "flow perf ({threads_used} threads, median of {SAMPLES} runs; cold = fresh cache per run)"
     );
-    println!(
+    bmbe_obs::vlog!(
+        1,
         "{:<22} {:>5} {:>12} {:>12} {:>9} {:>12} {:>6} {:>6}",
-        "design", "ctrl", "serial s", "cold s", "speedup", "warm s", "hits", "miss"
+        "design",
+        "ctrl",
+        "serial s",
+        "cold s",
+        "speedup",
+        "warm s",
+        "hits",
+        "miss"
     );
     for r in &rows {
-        println!(
+        bmbe_obs::vlog!(
+            1,
             "{:<22} {:>5} {:>12.4} {:>12.4} {:>8.2}x {:>12.4} {:>6} {:>6}",
             r.design,
             r.components,
@@ -166,14 +181,24 @@ fn main() {
             r.misses
         );
     }
-    println!("\nper-phase profile of one cold cached run (seconds):");
-    println!(
+    bmbe_obs::vlog!(1, "\nper-phase profile of one cold cached run (seconds):");
+    bmbe_obs::vlog!(
+        1,
         "{:<22} {:>8} {:>9} {:>8} {:>8} {:>9} {:>8} {:>7} {:>7}",
-        "design", "compile", "statemin", "synth", "primes", "covering", "verify", "map", "shapes"
+        "design",
+        "compile",
+        "statemin",
+        "synth",
+        "primes",
+        "covering",
+        "verify",
+        "map",
+        "shapes"
     );
     for r in &rows {
         let p = &r.phases;
-        println!(
+        bmbe_obs::vlog!(
+            1,
             "{:<22} {:>8.4} {:>9.4} {:>8.4} {:>8.4} {:>9.4} {:>8.4} {:>7.4} {:>7}",
             r.design,
             p.compile.as_secs_f64(),
@@ -241,5 +266,8 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_flow.json", &json).expect("write BENCH_flow.json");
-    println!("\nwrote BENCH_flow.json");
+    // Stdout is the machine-readable channel: the JSON report and nothing
+    // else.
+    print!("{json}");
+    bmbe_obs::vlog!(1, "\nwrote BENCH_flow.json");
 }

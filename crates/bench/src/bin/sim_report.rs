@@ -4,6 +4,10 @@
 //! materialized ACR trace verification, and writes `BENCH_sim.json`.
 //!
 //! Run with `--release`; the debug build is an order of magnitude slower.
+//!
+//! Stdout carries the pure JSON report (the same text written to
+//! `BENCH_sim.json`); the human-readable tables go to **stderr** via
+//! `bmbe_obs::vlog!` at verbosity ≥ 1 (`BMBE_VERBOSE=1`).
 
 use bmbe_core::components::{decision_wait, sequencer};
 use bmbe_core::opt::verify_acr_compared;
@@ -154,6 +158,7 @@ fn verify_rows() -> Vec<VerifyRow> {
 }
 
 fn main() {
+    bmbe_obs::init_from_env();
     let library = Library::cmos035();
     let delays = Delays::default();
     let designs = all_designs().expect("shipped designs build");
@@ -168,16 +173,28 @@ fn main() {
         .collect();
     let verify = verify_rows();
 
-    println!("sim perf (median of {SAMPLES} interleaved runs; run loop only)");
-    println!(
+    bmbe_obs::vlog!(
+        1,
+        "sim perf (median of {SAMPLES} interleaved runs; run loop only)"
+    );
+    bmbe_obs::vlog!(
+        1,
         "{:<22} {:>9} {:>12} {:>14} {:>12} {:>14} {:>8} {:>9}",
-        "design", "events", "wheel s", "wheel ev/s", "heap s", "heap ev/s", "vs heap", "vs seed"
+        "design",
+        "events",
+        "wheel s",
+        "wheel ev/s",
+        "heap s",
+        "heap ev/s",
+        "vs heap",
+        "vs seed"
     );
     for r in &rows {
         let vs_base = r
             .speedup_vs_baseline()
             .map_or_else(|| "-".to_string(), |s| format!("{s:.2}x"));
-        println!(
+        bmbe_obs::vlog!(
+            1,
             "{:<22} {:>9} {:>12.6} {:>14.0} {:>12.6} {:>14.0} {:>7.2}x {:>9}",
             r.design,
             r.events,
@@ -189,11 +206,15 @@ fn main() {
             vs_base
         );
     }
-    println!("\nverification (states explored, on-the-fly vs materialized):");
+    bmbe_obs::vlog!(1, "\nverification (states explored, on-the-fly vs materialized):");
     for v in &verify {
-        println!(
+        bmbe_obs::vlog!(
+            1,
             "{:<28} otf {:>5}  materialized {:>5}  agree {}",
-            v.obligation, v.otf_states, v.materialized_states, v.verdicts_agree
+            v.obligation,
+            v.otf_states,
+            v.materialized_states,
+            v.verdicts_agree
         );
     }
 
@@ -254,5 +275,8 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
-    println!("\nwrote BENCH_sim.json");
+    // Stdout is the machine-readable channel: the JSON report and nothing
+    // else.
+    print!("{json}");
+    bmbe_obs::vlog!(1, "\nwrote BENCH_sim.json");
 }

@@ -199,18 +199,42 @@ pub fn verify_acr(
 /// The on-the-fly §4.3 obligation on already-generated trace structures.
 /// Returns the verdict plus the total distinct states the searches interned
 /// (subset states counted once — they are shared between directions).
+///
+/// Instrumented: the whole obligation runs under a `verify.otf` span, each
+/// conformance direction under its own child span, and the searches feed
+/// the `verify.states` counter, the `verify.frontier` histogram (per-search
+/// breadth-first high-water mark), and — on a mismatch — a
+/// `verify.cex_depth` event carrying the counterexample length.
 fn verify_traces_otf(
     ta: &TraceStructure,
     tb: &TraceStructure,
     tm: &TraceStructure,
     channel: &str,
 ) -> Result<(AcrVerdict, usize), VerifyError> {
+    /// Frontier sizes bucketed in powers of four (searches range from a
+    /// handful of states to the full composite product).
+    static FRONTIER_BUCKETS: [u64; 7] = [4, 16, 64, 256, 1024, 4096, 16384];
+    let _obligation = bmbe_obs::span!("verify.otf", "verify");
+    let note_search = |outcome: &bmbe_trace::OtfOutcome| {
+        bmbe_obs::histogram!("verify.frontier", &FRONTIER_BUCKETS)
+            .observe(outcome.peak_frontier as u64);
+        if let Some(cex) = &outcome.counterexample {
+            bmbe_obs::event!("verify.cex_depth", cex.len() as i64);
+        }
+    };
     let req = format!("{channel}_r");
     let ack = format!("{channel}_a");
     let mut hc = HiddenComposition::new(ta, tb, &[req.as_str(), ack.as_str()])?;
-    let fwd = hc.conforms_to(tm)?;
+    let fwd = {
+        let _g = bmbe_obs::span!("verify.fwd", "verify");
+        hc.conforms_to(tm)?
+    };
+    note_search(&fwd);
     let bwd = if fwd.ok {
-        Some(hc.conformed_by(tm)?)
+        let _g = bmbe_obs::span!("verify.bwd", "verify");
+        let b = hc.conformed_by(tm)?;
+        note_search(&b);
+        Some(b)
     } else {
         None
     };
@@ -230,6 +254,7 @@ fn verify_traces_otf(
                 .unwrap_or_default();
             return Err(VerifyError::CompositionFails { witness });
         }
+        bmbe_obs::trace_counter!("verify.states", states as u64);
         return Ok((AcrVerdict::Equivalent, states));
     }
     // A mismatch — unless the bare composition can fail on its own, in
@@ -243,6 +268,7 @@ fn verify_traces_otf(
             witness: comp.counterexample.unwrap_or_default(),
         });
     }
+    bmbe_obs::trace_counter!("verify.states", states as u64);
     let (direction, outcome) = if fwd.ok {
         (
             MismatchDirection::OptimizedVsOriginal,

@@ -26,10 +26,11 @@ use bmbe_core::compile::{compile_to_bm, CompileError};
 use bmbe_core::parse::print_ch;
 use bmbe_gates::{map as techmap, Library, MapObjective, MapStyle, MappedNetlist, SubjectGraph};
 use bmbe_logic::Cover;
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 /// The content address of a controller shape: canonical program text plus
 /// the options that change what synthesis produces.
@@ -137,8 +138,14 @@ pub struct SynthArtifact {
 /// Runs the full per-shape chain: CH-to-BMS compile, state minimization,
 /// hazard-free synthesis (its per-function minimizations fanned across up
 /// to `threads` workers), ternary verification, technology mapping, and
-/// post-mapping verification. Each phase is timed into the artifact's
-/// [`PhaseProfile`].
+/// post-mapping verification.
+///
+/// Each phase runs inside a `bmbe_obs` span (`shape.compile`,
+/// `shape.statemin`, `shape.synth`, `shape.verify`, `shape.map`), and the
+/// artifact's [`PhaseProfile`] is *generated from those spans* by a
+/// [`bmbe_obs::with_span_observer`] subscriber — the profile and the
+/// exported trace are the same measurement, whether or not tracing is
+/// enabled.
 ///
 /// # Errors
 ///
@@ -152,57 +159,110 @@ pub fn synthesize_shape(
     library: &Library,
     threads: usize,
 ) -> Result<SynthArtifact, ShapeError> {
-    let mut profile = PhaseProfile {
+    let profile = Rc::new(RefCell::new(PhaseProfile {
         shapes: 1,
         ..PhaseProfile::default()
-    };
-    let t = Instant::now();
-    let spec = compile_to_bm(spec_name, program).map_err(ShapeError::Compile)?;
-    profile.compile = t.elapsed();
-    let t = Instant::now();
-    let spec = minimize_states(&spec)
-        .map(|r| r.spec)
-        .map_err(|e| ShapeError::Compile(CompileError::Bm(e)))?;
-    profile.statemin = t.elapsed();
-    let t = Instant::now();
-    let controller =
-        synthesize_parallel(&spec, minimize_mode, threads).map_err(ShapeError::Synth)?;
-    profile.synth = t.elapsed();
+    }));
+    let sink = profile.clone();
+    let result = bmbe_obs::with_span_observer(
+        move |name, _cat, dur| {
+            let mut p = sink.borrow_mut();
+            match name {
+                "shape.compile" => p.compile += dur,
+                "shape.statemin" => p.statemin += dur,
+                "shape.synth" => p.synth += dur,
+                "shape.verify" => p.verify += dur,
+                "shape.map" => p.map += dur,
+                _ => {}
+            }
+        },
+        || {
+            let spec = {
+                let _s = bmbe_obs::span!("shape.compile", "flow");
+                compile_to_bm(spec_name, program).map_err(ShapeError::Compile)?
+            };
+            let spec = {
+                let _s = bmbe_obs::span!("shape.statemin", "flow");
+                minimize_states(&spec)
+                    .map(|r| r.spec)
+                    .map_err(|e| ShapeError::Compile(CompileError::Bm(e)))?
+            };
+            let controller = {
+                let _s = bmbe_obs::span!("shape.synth", "flow");
+                synthesize_parallel(&spec, minimize_mode, threads).map_err(ShapeError::Synth)?
+            };
+            {
+                let _s = bmbe_obs::span!("shape.verify", "flow");
+                controller.verify_ternary().map_err(ShapeError::Hazard)?;
+            }
+            let mapped = {
+                let _s = bmbe_obs::span!("shape.map", "flow");
+                let functions: Vec<(String, &Cover)> = controller
+                    .outputs
+                    .iter()
+                    .cloned()
+                    .chain((0..controller.num_state_bits).map(|j| format!("y{j}")))
+                    .zip(
+                        controller
+                            .output_covers
+                            .iter()
+                            .chain(controller.next_state_covers.iter()),
+                    )
+                    .collect();
+                let subject = match minimize_mode {
+                    MinimizeMode::Speed => {
+                        SubjectGraph::from_covers(controller.num_vars(), &functions)
+                    }
+                    MinimizeMode::Area => {
+                        SubjectGraph::from_covers_shared(controller.num_vars(), &functions)
+                    }
+                };
+                techmap(&subject, library, map_objective, map_style)
+            };
+            {
+                let _s = bmbe_obs::span!("shape.verify", "flow");
+                if let Some(v) = bmbe_gates::verify_mapped(&controller, &mapped).first() {
+                    return Err(ShapeError::MappedHazard(v.to_string()));
+                }
+            }
+            Ok((spec.num_states(), controller, mapped))
+        },
+    );
+    let (bm_states, controller, mapped) = result?;
+    let mut profile = Rc::try_unwrap(profile)
+        .expect("span observer released at scope exit")
+        .into_inner();
     profile.prime_gen = controller.minimize_stats.prime_gen;
     profile.covering = controller.minimize_stats.covering;
-    let t = Instant::now();
-    controller.verify_ternary().map_err(ShapeError::Hazard)?;
-    profile.verify = t.elapsed();
-    let t = Instant::now();
-    let functions: Vec<(String, &Cover)> = controller
-        .outputs
-        .iter()
-        .cloned()
-        .chain((0..controller.num_state_bits).map(|j| format!("y{j}")))
-        .zip(
-            controller
-                .output_covers
-                .iter()
-                .chain(controller.next_state_covers.iter()),
-        )
-        .collect();
-    let subject = match minimize_mode {
-        MinimizeMode::Speed => SubjectGraph::from_covers(controller.num_vars(), &functions),
-        MinimizeMode::Area => SubjectGraph::from_covers_shared(controller.num_vars(), &functions),
-    };
-    let mapped = techmap(&subject, library, map_objective, map_style);
-    profile.map = t.elapsed();
-    let t = Instant::now();
-    if let Some(v) = bmbe_gates::verify_mapped(&controller, &mapped).first() {
-        return Err(ShapeError::MappedHazard(v.to_string()));
-    }
-    profile.verify += t.elapsed();
+    profile.debug_check_subphases(threads);
     Ok(SynthArtifact {
-        bm_states: spec.num_states(),
+        bm_states,
         controller,
         mapped,
         profile,
     })
+}
+
+/// Approximate in-memory footprint of a stored artifact plus its key text:
+/// the canonical program text, the controller's covers, and the mapped
+/// gates. An observability estimate (the `cache.bytes` counter), not an
+/// allocator measurement.
+fn approx_artifact_bytes(key: &CacheKey, artifact: &SynthArtifact) -> usize {
+    use std::mem::size_of;
+    let cover_bytes: usize = artifact
+        .controller
+        .output_covers
+        .iter()
+        .chain(artifact.controller.next_state_covers.iter())
+        .map(|c| size_of::<Cover>() + std::mem::size_of_val(c.cubes()))
+        .sum();
+    let gate_bytes: usize = artifact
+        .mapped
+        .gates
+        .iter()
+        .map(|g| std::mem::size_of_val(g) + g.inputs.len() * size_of::<usize>())
+        .sum();
+    key.canonical.len() + size_of::<SynthArtifact>() + cover_bytes + gate_bytes
 }
 
 /// Lifetime hit/miss counters of a [`ControllerCache`].
@@ -255,6 +315,7 @@ impl ControllerCache {
 
     /// Stores a shape.
     pub fn store(&self, key: CacheKey, artifact: Arc<SynthArtifact>) {
+        bmbe_obs::trace_counter!("cache.bytes", approx_artifact_bytes(&key, &artifact) as u64);
         self.entries
             .lock()
             .expect("cache lock")
@@ -263,6 +324,12 @@ impl ControllerCache {
 
     /// Adds to the lifetime counters (one flow run's totals at a time).
     pub fn record(&self, hits: usize, misses: usize) {
+        if hits > 0 {
+            bmbe_obs::trace_counter!("cache.hits", hits as u64);
+        }
+        if misses > 0 {
+            bmbe_obs::trace_counter!("cache.misses", misses as u64);
+        }
         self.hits.fetch_add(hits, Ordering::Relaxed);
         self.misses.fetch_add(misses, Ordering::Relaxed);
     }

@@ -325,9 +325,14 @@ pub fn run_control_flow_with(
     library: &Library,
     cache: &ControllerCache,
 ) -> Result<FlowResult, FlowError> {
-    let mut ctrl = balsa_to_ch(&design.netlist)?;
+    let _flow_span = bmbe_obs::span!("flow.run", "flow");
+    let mut ctrl = {
+        let _s = bmbe_obs::span!("flow.translate", "flow");
+        balsa_to_ch(&design.netlist)?
+    };
     let components_before = ctrl.components.len();
     let cluster_report = if options.optimize {
+        let _s = bmbe_obs::span!("flow.cluster", "flow");
         Some(ctrl.t2_clustering(&options.cluster))
     } else {
         None
@@ -346,6 +351,7 @@ pub fn run_control_flow_with(
     if options.cache {
         // Key every component, probe the cache, and fan the unique misses
         // out across workers.
+        let _key_span = bmbe_obs::span!("flow.key", "flow");
         let keyed: Vec<KeyedProgram> = ctrl
             .components
             .iter()
@@ -358,6 +364,7 @@ pub fn run_control_flow_with(
                 )
             })
             .collect();
+        drop(_key_span);
         let mut shapes: HashMap<&crate::cache::CacheKey, Option<Arc<SynthArtifact>>> =
             HashMap::new();
         let mut pending: Vec<&KeyedProgram> = Vec::new();
@@ -383,10 +390,20 @@ pub fn run_control_flow_with(
             1
         };
         let inner = inner_threads(threads, if workers == 1 { 1 } else { pending.len() });
+        // The fan-out queue depth: set to the number of unique misses, then
+        // decremented by each worker as its shape finishes — the Chrome
+        // counter lane shows the queue draining.
+        bmbe_obs::trace_gauge!("flow.pending_shapes", pending.len() as i64);
+        let fanout_span = bmbe_obs::span!("flow.synth", "flow");
+        let fanout_parent = fanout_span.id();
         let synthesized: Vec<Result<SynthArtifact, ShapeError>> =
             par_map(&pending, workers, |_, k| {
-                synthesize_direct("shape", &k.canonical, options, library, inner)
+                let _g = bmbe_obs::span_with_parent!("shape.job", "flow", fanout_parent);
+                let result = synthesize_direct("shape", &k.canonical, options, library, inner);
+                bmbe_obs::trace_gauge!("flow.pending_shapes", add: -1);
+                result
             });
+        drop(fanout_span);
         let mut failed: HashMap<&crate::cache::CacheKey, ShapeError> = HashMap::new();
         for (k, result) in pending.iter().zip(synthesized) {
             match result {
@@ -456,10 +473,17 @@ pub fn run_control_flow_with(
                 ctrl.components.len()
             },
         );
+        bmbe_obs::trace_gauge!("flow.pending_shapes", ctrl.components.len() as i64);
+        let fanout_span = bmbe_obs::span!("flow.synth", "flow");
+        let fanout_parent = fanout_span.id();
         let synthesized: Vec<Result<SynthArtifact, ShapeError>> =
             par_map(&ctrl.components, workers, |_, comp| {
-                synthesize_direct(&comp.name, &comp.program, options, library, inner)
+                let _g = bmbe_obs::span_with_parent!("shape.job", "flow", fanout_parent);
+                let result = synthesize_direct(&comp.name, &comp.program, options, library, inner);
+                bmbe_obs::trace_gauge!("flow.pending_shapes", add: -1);
+                result
             });
+        drop(fanout_span);
         for (comp, result) in ctrl.components.iter().zip(synthesized) {
             let shape = result.map_err(|e| e.into_flow(comp.name.clone()))?;
             phases.accumulate(&shape.profile);

@@ -53,4 +53,21 @@ impl PhaseProfile {
     pub fn total(&self) -> Duration {
         self.compile + self.statemin + self.synth + self.verify + self.map
     }
+
+    /// Debug-build sanity check: `prime_gen` and `covering` are measured
+    /// *inside* the synthesis phase, so their sum cannot exceed `synth` —
+    /// except that they are CPU-time sums over the inner worker fan-out
+    /// while `synth` is wall time, so the bound scales with the worker
+    /// budget `threads` (plus a small slack for timer granularity).
+    pub fn debug_check_subphases(&self, threads: usize) {
+        debug_assert!(
+            self.prime_gen + self.covering
+                <= self.synth * threads.max(1) as u32 + Duration::from_millis(5),
+            "sub-phases exceed synth: prime_gen {:?} + covering {:?} > synth {:?} x {} threads",
+            self.prime_gen,
+            self.covering,
+            self.synth,
+            threads.max(1),
+        );
+    }
 }

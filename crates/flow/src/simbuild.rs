@@ -74,6 +74,13 @@ pub struct SimStats {
     pub peak_queue_depth: usize,
     /// Host wall-clock seconds spent inside the event loop.
     pub wall_s: f64,
+    /// Events that overflowed the wheel horizon into the far heap (zero on
+    /// the heap oracle).
+    pub far_heap_hits: u64,
+    /// Wheel rebases (bucket-width refits; zero on the heap oracle).
+    pub refits: u64,
+    /// Processed events per host wall-clock second.
+    pub events_per_s: f64,
 }
 
 /// Result of a simulation run.
@@ -208,6 +215,7 @@ pub fn simulate_with(
     delays: &Delays,
     scheduler: SchedulerKind,
 ) -> Result<SimOutcome, SimBuildError> {
+    let _sim_span = bmbe_obs::span!("sim.build", "sim");
     let netlist = &design.netlist;
     let mut sim = Sim::with_scheduler(scheduler);
     let mut table = ChannelTable {
@@ -519,8 +527,13 @@ pub fn simulate_with(
     };
     if std::env::var("BMBE_SIM_TRACE").is_ok() {
         sim.trace = true;
+        // The wire-change log goes through `vlog!` at level 1; asking for a
+        // sim trace implies asking for that verbosity.
+        bmbe_obs::ensure_verbosity(1);
     }
     sim.init();
+    drop(_sim_span);
+    let run_span = bmbe_obs::span!("sim.run", "sim");
     let loop_start = Instant::now();
     let completed = sim.run_until(
         |s| match check {
@@ -537,6 +550,16 @@ pub fn simulate_with(
         scenario.max_time,
     );
     let wall_s = loop_start.elapsed().as_secs_f64();
+    drop(run_span);
+    let events_per_s = if wall_s > 0.0 {
+        sim.events_processed as f64 / wall_s
+    } else {
+        0.0
+    };
+    bmbe_obs::trace_counter!("sim.events", sim.events_processed);
+    bmbe_obs::trace_counter!("sim.far_heap_hits", sim.far_heap_hits());
+    bmbe_obs::trace_counter!("sim.refits", sim.refit_count());
+    bmbe_obs::gauge!("sim.events_per_s").set(events_per_s as i64);
     let outputs: HashMap<String, Vec<u64>> = out_env
         .iter()
         .map(|(name, &id)| {
@@ -581,6 +604,9 @@ pub fn simulate_with(
             scheduler,
             peak_queue_depth: sim.peak_queue_depth(),
             wall_s,
+            far_heap_hits: sim.far_heap_hits(),
+            refits: sim.refit_count(),
+            events_per_s,
         },
     })
 }

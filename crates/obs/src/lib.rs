@@ -1,0 +1,618 @@
+#![warn(missing_docs)]
+//! # bmbe-obs
+//!
+//! Structured observability for the bmbe back-end: span-based tracing,
+//! a metrics registry, and exporters — with no external dependencies (the
+//! workspace builds offline).
+//!
+//! ## Tracing
+//!
+//! [`span!`] opens a span at a static callsite and returns a guard that
+//! closes it on drop; [`event!`] records an instantaneous event. Records go
+//! to a per-thread single-producer ring ([`ring`]) — `bmbe-par` workers
+//! record without contention — and [`flush`] collects every lane for the
+//! exporters in [`export`] (JSONL and Chrome trace-event format).
+//!
+//! When tracing is disabled (the default), a callsite costs one relaxed
+//! atomic load plus one thread-local flag read — no timestamps, no
+//! allocation, no ring traffic. `bmbe-bench`'s `obs_overhead` bench pins
+//! this. Enable with [`set_enabled`] or `BMBE_TRACE=1` +
+//! [`init_from_env`]; `BMBE_TRACE_OUT` overrides the default `trace.json`
+//! output path.
+//!
+//! ## Span observers
+//!
+//! [`with_span_observer`] installs a thread-scoped closure that receives
+//! `(name, category, duration)` for every span closed on the current thread
+//! while the scope is active — the hook `bmbe-flow` uses to *generate* its
+//! `PhaseProfile` from the same spans the trace sees, whether or not
+//! tracing is enabled.
+//!
+//! ## Metrics
+//!
+//! [`counter!`], [`gauge!`], and [`histogram!`] return typed handles into a
+//! global registry ([`metrics`]); `metrics::snapshot()` reads everything
+//! for a report. Counter updates additionally land in the trace (as Chrome
+//! counter samples) while tracing is enabled.
+//!
+//! ## Verbosity
+//!
+//! [`vlog!`] writes human-readable progress to **stderr**, gated by a
+//! global verbosity level (`BMBE_VERBOSE`, [`set_verbosity`]) — report
+//! binaries keep stdout pure JSON.
+
+pub mod export;
+pub mod metrics;
+pub mod ring;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot};
+pub use ring::{Record, RecordKind, Sample};
+
+use ring::ThreadBuffer;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Global switches
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static VERBOSITY: AtomicU8 = AtomicU8::new(0);
+
+/// Whether trace recording is enabled. The one atomic load on the disabled
+/// fast path.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns trace recording on or off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Current stderr verbosity level (0 = silent).
+#[inline]
+pub fn verbosity() -> u8 {
+    VERBOSITY.load(Ordering::Relaxed)
+}
+
+/// Sets the stderr verbosity level.
+pub fn set_verbosity(level: u8) {
+    VERBOSITY.store(level, Ordering::Relaxed);
+}
+
+/// Raises verbosity to at least `level` (never lowers it).
+pub fn ensure_verbosity(level: u8) {
+    VERBOSITY.fetch_max(level, Ordering::Relaxed);
+}
+
+/// Reads the environment switches: `BMBE_TRACE` (non-empty, not `0` =
+/// enable tracing) and `BMBE_VERBOSE` (numeric stderr verbosity).
+/// Idempotent; safe to call from every binary's `main`.
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("BMBE_TRACE") {
+        if !v.is_empty() && v != "0" {
+            set_enabled(true);
+        }
+    }
+    if let Ok(v) = std::env::var("BMBE_VERBOSE") {
+        if let Ok(n) = v.trim().parse::<u8>() {
+            ensure_verbosity(n);
+        }
+    }
+}
+
+/// The trace output path: `BMBE_TRACE_OUT`, defaulting to `trace.json`.
+pub fn trace_out_path() -> String {
+    std::env::var("BMBE_TRACE_OUT").unwrap_or_else(|_| "trace.json".to_string())
+}
+
+/// Nanoseconds since the process-wide trace epoch (the first call).
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Callsites
+// ---------------------------------------------------------------------------
+
+/// A static trace callsite: the name and category are `'static`, and the
+/// numeric id is assigned once, on first hit, by interning into the global
+/// callsite table (exporters resolve ids back to names through it).
+pub struct Callsite {
+    /// Span/event name (e.g. `"synth.compile"`).
+    pub name: &'static str,
+    /// Category, shown as the Chrome trace `cat` field.
+    pub cat: &'static str,
+    id: AtomicU32,
+}
+
+impl Callsite {
+    /// Declares a callsite (use through the macros).
+    pub const fn new(name: &'static str, cat: &'static str) -> Self {
+        Callsite {
+            name,
+            cat,
+            id: AtomicU32::new(0),
+        }
+    }
+
+    /// The interned id (registering on first use). Ids start at 1; 0 means
+    /// "not yet registered".
+    pub fn id(&'static self) -> u32 {
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let mut table = callsites().lock().expect("obs callsite lock");
+        // Re-check under the lock (two threads can race to register).
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        table.push((self.name, self.cat));
+        let id = table.len() as u32;
+        self.id.store(id, Ordering::Relaxed);
+        id
+    }
+}
+
+fn callsites() -> &'static Mutex<Vec<(&'static str, &'static str)>> {
+    static CALLSITES: OnceLock<Mutex<Vec<(&'static str, &'static str)>>> = OnceLock::new();
+    CALLSITES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Resolves every registered callsite id (index `id - 1`) to
+/// `(name, category)`.
+pub fn callsite_table() -> Vec<(&'static str, &'static str)> {
+    callsites().lock().expect("obs callsite lock").clone()
+}
+
+// ---------------------------------------------------------------------------
+// Thread state: ring handle, span stack, observers
+// ---------------------------------------------------------------------------
+
+type ObserverFn = Box<dyn FnMut(&'static str, &'static str, Duration)>;
+
+thread_local! {
+    static BUFFER: RefCell<Option<Arc<ThreadBuffer>>> = const { RefCell::new(None) };
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Depth of installed span observers; non-zero makes spans take
+    /// timestamps even when tracing is off (read is a plain TLS load).
+    static OBSERVER_DEPTH: Cell<u32> = const { Cell::new(0) };
+    static OBSERVERS: RefCell<Vec<ObserverFn>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_buffer(f: impl FnOnce(&ThreadBuffer)) {
+    BUFFER.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let buf = slot.get_or_insert_with(ring::register_thread);
+        f(buf);
+    });
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Id of the innermost span open on the current thread (0 = none). Capture
+/// this before a fan-out and hand it to [`enter_with_parent`] so worker
+/// spans nest under the dispatching span instead of becoming per-thread
+/// roots.
+pub fn current_span() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// Installs `on_close` as a span observer for the duration of `f` on the
+/// current thread: every span closed inside `f` reports
+/// `(name, category, duration)` to it, innermost observer first. Works with
+/// tracing enabled or disabled.
+pub fn with_span_observer<R>(
+    on_close: impl FnMut(&'static str, &'static str, Duration) + 'static,
+    f: impl FnOnce() -> R,
+) -> R {
+    struct DepthGuard;
+    impl Drop for DepthGuard {
+        fn drop(&mut self) {
+            OBSERVERS.with(|o| {
+                o.borrow_mut().pop();
+            });
+            OBSERVER_DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+    OBSERVERS.with(|o| o.borrow_mut().push(Box::new(on_close)));
+    OBSERVER_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = DepthGuard;
+    f()
+}
+
+#[inline(always)]
+fn observed() -> bool {
+    OBSERVER_DEPTH.with(|d| d.get()) != 0
+}
+
+// ---------------------------------------------------------------------------
+// Spans and events
+// ---------------------------------------------------------------------------
+
+/// An open span; closing happens on drop. Constructed by [`enter`] /
+/// [`enter_with_parent`] (usually via the [`span!`] macro).
+pub struct SpanGuard {
+    /// `None` on the disabled fast path — drop is then a no-op.
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    cs: &'static Callsite,
+    id: u64,
+    start: Instant,
+    /// Whether records go to the ring (tracing was enabled at open).
+    traced: bool,
+}
+
+/// Opens a span at `cs`, parented on the innermost open span of this
+/// thread.
+#[inline]
+pub fn enter(cs: &'static Callsite) -> SpanGuard {
+    if !enabled() && !observed() {
+        return SpanGuard { live: None };
+    }
+    enter_slow(cs, current_span())
+}
+
+/// Opens a span with an explicit parent span id (0 = root) — the
+/// cross-thread variant for fan-out workers.
+#[inline]
+pub fn enter_with_parent(cs: &'static Callsite, parent: u64) -> SpanGuard {
+    if !enabled() && !observed() {
+        return SpanGuard { live: None };
+    }
+    enter_slow(cs, parent)
+}
+
+fn enter_slow(cs: &'static Callsite, parent: u64) -> SpanGuard {
+    let traced = enabled();
+    let id = next_span_id();
+    let start = Instant::now();
+    if traced {
+        let rec = Record {
+            kind: RecordKind::Open,
+            callsite: cs.id(),
+            span: id,
+            parent,
+            t_ns: now_ns(),
+            value: 0,
+        };
+        with_buffer(|b| b.push(rec));
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    SpanGuard {
+        live: Some(LiveSpan {
+            cs,
+            id,
+            start,
+            traced,
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// The span id (0 on the disabled fast path).
+    pub fn id(&self) -> u64 {
+        self.live.as_ref().map_or(0, |l| l.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let dur = live.start.elapsed();
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Scoped guards close LIFO; a mismatch means a guard was held
+            // across a scope boundary — drop down to it so the stack heals.
+            while let Some(top) = s.pop() {
+                if top == live.id {
+                    break;
+                }
+            }
+        });
+        if live.traced && enabled() {
+            let rec = Record {
+                kind: RecordKind::Close,
+                callsite: live.cs.id(),
+                span: live.id,
+                parent: 0,
+                t_ns: now_ns(),
+                value: 0,
+            };
+            with_buffer(|b| b.push(rec));
+        }
+        if observed() {
+            OBSERVERS.with(|obs| {
+                for f in obs.borrow_mut().iter_mut().rev() {
+                    f(live.cs.name, live.cs.cat, dur);
+                }
+            });
+        }
+    }
+}
+
+/// Records an instantaneous event with a numeric payload (no-op when
+/// tracing is disabled). Use via [`event!`].
+#[inline]
+pub fn instant(cs: &'static Callsite, value: i64) {
+    if !enabled() {
+        return;
+    }
+    let rec = Record {
+        kind: RecordKind::Instant,
+        callsite: cs.id(),
+        span: current_span(),
+        parent: 0,
+        t_ns: now_ns(),
+        value,
+    };
+    with_buffer(|b| b.push(rec));
+}
+
+/// Records a metric sample into the trace (the running total of a counter,
+/// or a gauge value) so it shows up as a Chrome counter lane. No-op when
+/// tracing is disabled.
+#[inline]
+pub fn sample(cs: &'static Callsite, value: i64) {
+    if !enabled() {
+        return;
+    }
+    let rec = Record {
+        kind: RecordKind::Counter,
+        callsite: cs.id(),
+        span: 0,
+        parent: 0,
+        t_ns: now_ns(),
+        value,
+    };
+    with_buffer(|b| b.push(rec));
+}
+
+/// Drains every thread's ring into one [`export::Trace`] (records sorted by
+/// timestamp, callsite table attached). Call from the collecting thread
+/// after the traced work finishes.
+pub fn flush() -> export::Trace {
+    let drained = ring::drain_all();
+    export::Trace::from_drained(drained, callsite_table())
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Opens a span at a static callsite: `let _g = span!("name")` or
+/// `span!("name", "category")`. The guard closes the span when dropped.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span!($name, "")
+    };
+    ($name:expr, $cat:expr) => {{
+        static CS: $crate::Callsite = $crate::Callsite::new($name, $cat);
+        $crate::enter(&CS)
+    }};
+}
+
+/// Opens a span under an explicit parent span id (for fan-out workers):
+/// `let _g = span_with_parent!("name", parent_id)`.
+#[macro_export]
+macro_rules! span_with_parent {
+    ($name:expr, $parent:expr) => {
+        $crate::span_with_parent!($name, "", $parent)
+    };
+    ($name:expr, $cat:expr, $parent:expr) => {{
+        static CS: $crate::Callsite = $crate::Callsite::new($name, $cat);
+        $crate::enter_with_parent(&CS, $parent)
+    }};
+}
+
+/// Records an instantaneous event: `event!("name")` or
+/// `event!("name", value)` with an `i64` payload.
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        $crate::event!($name, 0)
+    };
+    ($name:expr, $value:expr) => {{
+        static CS: $crate::Callsite = $crate::Callsite::new($name, "");
+        $crate::instant(&CS, $value as i64)
+    }};
+}
+
+/// Returns the [`Counter`] handle for a static metric name, registering on
+/// first use. `counter!("cache.hits")`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static H: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        *H.get_or_init(|| $crate::Counter::register($name))
+    }};
+}
+
+/// Returns the [`Gauge`] handle for a static metric name.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static H: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+        *H.get_or_init(|| $crate::Gauge::register($name))
+    }};
+}
+
+/// Returns the [`Histogram`] handle for a static metric name and static
+/// bucket bounds: `histogram!("sim.occupancy", &[1, 2, 4, 8])`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $bounds:expr) => {{
+        static H: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        *H.get_or_init(|| $crate::Histogram::register($name, $bounds))
+    }};
+}
+
+/// Counter update that also lands in the trace as a Chrome counter sample
+/// while tracing is enabled: `trace_counter!("cache.hits", 3)`.
+#[macro_export]
+macro_rules! trace_counter {
+    ($name:expr, $n:expr) => {{
+        static CS: $crate::Callsite = $crate::Callsite::new($name, "metric");
+        let total = $crate::counter!($name).add($n as u64);
+        $crate::sample(&CS, total as i64);
+    }};
+}
+
+/// Gauge update that also lands in the trace as a Chrome counter sample
+/// while tracing is enabled: `trace_gauge!("flow.pending", 7)` sets the
+/// gauge, `trace_gauge!("flow.pending", add: -1)` adjusts it.
+#[macro_export]
+macro_rules! trace_gauge {
+    ($name:expr, add: $d:expr) => {{
+        static CS: $crate::Callsite = $crate::Callsite::new($name, "metric");
+        let v = $crate::gauge!($name).add($d as i64);
+        $crate::sample(&CS, v);
+    }};
+    ($name:expr, $v:expr) => {{
+        static CS: $crate::Callsite = $crate::Callsite::new($name, "metric");
+        $crate::gauge!($name).set($v as i64);
+        $crate::sample(&CS, $v as i64);
+    }};
+}
+
+/// Verbose logging to stderr, gated on the global verbosity level:
+/// `vlog!(1, "formatted {}", like_eprintln)`. Level 0 messages always
+/// print.
+#[macro_export]
+macro_rules! vlog {
+    ($level:expr, $($arg:tt)*) => {
+        if $crate::verbosity() >= $level {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Tracing state (the enabled flag, rings, span-id counter) is
+    /// process-global; tests that toggle or drain it serialize here.
+    pub(crate) fn global_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _l = global_lock();
+        set_enabled(false);
+        let g = span!("test.disabled");
+        assert_eq!(g.id(), 0);
+        drop(g);
+        let trace = flush();
+        assert!(!trace
+            .events
+            .iter()
+            .any(|s| trace.name(s.rec.callsite) == "test.disabled"));
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_order() {
+        let _l = global_lock();
+        set_enabled(true);
+        let outer = span!("test.outer");
+        let outer_id = outer.id();
+        {
+            let inner = span!("test.inner");
+            assert!(inner.id() > 0);
+            assert_eq!(current_span(), inner.id());
+        }
+        assert_eq!(current_span(), outer_id);
+        drop(outer);
+        set_enabled(false);
+        let trace = flush();
+        let mine: Vec<&Sample> = trace
+            .events
+            .iter()
+            .filter(|s| trace.name(s.rec.callsite).starts_with("test."))
+            .collect();
+        // Open(outer), Open(inner), Close(inner), Close(outer).
+        let kinds: Vec<RecordKind> = mine.iter().map(|s| s.rec.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                RecordKind::Open,
+                RecordKind::Open,
+                RecordKind::Close,
+                RecordKind::Close
+            ]
+        );
+        assert_eq!(trace.name(mine[0].rec.callsite), "test.outer");
+        assert_eq!(trace.name(mine[1].rec.callsite), "test.inner");
+        assert_eq!(mine[1].rec.parent, mine[0].rec.span, "inner parents outer");
+        assert_eq!(mine[2].rec.span, mine[1].rec.span, "inner closes first");
+        export::validate(&trace).expect("balanced trace");
+    }
+
+    #[test]
+    fn observer_sees_closes_with_durations() {
+        let _l = global_lock();
+        set_enabled(false);
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = seen.clone();
+        with_span_observer(
+            move |name, _cat, dur| {
+                assert!(dur <= Duration::from_secs(1));
+                sink.borrow_mut().push(name);
+            },
+            || {
+                let _a = span!("test.obs.a");
+                let _b = span!("test.obs.b");
+            },
+        );
+        // Guards drop in reverse declaration order: b closes before a.
+        assert_eq!(*seen.borrow(), vec!["test.obs.b", "test.obs.a"]);
+        // Outside the scope, spans are inert again.
+        let g = span!("test.obs.after");
+        assert_eq!(g.id(), 0);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let _l = global_lock();
+        set_enabled(true);
+        let root = span!("test.xthread.root");
+        let parent = root.id();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let g = span_with_parent!("test.xthread.child", parent);
+                assert!(g.id() != 0);
+            });
+        });
+        drop(root);
+        set_enabled(false);
+        let trace = flush();
+        let child = trace
+            .events
+            .iter()
+            .find(|s| {
+                trace.name(s.rec.callsite) == "test.xthread.child" && s.rec.kind == RecordKind::Open
+            })
+            .expect("child open record");
+        assert_eq!(child.rec.parent, parent);
+    }
+}

@@ -1,0 +1,313 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Metrics are identified by a static name and registered once, on first
+//! use, through the `counter!`/`gauge!`/`histogram!` macros (each macro
+//! expansion caches its typed handle in a `OnceLock`, so steady-state cost
+//! is the atomic op itself). Cells are leaked `'static` atomics: the set of
+//! distinct metrics is small and fixed by the callsites in the code, so the
+//! leak is bounded and buys handle copies that are plain pointer pairs.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Copy)]
+pub struct Counter {
+    cell: &'static AtomicU64,
+}
+
+impl Counter {
+    /// Registers (or finds) the counter `name`.
+    pub fn register(name: &'static str) -> Counter {
+        match find_or_insert(name, || Slot::Counter(leak(AtomicU64::new(0)))) {
+            Slot::Counter(cell) => Counter { cell },
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Adds to the counter and returns the new running total.
+    pub fn add(&self, n: u64) -> u64 {
+        self.cell.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Adds one and returns the new running total.
+    pub fn incr(&self) -> u64 {
+        self.add(1)
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Clone, Copy)]
+pub struct Gauge {
+    cell: &'static AtomicI64,
+}
+
+impl Gauge {
+    /// Registers (or finds) the gauge `name`.
+    pub fn register(name: &'static str) -> Gauge {
+        match find_or_insert(name, || Slot::Gauge(leak(AtomicI64::new(0)))) {
+            Slot::Gauge(cell) => Gauge { cell },
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta and returns the new value.
+    pub fn add(&self, delta: i64) -> i64 {
+        self.cell.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed, caller-supplied bucket upper bounds.
+///
+/// `bounds` are inclusive upper edges in ascending order; one implicit
+/// overflow bucket catches everything above the last edge. Count and sum
+/// are tracked alongside the buckets.
+#[derive(Clone, Copy)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    /// `bounds.len() + 1` cells; last is the overflow bucket.
+    buckets: &'static [AtomicU64],
+    count: &'static AtomicU64,
+    sum: &'static AtomicU64,
+}
+
+impl Histogram {
+    /// Registers (or finds) the histogram `name` with the given bucket
+    /// upper bounds (ascending). The bounds of an already-registered
+    /// histogram win; callsites for one name must agree.
+    pub fn register(name: &'static str, bounds: &'static [u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        let made = find_or_insert(name, || {
+            let buckets: Vec<AtomicU64> = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+            Slot::Histogram(Histogram {
+                bounds,
+                buckets: Box::leak(buckets.into_boxed_slice()),
+                count: leak(AtomicU64::new(0)),
+                sum: leak(AtomicU64::new(0)),
+            })
+        });
+        match made {
+            Slot::Histogram(h) => h,
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let ix = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[ix].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (the last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The bucket upper bounds this histogram was registered with.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Slot {
+    Counter(&'static AtomicU64),
+    Gauge(&'static AtomicI64),
+    Histogram(Histogram),
+}
+
+fn leak<T>(v: T) -> &'static T {
+    Box::leak(Box::new(v))
+}
+
+fn table() -> &'static Mutex<Vec<(&'static str, Slot)>> {
+    static TABLE: OnceLock<Mutex<Vec<(&'static str, Slot)>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn find_or_insert(name: &'static str, make: impl FnOnce() -> Slot) -> Slot {
+    let mut t = table().lock().expect("obs metrics lock");
+    if let Some((_, slot)) = t.iter().find(|(n, _)| *n == name) {
+        return *slot;
+    }
+    let slot = make();
+    t.push((name, slot));
+    slot
+}
+
+/// A point-in-time reading of one metric.
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// Counter total.
+    Counter {
+        /// Metric name.
+        name: &'static str,
+        /// Running total.
+        value: u64,
+    },
+    /// Gauge value.
+    Gauge {
+        /// Metric name.
+        name: &'static str,
+        /// Last set value.
+        value: i64,
+    },
+    /// Histogram state.
+    Histogram {
+        /// Metric name.
+        name: &'static str,
+        /// Bucket upper bounds.
+        bounds: Vec<u64>,
+        /// Per-bucket counts (last = overflow).
+        buckets: Vec<u64>,
+        /// Observation count.
+        count: u64,
+        /// Observation sum.
+        sum: u64,
+    },
+}
+
+/// Reads every registered metric, in registration order.
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    let t = table().lock().expect("obs metrics lock");
+    t.iter()
+        .map(|(name, slot)| match slot {
+            Slot::Counter(c) => MetricSnapshot::Counter {
+                name,
+                value: c.load(Ordering::Relaxed),
+            },
+            Slot::Gauge(g) => MetricSnapshot::Gauge {
+                name,
+                value: g.load(Ordering::Relaxed),
+            },
+            Slot::Histogram(h) => MetricSnapshot::Histogram {
+                name,
+                bounds: h.bounds.to_vec(),
+                buckets: h.bucket_counts(),
+                count: h.count(),
+                sum: h.sum(),
+            },
+        })
+        .collect()
+}
+
+/// Renders the snapshot as one JSON object `{"name": ...}` per metric,
+/// suitable for a machine-readable summary section.
+pub fn snapshot_json() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{");
+    for (i, m) in snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match m {
+            MetricSnapshot::Counter { name, value } => {
+                let _ = write!(out, "\"{name}\": {value}");
+            }
+            MetricSnapshot::Gauge { name, value } => {
+                let _ = write!(out, "\"{name}\": {value}");
+            }
+            MetricSnapshot::Histogram {
+                name,
+                bounds,
+                buckets,
+                count,
+                sum,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"{name}\": {{\"count\": {count}, \"sum\": {sum}, \"bounds\": {bounds:?}, \
+                     \"buckets\": {buckets:?}}}"
+                );
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_is_shared_by_name() {
+        let a = Counter::register("test.counter.shared");
+        let b = Counter::register("test.counter.shared");
+        a.add(3);
+        b.incr();
+        assert_eq!(a.get(), 4);
+        assert_eq!(b.get(), 4);
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins() {
+        let g = Gauge::register("test.gauge");
+        g.set(17);
+        g.set(-4);
+        assert_eq!(g.get(), -4);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        static BOUNDS: [u64; 4] = [1, 10, 100, 1000];
+        let h = Histogram::register("test.histogram", &BOUNDS);
+        for v in [0, 1, 2, 10, 11, 100, 5000, 1000] {
+            h.observe(v);
+        }
+        // <=1: {0,1}; <=10: {2,10}; <=100: {11,100}; <=1000: {1000}; over: {5000}
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 1, 1]);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 0 + 1 + 2 + 10 + 11 + 100 + 5000 + 1000);
+    }
+
+    #[test]
+    fn snapshot_includes_registered_metrics() {
+        let c = Counter::register("test.counter.snap");
+        c.add(9);
+        let snap = snapshot();
+        assert!(snap.iter().any(|m| matches!(
+            m,
+            MetricSnapshot::Counter {
+                name: "test.counter.snap",
+                value: 9
+            }
+        )));
+        let json = snapshot_json();
+        assert!(json.contains("\"test.counter.snap\": 9"));
+    }
+}

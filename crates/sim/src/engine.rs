@@ -105,6 +105,10 @@ pub struct EventWheel {
     /// density estimate the next rebase fits the bucket width to.
     avg_gap: Time,
     last_pop: Time,
+    /// Events that landed in the overflow heap (beyond the horizon).
+    far_pushes: u64,
+    /// Times the wheel rebased (each rebase re-fits the bucket width).
+    refits: u64,
 }
 
 impl Default for EventWheel {
@@ -130,6 +134,8 @@ impl EventWheel {
             peak: 0,
             avg_gap: 1 << MIN_SHIFT,
             last_pop: 0,
+            far_pushes: 0,
+            refits: 0,
         }
     }
 
@@ -148,6 +154,16 @@ impl EventWheel {
         self.peak
     }
 
+    /// Events pushed beyond the horizon into the overflow heap.
+    pub fn far_pushes(&self) -> u64 {
+        self.far_pushes
+    }
+
+    /// Number of rebases (bucket-width refits) performed.
+    pub fn refits(&self) -> u64 {
+        self.refits
+    }
+
     /// Schedules an event. `time` must not precede the last popped event's
     /// time (simulation time never runs backwards).
     pub fn push(&mut self, time: Time, seq: u64, slot: u32) {
@@ -156,6 +172,7 @@ impl EventWheel {
         self.peak = self.peak.max(self.len);
         let offset = ((time - self.wheel_start) >> self.shift) as usize;
         if offset >= WHEEL_BUCKETS {
+            self.far_pushes += 1;
             self.far.push(Reverse((time, seq, slot)));
             return;
         }
@@ -250,6 +267,7 @@ impl EventWheel {
     /// (order is resolved per-bucket in `pop`), this never reorders events.
     fn rebase(&mut self) {
         debug_assert_eq!(self.near, 0);
+        self.refits += 1;
         // Aim for a bucket width of roughly twice the average gap, i.e.
         // ~2 events per bucket, clamped to the supported range.
         let target = self.avg_gap << 1;
@@ -268,6 +286,13 @@ impl EventWheel {
             self.occupied[offset / 64] |= 1 << (offset % 64);
             self.near += 1;
         }
+        // Occupancy after migration: how well the refit width spreads the
+        // pending events over the 128 buckets. Rebases are rare (the wheel
+        // must drain first), so a histogram observation here is off the
+        // hot path.
+        static OCC_BUCKETS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+        let occupied: u32 = self.occupied.iter().map(|w| w.count_ones()).sum();
+        bmbe_obs::histogram!("sim.wheel_occupancy", &OCC_BUCKETS).observe(occupied as u64);
     }
 }
 
@@ -313,6 +338,15 @@ impl EventQueue {
         match self {
             EventQueue::Wheel(w) => w.peak(),
             EventQueue::Heap { peak, .. } => *peak,
+        }
+    }
+
+    /// `(far_pushes, refits)` — zero on the heap oracle, which has no
+    /// horizon and never rebases.
+    fn wheel_stats(&self) -> (u64, u64) {
+        match self {
+            EventQueue::Wheel(w) => (w.far_pushes(), w.refits()),
+            EventQueue::Heap { .. } => (0, 0),
         }
     }
 }
@@ -412,7 +446,10 @@ pub struct Sim {
     now: Time,
     /// Count of processed events (for run-away detection).
     pub events_processed: u64,
-    /// Print every applied wire change to stderr (debugging aid).
+    /// Log every applied wire change (debugging aid). Lines go to stderr
+    /// via `bmbe_obs::vlog!` at verbosity ≥ 1; callers that set this should
+    /// also call `bmbe_obs::ensure_verbosity(1)` (simbuild does when
+    /// `BMBE_SIM_TRACE` is set).
     pub trace: bool,
 }
 
@@ -521,6 +558,18 @@ impl Sim {
         self.queue.peak()
     }
 
+    /// Events that overflowed the wheel horizon into the far heap (zero on
+    /// the heap oracle).
+    pub fn far_heap_hits(&self) -> u64 {
+        self.queue.wheel_stats().0
+    }
+
+    /// Wheel rebases (bucket-width refits) performed so far (zero on the
+    /// heap oracle).
+    pub fn refit_count(&self) -> u64 {
+        self.queue.wheel_stats().1
+    }
+
     /// Size of the action-slot table. On the wheel scheduler slots are
     /// free-listed, so this is bounded by the peak queue depth, not the
     /// lifetime event count (the heap oracle keeps the seed's append-only
@@ -576,10 +625,14 @@ impl Sim {
                     }
                     self.nodes[node.0] = value;
                     if self.trace {
-                        eprintln!(
+                        bmbe_obs::vlog!(
+                            1,
                             "[{:>8}ps] {} <- {}",
-                            t, self.node_names[node.0], value as u8
+                            t,
+                            self.node_names[node.0],
+                            value as u8
                         );
+                        bmbe_obs::event!("sim.wire_change", node.0 as i64);
                     }
                     match self.kind {
                         SchedulerKind::Wheel => {

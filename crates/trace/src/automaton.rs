@@ -538,6 +538,10 @@ pub struct OtfOutcome {
     /// `ok` this equals the reachable composite state count; on early exit
     /// it is usually much smaller.
     pub states_visited: usize,
+    /// Largest number of interned-but-unexpanded states the breadth-first
+    /// search held at once (its memory high-water mark, reported through
+    /// the observability metrics).
+    pub peak_frontier: usize,
     /// A shortest trace driving the product into a failure, when `ok` is
     /// `false`.
     pub counterexample: Option<Vec<String>>,
@@ -686,7 +690,9 @@ fn search_failure<A: ProductSide, B: ProductSide>(
     let mut states: Vec<(usize, usize)> = vec![start];
     let mut parents: Vec<Option<(usize, usize)>> = vec![None];
     let mut head = 0;
+    let mut peak_frontier = 1;
     while head < states.len() {
+        peak_frontier = peak_frontier.max(states.len() - head);
         let (sa, sb) = states[head];
         for sym in 0..names.len() {
             let a_sym = in_a[sym];
@@ -735,6 +741,7 @@ fn search_failure<A: ProductSide, B: ProductSide>(
                         return Ok(OtfOutcome {
                             ok: false,
                             states_visited: states.len(),
+                            peak_frontier,
                             counterexample: Some(trace),
                         });
                     }
@@ -746,6 +753,7 @@ fn search_failure<A: ProductSide, B: ProductSide>(
     Ok(OtfOutcome {
         ok: true,
         states_visited: states.len(),
+        peak_frontier,
         counterexample: None,
     })
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Tier-1 CI gate. Fails on the first broken step.
+#
+#   1. release build + full test suite (the hard acceptance floor);
+#   2. every bench binary builds in release (table/figure regeneration
+#      and the obs_report smoke binary);
+#   3. bmbe-obs builds clean under -D warnings (new crate, zero-warning
+#      policy);
+#   4. obs_report --check: runs a traced Stack flow + sim + verification
+#      and validates the emitted Chrome trace / JSONL / span coverage.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier1: build =="
+cargo build --release
+
+echo "== tier1: tests =="
+cargo test -q
+
+echo "== tier1: bench binaries =="
+cargo build --release -p bmbe-bench --bins
+
+echo "== tier1: bmbe-obs deny-warnings =="
+cargo rustc -p bmbe-obs --release -- -D warnings
+
+echo "== tier1: obs_report --check =="
+BMBE_TRACE_OUT="${TMPDIR:-/tmp}/bmbe_tier1_trace.json" \
+    cargo run --release -p bmbe-bench --bin obs_report -- --check >/dev/null
+
+echo "tier1: all gates passed"
