@@ -3,15 +3,27 @@
 
 use bmbe_core::{balsa_to_ch, ClusterOptions};
 use bmbe_designs::all_designs;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: ablation_clustering: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     println!("Ablation: clustering depth");
     println!(
         "{:<22} {:>6} {:>16} {:>16} {:>10}",
         "design", "before", "T1 (elim/left)", "T1+T2 (elim/left)", "calls dist."
     );
-    for design in all_designs().expect("designs build") {
-        let base = balsa_to_ch(&design.compiled.netlist).expect("translates");
+    for design in all_designs().map_err(|e| format!("shipped designs: {e}"))? {
+        let base = balsa_to_ch(&design.compiled.netlist)
+            .map_err(|e| format!("{}: translate: {e}", design.name))?;
         let before = base.components.len();
         let mut t1 = base.clone();
         let r1 = t1.t1_clustering(&ClusterOptions::default());
@@ -28,4 +40,5 @@ fn main() {
             r2.distributed_calls.len()
         );
     }
+    Ok(())
 }

@@ -8,8 +8,19 @@ use bmbe_core::compile_to_bm;
 use bmbe_core::components::{call, decision_wait, sequencer};
 use bmbe_logic::cover::Tv;
 use bmbe_logic::qm;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: ablation_hazard: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     println!("Ablation: hazard-free vs hazard-oblivious minimization");
     println!(
         "{:<18} {:>12} {:>10} {:>14} {:>16}",
@@ -32,15 +43,18 @@ fn main() {
         ),
     ];
     for (name, program) in programs {
-        let spec = compile_to_bm(name, &program).expect("compiles");
-        let ctrl = synthesize(&spec, MinimizeMode::Speed).expect("synthesizes");
+        let spec = compile_to_bm(name, &program).map_err(|e| format!("{name}: compile: {e}"))?;
+        let ctrl =
+            synthesize(&spec, MinimizeMode::Speed).map_err(|e| format!("{name}: synth: {e}"))?;
         let mut hf_products = 0usize;
         let mut qm_products = 0usize;
         let mut hf_glitches = 0usize;
         let mut qm_glitches = 0usize;
         let n = ctrl.num_vars();
         for fspec in &ctrl.function_specs {
-            let hf = fspec.minimize().expect("hazard-free minimization succeeds");
+            let hf = fspec
+                .minimize()
+                .map_err(|e| format!("{name}: hazard-free minimization: {e:?}"))?;
             hf_products += hf.cover.len();
             let on = fspec.on_set();
             // DC = everything outside the specified transitions.
@@ -49,7 +63,7 @@ fn main() {
             // QM with DC = complement of specified: approximate by passing
             // the OFF-set as the only forbidden region.
             let dc = complement_cover(n, &spec_space);
-            let qm_cover = qm::minimize(n, &on, &dc).expect("qm succeeds");
+            let qm_cover = qm::minimize(n, &on, &dc).ok_or(format!("{name}: qm infeasible"))?;
             qm_products += qm_cover.len();
             // Ternary-check every specified transition on both covers.
             for t in fspec.transitions() {
@@ -89,12 +103,15 @@ fn main() {
         for off in [0b000u64, 0b010, 0b011, 0b100] {
             fspec.add_static(off, off, false);
         }
-        let hf = fspec.minimize().expect("feasible");
+        let hf = fspec
+            .minimize()
+            .map_err(|e| format!("consensus_f: hazard-free minimization: {e:?}"))?;
         let on = fspec.on_set();
         let mut spec_space = on.clone();
         spec_space.extend(fspec.off_set().cubes().iter().copied());
         let dc = complement_cover(3, &spec_space);
-        let qm_cover = qm::minimize(3, &on, &dc).expect("qm succeeds");
+        let qm_cover =
+            qm::minimize(3, &on, &dc).ok_or("consensus_f: qm infeasible".to_string())?;
         let probe = [Tv::One, Tv::X, Tv::One];
         let hf_glitch = (hf.cover.eval_ternary(&probe) == Tv::X) as usize;
         let qm_glitch = (qm_cover.eval_ternary(&probe) == Tv::X) as usize;
@@ -111,6 +128,7 @@ fn main() {
     println!("(hazard-free covers carry extra products but never glitch; the");
     println!(" QM covers are minimal yet ternary simulation exposes static");
     println!(" hazards on multiple-input-change transitions)");
+    Ok(())
 }
 
 /// A crude complement: cubes covering points outside `cover`, built by

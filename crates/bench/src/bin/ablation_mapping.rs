@@ -7,15 +7,27 @@ use bmbe_core::{balsa_to_ch, ClusterOptions};
 use bmbe_designs::all_designs;
 use bmbe_flow::ControllerCache;
 use bmbe_gates::{Library, MapObjective, MapStyle};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: ablation_mapping: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let lib = Library::cmos035();
     // One cache across designs and both mapping styles: each (shape, style)
     // pair is synthesized and mapped once.
     let cache = ControllerCache::new();
     println!("Ablation: split-module vs whole-controller technology mapping (area um2)");
-    for design in all_designs().expect("designs build") {
-        let mut ctrl = balsa_to_ch(&design.compiled.netlist).expect("translates");
+    for design in all_designs().map_err(|e| format!("shipped designs: {e}"))? {
+        let mut ctrl = balsa_to_ch(&design.compiled.netlist)
+            .map_err(|e| format!("{}: translate: {e}", design.name))?;
         ctrl.t2_clustering(&ClusterOptions::default());
         let mut split = 0.0;
         let mut whole = 0.0;
@@ -32,7 +44,7 @@ fn main() {
                         style,
                         &lib,
                     )
-                    .unwrap_or_else(|e| panic!("{}: {e:?}", c.name));
+                    .map_err(|e| format!("{}: {e}", c.name))?;
                 *acc += artifact.mapped.area;
             }
         }
@@ -49,4 +61,5 @@ fn main() {
         "(controller cache: {} unique shape/style pairs synthesized, {} served from cache)",
         stats.misses, stats.hits
     );
+    Ok(())
 }

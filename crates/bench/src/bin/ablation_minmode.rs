@@ -7,15 +7,27 @@ use bmbe_core::{balsa_to_ch, ClusterOptions};
 use bmbe_designs::all_designs;
 use bmbe_flow::ControllerCache;
 use bmbe_gates::{Library, MapObjective, MapStyle};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: ablation_minmode: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let library = Library::cmos035();
     // Repeated component shapes (across clusters and across designs) are
     // synthesized once through the content-addressed cache.
     let cache = ControllerCache::new();
     println!("Ablation: minimization mode (products / distinct products)");
-    for design in all_designs().expect("designs build") {
-        let mut ctrl = balsa_to_ch(&design.compiled.netlist).expect("translates");
+    for design in all_designs().map_err(|e| format!("shipped designs: {e}"))? {
+        let mut ctrl = balsa_to_ch(&design.compiled.netlist)
+            .map_err(|e| format!("{}: translate: {e}", design.name))?;
         ctrl.t2_clustering(&ClusterOptions::default());
         let mut total = 0usize;
         let mut distinct = 0usize;
@@ -28,7 +40,7 @@ fn main() {
                     MapStyle::SplitModules,
                     &library,
                 )
-                .unwrap_or_else(|e| panic!("{}: {e:?}", c.name));
+                .map_err(|e| format!("{}: {e}", c.name))?;
             total += artifact.controller.num_products();
             distinct += artifact.controller.num_distinct_products();
         }
@@ -45,4 +57,5 @@ fn main() {
         "(controller cache: {} unique shapes synthesized, {} served from cache)",
         stats.misses, stats.hits
     );
+    Ok(())
 }

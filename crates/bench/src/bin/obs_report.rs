@@ -25,6 +25,7 @@ use bmbe_gates::Library;
 use bmbe_obs::export::{export_chrome, export_jsonl, validate, validate_json};
 use bmbe_sim::prims::Delays;
 use std::fmt::Write as _;
+use std::process::ExitCode;
 
 /// The span names a complete trace must contain: the five per-shape flow
 /// phases plus the simulator run loop.
@@ -41,30 +42,41 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn fail(msg: &str) -> ! {
-    eprintln!("obs_report --check: {msg}");
-    std::process::exit(1);
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // The single structured error line; stdout stays pure JSON.
+            eprintln!("error: obs_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
-fn main() {
+fn run() -> Result<(), String> {
     let check = std::env::args().any(|a| a == "--check");
+    let fail = |msg: String| format!("--check: {msg}");
     bmbe_obs::init_from_env();
     bmbe_obs::set_enabled(true);
 
     let library = Library::cmos035();
-    let designs = all_designs().expect("shipped designs build");
+    let designs = all_designs().map_err(|e| format!("shipped designs: {e}"))?;
     let design = designs
         .iter()
         .find(|d| d.name == "Stack")
-        .expect("Stack benchmark design");
+        .ok_or("Stack benchmark design missing")?;
 
     bmbe_obs::vlog!(1, "tracing flow synthesis of {} ...", design.name);
-    let flow = run_control_flow(&design.compiled, &FlowOptions::optimized(), &library)
-        .unwrap_or_else(|e| panic!("{} flow: {e}", design.name));
+    let flow = run_control_flow(
+        &design.compiled,
+        &FlowOptions::optimized().with_env_fault(),
+        &library,
+    )
+    .map_err(|e| format!("{} flow: {e}", design.name))?;
     bmbe_obs::vlog!(1, "tracing simulation ...");
     let scenario = to_flow_scenario(&design.scenario);
     let outcome = simulate(&design.compiled, &flow, &scenario, &Delays::default())
-        .unwrap_or_else(|e| panic!("{} sim: {e}", design.name));
+        .map_err(|e| format!("{} sim: {e}", design.name))?;
     bmbe_obs::vlog!(1, "tracing trace verification ...");
     let dw = decision_wait(
         "a1",
@@ -72,7 +84,7 @@ fn main() {
         &["o1".to_string(), "o2".to_string()],
     );
     let seq = sequencer("o2", &["c1".to_string(), "c2".to_string()]);
-    verify_acr_compared(&dw, &seq, "o2").expect("verification obligation");
+    verify_acr_compared(&dw, &seq, "o2").map_err(|e| format!("verification obligation: {e}"))?;
 
     bmbe_obs::set_enabled(false);
     let trace = bmbe_obs::flush();
@@ -83,9 +95,9 @@ fn main() {
         None => format!("{out_path}.jsonl"),
     };
     let chrome = export_chrome(&trace);
-    std::fs::write(&out_path, &chrome).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    std::fs::write(&out_path, &chrome).map_err(|e| format!("write {out_path}: {e}"))?;
     let jsonl = export_jsonl(&trace);
-    std::fs::write(&jsonl_path, &jsonl).unwrap_or_else(|e| panic!("write {jsonl_path}: {e}"));
+    std::fs::write(&jsonl_path, &jsonl).map_err(|e| format!("write {jsonl_path}: {e}"))?;
     bmbe_obs::vlog!(1, "wrote {out_path} and {jsonl_path}");
 
     let mut covered: Vec<&str> = REQUIRED_SPANS
@@ -97,23 +109,23 @@ fn main() {
 
     if check {
         if let Err(e) = validate(&trace) {
-            fail(&format!("trace validation: {e}"));
+            return Err(fail(format!("trace validation: {e}")));
         }
         if let Err((at, e)) = validate_json(&chrome) {
-            fail(&format!("{out_path} is not valid JSON at byte {at}: {e}"));
+            return Err(fail(format!("{out_path} is not valid JSON at byte {at}: {e}")));
         }
         for (n, line) in jsonl.lines().enumerate() {
             if let Err((at, e)) = validate_json(line) {
-                fail(&format!("{jsonl_path} line {}: byte {at}: {e}", n + 1));
+                return Err(fail(format!("{jsonl_path} line {}: byte {at}: {e}", n + 1)));
             }
         }
         for name in REQUIRED_SPANS {
             if !trace.has_callsite(name) {
-                fail(&format!("required span {name:?} missing from the trace"));
+                return Err(fail(format!("required span {name:?} missing from the trace")));
             }
         }
         if !outcome.completed {
-            fail("simulation scenario did not complete");
+            return Err(fail("simulation scenario did not complete".to_string()));
         }
         bmbe_obs::vlog!(1, "all checks passed");
     }
@@ -142,4 +154,5 @@ fn main() {
     // Stdout is the machine-readable channel: the summary JSON and nothing
     // else.
     print!("{summary}");
+    Ok(())
 }

@@ -18,6 +18,7 @@ use bmbe_flow::{
 use bmbe_gates::Library;
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::process::ExitCode;
 use std::time::Instant;
 
 const SAMPLES: usize = 9;
@@ -93,14 +94,36 @@ fn previous_numbers(design: &str) -> (Option<f64>, Option<f64>) {
     )
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // The single structured error line; stdout stays pure JSON.
+            eprintln!("error: perf_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     bmbe_obs::init_from_env();
     let library = Library::cmos035();
-    let designs = all_designs().expect("shipped designs build");
+    let designs = all_designs().map_err(|e| format!("shipped designs: {e}"))?;
     let mut rows = Vec::new();
     let mut threads_used = 1;
     for design in &designs {
         let (prev_serial_s, prev_cached_s) = previous_numbers(design.name);
+        // Preflight each configuration once with any BMBE_FAULT plan armed:
+        // an injected (or genuine) failure surfaces here as a structured
+        // error instead of a panic mid-timing. The timed runs below then
+        // measure the plain, fault-free options.
+        for options in [
+            FlowOptions::optimized().serial_uncached().with_env_fault(),
+            FlowOptions::optimized().with_env_fault(),
+        ] {
+            run_control_flow(&design.compiled, &options, &library)
+                .map_err(|e| format!("{}: {e}", design.name))?;
+        }
         let warm = ControllerCache::new();
         // Fresh cache on every "cached" run: cold-cache dedup + parallel
         // fan-out, the honest comparison against the seed.
@@ -135,7 +158,7 @@ fn main() {
         ]);
         let (serial_s, cached_s, warm_s) = (timings[0], timings[1], timings[2]);
         let result = run_control_flow(&design.compiled, &FlowOptions::optimized(), &library)
-            .expect("cached flow");
+            .map_err(|e| format!("{}: {e}", design.name))?;
         threads_used = result.threads_used;
         rows.push(Row {
             design: design.name.to_string(),
@@ -265,9 +288,11 @@ fn main() {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_flow.json", &json).expect("write BENCH_flow.json");
+    std::fs::write("BENCH_flow.json", &json)
+        .map_err(|e| format!("write BENCH_flow.json: {e}"))?;
     // Stdout is the machine-readable channel: the JSON report and nothing
     // else.
     print!("{json}");
     bmbe_obs::vlog!(1, "\nwrote BENCH_flow.json");
+    Ok(())
 }

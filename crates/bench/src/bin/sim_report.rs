@@ -20,6 +20,7 @@ use bmbe_gates::Library;
 use bmbe_sim::prims::Delays;
 use bmbe_sim::SchedulerKind;
 use std::fmt::Write as _;
+use std::process::ExitCode;
 
 const SAMPLES: usize = 9;
 
@@ -79,28 +80,31 @@ fn measure(
     flow: &FlowResult,
     scenario: &Scenario,
     delays: &Delays,
-) -> Row {
-    let run_one = |kind: SchedulerKind| -> (SimOutcome, f64) {
+) -> Result<Row, String> {
+    let run_one = |kind: SchedulerKind| -> Result<(SimOutcome, f64), String> {
         let start = std::time::Instant::now();
         let run = simulate_with(&design.compiled, flow, scenario, delays, kind)
-            .unwrap_or_else(|e| panic!("{} sim: {e}", design.name));
+            .map_err(|e| format!("{} sim: {e}", design.name))?;
         let total_s = start.elapsed().as_secs_f64();
-        assert!(run.completed, "{}: scenario must complete", design.name);
-        (run, total_s)
+        if !run.completed {
+            return Err(format!("{}: scenario did not complete", design.name));
+        }
+        Ok((run, total_s))
     };
     // Warm-up, and the outcome-identity check the numbers depend on.
-    let (wheel_ref, _) = run_one(SchedulerKind::Wheel);
-    let (heap_ref, _) = run_one(SchedulerKind::Heap);
-    assert!(
-        wheel_ref.same_result(&heap_ref),
-        "{}: wheel and heap schedulers disagree",
-        design.name
-    );
+    let (wheel_ref, _) = run_one(SchedulerKind::Wheel)?;
+    let (heap_ref, _) = run_one(SchedulerKind::Heap)?;
+    if !wheel_ref.same_result(&heap_ref) {
+        return Err(format!(
+            "{}: wheel and heap schedulers disagree",
+            design.name
+        ));
+    }
     let mut walls = [Vec::with_capacity(SAMPLES), Vec::with_capacity(SAMPLES)];
     let mut totals = [Vec::with_capacity(SAMPLES), Vec::with_capacity(SAMPLES)];
     for _ in 0..SAMPLES {
         for (i, kind) in [SchedulerKind::Wheel, SchedulerKind::Heap].into_iter().enumerate() {
-            let (run, total_s) = run_one(kind);
+            let (run, total_s) = run_one(kind)?;
             walls[i].push(run.stats.wall_s);
             totals[i].push(total_s);
         }
@@ -115,13 +119,13 @@ fn measure(
         events_per_sec: events as f64 / wall_s,
         peak_queue_depth: reference.stats.peak_queue_depth,
     };
-    Row {
+    Ok(Row {
         design: design.name.to_string(),
         events,
         wheel: numbers(walls[0][SAMPLES / 2], totals[0][SAMPLES / 2], &wheel_ref),
         heap: numbers(walls[1][SAMPLES / 2], totals[1][SAMPLES / 2], &heap_ref),
         baseline_events_per_sec: baseline_events_per_sec(design.name),
-    }
+    })
 }
 
 struct VerifyRow {
@@ -131,7 +135,7 @@ struct VerifyRow {
     verdicts_agree: bool,
 }
 
-fn verify_rows() -> Vec<VerifyRow> {
+fn verify_rows() -> Result<Vec<VerifyRow>, String> {
     let dw = decision_wait(
         "a1",
         &["i1".to_string(), "i2".to_string()],
@@ -146,32 +150,47 @@ fn verify_rows() -> Vec<VerifyRow> {
     ]
     .into_iter()
     .map(|(obligation, cmp)| {
-        let cmp = cmp.unwrap_or_else(|e| panic!("{obligation}: {e}"));
-        VerifyRow {
+        let cmp = cmp.map_err(|e| format!("{obligation}: {e}"))?;
+        Ok(VerifyRow {
             obligation,
             otf_states: cmp.otf_states,
             materialized_states: cmp.materialized_states,
             verdicts_agree: cmp.verdict.same_outcome(&cmp.oracle),
-        }
+        })
     })
     .collect()
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // The single structured error line; stdout stays pure JSON.
+            eprintln!("error: sim_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     bmbe_obs::init_from_env();
     let library = Library::cmos035();
     let delays = Delays::default();
-    let designs = all_designs().expect("shipped designs build");
+    let designs = all_designs().map_err(|e| format!("shipped designs: {e}"))?;
     let rows: Vec<Row> = designs
         .iter()
         .map(|design| {
-            let flow = run_control_flow(&design.compiled, &FlowOptions::optimized(), &library)
-                .unwrap_or_else(|e| panic!("{} flow: {e}", design.name));
+            let flow = run_control_flow(
+                &design.compiled,
+                &FlowOptions::optimized().with_env_fault(),
+                &library,
+            )
+            .map_err(|e| format!("{} flow: {e}", design.name))?;
             let scenario = to_flow_scenario(&design.scenario);
             measure(design, &flow, &scenario, &delays)
         })
-        .collect();
-    let verify = verify_rows();
+        .collect::<Result<_, _>>()?;
+    let verify = verify_rows()?;
 
     bmbe_obs::vlog!(
         1,
@@ -274,9 +293,10 @@ fn main() {
         json.push_str(if i + 1 < verify.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    std::fs::write("BENCH_sim.json", &json).map_err(|e| format!("write BENCH_sim.json: {e}"))?;
     // Stdout is the machine-readable channel: the JSON report and nothing
     // else.
     print!("{json}");
     bmbe_obs::vlog!(1, "\nwrote BENCH_sim.json");
+    Ok(())
 }

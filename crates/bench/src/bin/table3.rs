@@ -8,14 +8,27 @@ use bmbe_designs::all_designs;
 use bmbe_flow::{run_design_with, ControllerCache};
 use bmbe_gates::Library;
 use bmbe_sim::prims::Delays;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // The single structured error line; the table stays on stdout.
+            eprintln!("error: table3: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let library = Library::cmos035();
     let delays = Delays::default();
     // One cache for the whole table: shapes shared between designs and
     // between the unoptimized/optimized sides are synthesized once.
+    // BMBE_FAULT reaches the flows through compare_with (with_env_fault).
     let cache = ControllerCache::new();
-    let designs = all_designs().expect("shipped designs build");
+    let designs = all_designs().map_err(|e| format!("shipped designs: {e}"))?;
     println!("Table 3: Experimental Results (measured vs paper)");
     println!(
         "{:<22} {:>10} {:>10} {:>8} {:>7} | {:>10} {:>10} {:>8} {:>7}",
@@ -23,7 +36,7 @@ fn main() {
     );
     for (design, paper) in designs.iter().zip(TABLE3.iter()) {
         let c = run_design_with(design, &library, &delays, &cache)
-            .unwrap_or_else(|e| panic!("{}: {e}", design.name));
+            .map_err(|e| format!("{}: {e}", design.name))?;
         println!(
             "{:<22} {:>10.2} {:>10.2} {:>8.2} {:>7.2} | {:>10.0} {:>10.0} {:>8.2} {:>7.2}",
             design.name,
@@ -47,4 +60,5 @@ fn main() {
     println!(" library with post-layout back-annotation; see DESIGN.md substitutions.");
     println!(" The shape to check: positive improvements ordered control-dominated");
     println!(" -> datapath-dominated, with area overhead on every design.)");
+    Ok(())
 }

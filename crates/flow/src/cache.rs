@@ -17,7 +17,16 @@
 //! parallel fan-out) and can be shared across flow runs: the bench drivers
 //! reuse one cache across all four benchmark designs and across the
 //! unoptimized/optimized sides of a comparison.
+//!
+//! It is also *poison-tolerant*: a worker that panics while holding the
+//! entry lock must not take every later flow run down with a
+//! poisoned-mutex panic. Locking recovers from poisoning via
+//! [`PoisonError::into_inner`], and a write-generation guard evicts any
+//! entry a crashed store left half-written — the shape is simply re-missed
+//! (retried) on the next lookup instead of being served in an unknown
+//! state. Entries written by stores that completed are kept.
 
+use crate::fault::{FaultPhase, FaultPlan};
 use crate::profile::PhaseProfile;
 use bmbe_bm::statemin::minimize_states;
 use bmbe_bm::synth::{synthesize_parallel, Controller, MinimizeMode, SynthError};
@@ -29,8 +38,9 @@ use bmbe_logic::Cover;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// The content address of a controller shape: canonical program text plus
 /// the options that change what synthesis produces.
@@ -45,6 +55,30 @@ pub struct CacheKey {
     pub map_objective: MapObjective,
     /// Technology-mapping style.
     pub map_style: MapStyle,
+}
+
+impl CacheKey {
+    /// A short content digest of the key (FNV-1a over the canonical text
+    /// and the option fields), used to *name* the key in error reports and
+    /// logs without dumping the whole canonical program.
+    pub fn digest(&self) -> u64 {
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        }
+        let h = eat(0xcbf2_9ce4_8422_2325, self.canonical.as_bytes());
+        eat(
+            h,
+            format!(
+                "|{:?}|{:?}|{:?}",
+                self.minimize_mode, self.map_objective, self.map_style
+            )
+            .as_bytes(),
+        )
+    }
 }
 
 /// A component program keyed for the cache: the content address, the
@@ -120,7 +154,44 @@ pub enum ShapeError {
     Hazard(String),
     /// Post-mapping verification failed.
     MappedHazard(String),
+    /// The synthesis job panicked; the worker caught the unwind and the
+    /// payload is the stringified panic message. Siblings of a panicked
+    /// job complete normally.
+    Panic(String),
+    /// A [`FaultPlan`] injected a typed error at the given phase (the
+    /// testable non-unwinding failure path).
+    Injected(FaultPhase),
 }
+
+impl ShapeError {
+    /// The per-shape phase this error belongs to (`"panic"` for a caught
+    /// panic, whose phase is only known from its payload text).
+    pub fn phase(&self) -> &'static str {
+        match self {
+            ShapeError::Compile(_) => "compile",
+            ShapeError::Synth(_) => "synth",
+            ShapeError::Hazard(_) => "verify",
+            ShapeError::MappedHazard(_) => "map",
+            ShapeError::Panic(_) => "panic",
+            ShapeError::Injected(phase) => phase.name(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::Compile(e) => write!(f, "{e}"),
+            ShapeError::Synth(e) => write!(f, "{e}"),
+            ShapeError::Hazard(detail) => write!(f, "hazard: {detail}"),
+            ShapeError::MappedHazard(detail) => write!(f, "mapped hazard: {detail}"),
+            ShapeError::Panic(payload) => write!(f, "panicked: {payload}"),
+            ShapeError::Injected(phase) => write!(f, "injected fault at phase {phase}"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
 
 /// The cached product of the per-shape synthesis chain.
 #[derive(Debug)]
@@ -159,6 +230,44 @@ pub fn synthesize_shape(
     library: &Library,
     threads: usize,
 ) -> Result<SynthArtifact, ShapeError> {
+    synthesize_shape_with_fault(
+        spec_name,
+        program,
+        minimize_mode,
+        map_objective,
+        map_style,
+        library,
+        threads,
+        None,
+    )
+}
+
+/// [`synthesize_shape`] with an optional armed [`FaultPlan`]: when given,
+/// the plan fires at the start of its targeted phase — a panic or a typed
+/// [`ShapeError::Injected`] — so the flow's recovery paths can be driven
+/// deterministically. The caller passes `Some` only for the one fan-out
+/// job the plan targets.
+///
+/// # Errors
+///
+/// Returns the first failing stage (including an injected one).
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_shape_with_fault(
+    spec_name: &str,
+    program: &ChExpr,
+    minimize_mode: MinimizeMode,
+    map_objective: MapObjective,
+    map_style: MapStyle,
+    library: &Library,
+    threads: usize,
+    fault: Option<&FaultPlan>,
+) -> Result<SynthArtifact, ShapeError> {
+    let trip = |phase: FaultPhase| -> Result<(), ShapeError> {
+        match fault {
+            Some(plan) => plan.trip(phase).map_err(ShapeError::Injected),
+            None => Ok(()),
+        }
+    };
     let profile = Rc::new(RefCell::new(PhaseProfile {
         shapes: 1,
         ..PhaseProfile::default()
@@ -179,24 +288,29 @@ pub fn synthesize_shape(
         || {
             let spec = {
                 let _s = bmbe_obs::span!("shape.compile", "flow");
+                trip(FaultPhase::Compile)?;
                 compile_to_bm(spec_name, program).map_err(ShapeError::Compile)?
             };
             let spec = {
                 let _s = bmbe_obs::span!("shape.statemin", "flow");
+                trip(FaultPhase::Statemin)?;
                 minimize_states(&spec)
                     .map(|r| r.spec)
                     .map_err(|e| ShapeError::Compile(CompileError::Bm(e)))?
             };
             let controller = {
                 let _s = bmbe_obs::span!("shape.synth", "flow");
+                trip(FaultPhase::Synth)?;
                 synthesize_parallel(&spec, minimize_mode, threads).map_err(ShapeError::Synth)?
             };
             {
                 let _s = bmbe_obs::span!("shape.verify", "flow");
+                trip(FaultPhase::Verify)?;
                 controller.verify_ternary().map_err(ShapeError::Hazard)?;
             }
             let mapped = {
                 let _s = bmbe_obs::span!("shape.map", "flow");
+                trip(FaultPhase::Map)?;
                 let functions: Vec<(String, &Cover)> = controller
                     .outputs
                     .iter()
@@ -275,12 +389,34 @@ pub struct CacheStats {
     pub misses: usize,
 }
 
-/// A thread-safe, content-addressed store of synthesized controller shapes.
+/// One stored artifact plus the write generation that produced it (see
+/// [`Shelf`]).
+#[derive(Debug)]
+struct Entry {
+    artifact: Arc<SynthArtifact>,
+    generation: u64,
+}
+
+/// The guarded entry map. `write_generation` is bumped as a store begins,
+/// `clean_generation` advanced to match as it completes; an entry whose
+/// generation is above `clean_generation` at poison-recovery time was
+/// half-written by a store that panicked and is evicted rather than
+/// served.
+#[derive(Debug, Default)]
+struct Shelf {
+    map: HashMap<CacheKey, Entry>,
+    write_generation: u64,
+    clean_generation: u64,
+}
+
+/// A thread-safe, content-addressed store of synthesized controller
+/// shapes. Poison-tolerant: see the module docs and [`CacheStats`].
 #[derive(Debug, Default)]
 pub struct ControllerCache {
-    entries: Mutex<HashMap<CacheKey, Arc<SynthArtifact>>>,
+    entries: Mutex<Shelf>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    poison_recoveries: AtomicUsize,
 }
 
 impl ControllerCache {
@@ -289,9 +425,40 @@ impl ControllerCache {
         Self::default()
     }
 
+    /// Locks the entry map, recovering from a poisoned mutex instead of
+    /// propagating the panic to every future user of a shared cache. On
+    /// recovery, entries above the last clean write generation (the
+    /// half-written residue of whichever store panicked) are evicted so
+    /// the next lookup re-misses and re-synthesizes them; completed
+    /// entries survive untouched.
+    fn shelf(&self) -> MutexGuard<'_, Shelf> {
+        match self.entries.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.entries.clear_poison();
+                let mut guard = poisoned.into_inner();
+                let clean = guard.clean_generation;
+                let before = guard.map.len();
+                guard.map.retain(|_, e| e.generation <= clean);
+                let evicted = before - guard.map.len();
+                guard.write_generation = clean;
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                bmbe_obs::trace_counter!("cache.poison_recovered", 1);
+                bmbe_obs::vlog!(
+                    1,
+                    "bmbe-flow: controller cache recovered from a poisoned lock \
+                     ({evicted} half-written entr{} evicted, {} clean entries kept)",
+                    if evicted == 1 { "y" } else { "ies" },
+                    guard.map.len()
+                );
+                guard
+            }
+        }
+    }
+
     /// Number of distinct shapes stored.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.shelf().map.len()
     }
 
     /// Whether the cache holds no shapes.
@@ -308,18 +475,33 @@ impl ControllerCache {
         }
     }
 
+    /// How many times the entry lock was found poisoned and recovered
+    /// (each recovery evicts whatever the interrupted store half-wrote).
+    pub fn poison_recoveries(&self) -> usize {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
     /// Looks up a shape without touching the counters.
     pub fn peek(&self, key: &CacheKey) -> Option<Arc<SynthArtifact>> {
-        self.entries.lock().expect("cache lock").get(key).cloned()
+        self.shelf().map.get(key).map(|e| e.artifact.clone())
     }
 
     /// Stores a shape.
     pub fn store(&self, key: CacheKey, artifact: Arc<SynthArtifact>) {
         bmbe_obs::trace_counter!("cache.bytes", approx_artifact_bytes(&key, &artifact) as u64);
-        self.entries
-            .lock()
-            .expect("cache lock")
-            .insert(key, artifact);
+        let mut shelf = self.shelf();
+        shelf.write_generation += 1;
+        let generation = shelf.write_generation;
+        shelf.map.insert(
+            key,
+            Entry {
+                artifact,
+                generation,
+            },
+        );
+        // Reaching here means the insert completed; mark the generation
+        // clean so a later poison recovery keeps this entry.
+        shelf.clean_generation = shelf.write_generation;
     }
 
     /// Adds to the lifetime counters (one flow run's totals at a time).
@@ -366,5 +548,94 @@ impl ControllerCache {
         self.store(keyed.key.clone(), artifact.clone());
         self.record(0, 1);
         Ok((artifact, keyed))
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use bmbe_core::components::sequencer;
+    use std::panic::AssertUnwindSafe;
+
+    fn artifact_for(program: &ChExpr) -> (CacheKey, Arc<SynthArtifact>) {
+        let keyed = KeyedProgram::new(
+            program,
+            MinimizeMode::Speed,
+            MapObjective::Delay,
+            MapStyle::SplitModules,
+        );
+        let artifact = synthesize_shape(
+            "shape",
+            &keyed.canonical,
+            MinimizeMode::Speed,
+            MapObjective::Delay,
+            MapStyle::SplitModules,
+            &Library::cmos035(),
+            1,
+        )
+        .expect("shape synthesizes");
+        (keyed.key, Arc::new(artifact))
+    }
+
+    #[test]
+    fn digest_depends_on_the_key() {
+        let seq2 = sequencer("p", &["a".to_string(), "b".to_string()]);
+        let k_speed = KeyedProgram::new(
+            &seq2,
+            MinimizeMode::Speed,
+            MapObjective::Delay,
+            MapStyle::SplitModules,
+        );
+        let k_area = KeyedProgram::new(
+            &seq2,
+            MinimizeMode::Area,
+            MapObjective::Delay,
+            MapStyle::SplitModules,
+        );
+        assert_eq!(k_speed.key.digest(), k_speed.key.digest());
+        assert_ne!(k_speed.key.digest(), k_area.key.digest());
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_evicts_half_written_entries() {
+        let cache = ControllerCache::new();
+        let (k1, a1) = artifact_for(&sequencer("p", &["a".to_string(), "b".to_string()]));
+        let (k2, a2) = artifact_for(&sequencer(
+            "q",
+            &["x".to_string(), "y".to_string(), "z".to_string()],
+        ));
+        assert_ne!(k1, k2, "test needs two distinct shapes");
+        cache.store(k1.clone(), a1);
+
+        // Simulate a store crashing mid-insert: bump the write generation,
+        // insert the entry, and panic while still holding the lock — the
+        // clean generation never advances, so the entry is "half-written".
+        let crash = AssertUnwindSafe(|| {
+            let mut shelf = cache.entries.lock().unwrap();
+            shelf.write_generation += 1;
+            let generation = shelf.write_generation;
+            shelf.map.insert(
+                k2.clone(),
+                Entry {
+                    artifact: a2.clone(),
+                    generation,
+                },
+            );
+            panic!("simulated mid-store crash");
+        });
+        assert!(std::panic::catch_unwind(crash).is_err());
+
+        // The next access recovers instead of panicking on the poisoned
+        // lock; the half-written entry is evicted (a retried miss), the
+        // completed one is kept.
+        assert!(cache.peek(&k2).is_none(), "half-written entry served");
+        assert!(cache.peek(&k1).is_some(), "clean entry lost");
+        assert_eq!(cache.poison_recoveries(), 1);
+
+        // The cache stays fully usable afterwards.
+        cache.store(k2.clone(), a2);
+        assert!(cache.peek(&k2).is_some());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.poison_recoveries(), 1, "no further recoveries");
     }
 }

@@ -77,6 +77,14 @@ pub enum ExperimentError {
         /// Time reached (ns).
         at_ns: f64,
     },
+    /// A benchmark simulation job panicked; the panic was caught and the
+    /// sibling run completed.
+    Panic {
+        /// Which side panicked.
+        side: &'static str,
+        /// The stringified panic payload.
+        payload: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -89,6 +97,9 @@ impl fmt::Display for ExperimentError {
                     f,
                     "{side} benchmark did not complete (cutoff at {at_ns} ns)"
                 )
+            }
+            ExperimentError::Panic { side, payload } => {
+                write!(f, "{side} benchmark simulation panicked: {payload}")
             }
         }
     }
@@ -137,16 +148,43 @@ pub fn compare_with(
     delays: &Delays,
     cache: &ControllerCache,
 ) -> Result<Comparison, ExperimentError> {
-    let unopt = run_control_flow_with(design, &FlowOptions::unoptimized(), library, cache)?;
-    let opt = run_control_flow_with(design, &FlowOptions::optimized(), library, cache)?;
+    // `with_env_fault` makes both flows BMBE_FAULT-selectable, so the
+    // bench binaries built on `compare_with` get fault injection for free.
+    let unopt = run_control_flow_with(
+        design,
+        &FlowOptions::unoptimized().with_env_fault(),
+        library,
+        cache,
+    )?;
+    let opt = run_control_flow_with(
+        design,
+        &FlowOptions::optimized().with_env_fault(),
+        library,
+        cache,
+    )?;
     // The two benchmark runs are independent; fan them across workers.
     // Outcomes are checked in unoptimized-then-optimized order, so the
-    // reported error is the one the serial code would have raised.
-    let flows = [&unopt, &opt];
-    let mut runs = bmbe_par::par_map(&flows, flows.len(), |_, flow| {
-        simulate(design, flow, scenario, delays)
-    })
-    .into_iter();
+    // reported error is the one the serial code would have raised. A
+    // panicking simulation job is caught and reported as a typed error
+    // without taking its sibling down.
+    let flows = [("unoptimized", &unopt), ("optimized", &opt)];
+    let mut runs = bmbe_par::par_try_map(
+        &flows,
+        flows.len(),
+        |_, (side, _)| format!("{side} benchmark simulation"),
+        |_, (_, flow)| simulate(design, flow, scenario, delays),
+    )
+    .into_iter()
+    .zip(["unoptimized", "optimized"])
+    .map(|(slot, side)| {
+        slot.unwrap_or_else(|job| {
+            Err(SimBuildError::Panic(job.payload))
+        })
+        .map_err(|e| match e {
+            SimBuildError::Panic(payload) => ExperimentError::Panic { side, payload },
+            other => ExperimentError::Sim(other),
+        })
+    });
     let unopt_run = runs.next().expect("one result per job")?;
     let opt_run = runs.next().expect("one result per job")?;
     if !unopt_run.completed {

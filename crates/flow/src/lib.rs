@@ -15,6 +15,7 @@
 pub mod area;
 pub mod cache;
 pub mod experiment;
+pub mod fault;
 pub mod pipeline;
 pub mod profile;
 pub mod simbuild;
@@ -22,8 +23,9 @@ pub mod table3;
 pub mod templates;
 
 pub use area::{component_area, datapath_area};
-pub use cache::{CacheKey, CacheStats, ControllerCache, KeyedProgram, SynthArtifact};
+pub use cache::{CacheKey, CacheStats, ControllerCache, KeyedProgram, ShapeError, SynthArtifact};
 pub use experiment::{compare, compare_with, Comparison};
+pub use fault::{FaultKind, FaultParseError, FaultPhase, FaultPlan};
 pub use pipeline::{
     run_control_flow, run_control_flow_with, ControllerArtifact, FlowError, FlowOptions, FlowResult,
 };

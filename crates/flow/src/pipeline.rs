@@ -1,16 +1,18 @@
 //! The back-end pipeline of Fig. 1: partition → Balsa-to-CH → clustering →
 //! CH-to-BMS → Minimalist synthesis → technology mapping → hazard analysis.
 
-use crate::cache::{synthesize_shape, ControllerCache, KeyedProgram, ShapeError, SynthArtifact};
+use crate::cache::{
+    synthesize_shape_with_fault, CacheKey, ControllerCache, KeyedProgram, ShapeError, SynthArtifact,
+};
+use crate::fault::FaultPlan;
 use crate::profile::PhaseProfile;
 use crate::templates::{template_table, Template};
 use bmbe_balsa::CompiledDesign;
-use bmbe_bm::synth::{Controller, MinimizeMode, SynthError};
+use bmbe_bm::synth::{Controller, MinimizeMode};
 use bmbe_core::balsa_to_ch::{balsa_to_ch, TranslateError};
-use bmbe_core::compile::CompileError;
 use bmbe_core::opt::cluster::{ClusterOptions, ClusterReport};
 use bmbe_gates::{Library, MapObjective, MapStyle, MappedNetlist};
-use bmbe_par::par_map;
+use bmbe_par::par_try_map;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -44,6 +46,11 @@ pub struct FlowOptions {
     /// path. Results are identical (same order, same artifacts, same first
     /// error) regardless of the thread count.
     pub threads: Option<usize>,
+    /// Deterministic fault injection: force a panic or a typed error at a
+    /// chosen phase of a chosen synthesis job (see [`FaultPlan`]). `None`
+    /// (the default everywhere) injects nothing; the bench binaries
+    /// populate it from `BMBE_FAULT` via [`FlowOptions::with_env_fault`].
+    pub fault: Option<FaultPlan>,
 }
 
 impl FlowOptions {
@@ -59,6 +66,7 @@ impl FlowOptions {
             use_templates: false,
             cache: true,
             threads: None,
+            fault: None,
         }
     }
 
@@ -80,6 +88,16 @@ impl FlowOptions {
         self.threads = Some(1);
         self
     }
+
+    /// Arms the fault plan named by the `BMBE_FAULT` environment variable
+    /// (`<phase>:<nth>[:err]`), if any — the switch the bench binaries use
+    /// so recovery paths can be smoke-tested from CI without code changes.
+    pub fn with_env_fault(mut self) -> Self {
+        if let Some(plan) = FaultPlan::from_env() {
+            self.fault = Some(plan);
+        }
+        self
+    }
 }
 
 /// Errors raised by the flow.
@@ -87,33 +105,25 @@ impl FlowOptions {
 pub enum FlowError {
     /// Balsa-to-CH translation failed.
     Translate(TranslateError),
-    /// CH-to-BMS compilation failed for a component.
-    Compile {
-        /// The component.
+    /// A per-controller synthesis job failed (a compile/synth/verify/map
+    /// error, a caught worker panic, or an injected fault). Carries the full
+    /// context of the failing job: the design, the component, the
+    /// content-addressed cache key of its shape, and the phase that failed —
+    /// enough to re-run exactly that job in isolation.
+    Job {
+        /// The design whose flow failed. Sibling designs sharing the same
+        /// cache are unaffected.
+        design: String,
+        /// The first component (in deterministic component order) whose
+        /// shape failed.
         component: String,
-        /// The underlying error.
-        error: CompileError,
-    },
-    /// Controller synthesis failed.
-    Synth {
-        /// The component.
-        component: String,
-        /// The underlying error.
-        error: SynthError,
-    },
-    /// The synthesized controller failed ternary hazard verification.
-    Hazard {
-        /// The component.
-        component: String,
-        /// Description.
-        detail: String,
-    },
-    /// The mapped controller failed post-mapping verification.
-    MappedHazard {
-        /// The component.
-        component: String,
-        /// Description.
-        detail: String,
+        /// The shape's content-addressed cache key, as a hex digest.
+        cache_key: String,
+        /// The per-shape phase that failed (`compile`, `synth`, `verify`,
+        /// `map`, `statemin`, or `panic` for a caught unwind).
+        phase: &'static str,
+        /// The underlying shape error.
+        error: ShapeError,
     },
 }
 
@@ -121,12 +131,16 @@ impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::Translate(e) => write!(f, "translate: {e}"),
-            FlowError::Compile { component, error } => write!(f, "{component}: {error}"),
-            FlowError::Synth { component, error } => write!(f, "{component}: {error}"),
-            FlowError::Hazard { component, detail } => write!(f, "{component}: hazard: {detail}"),
-            FlowError::MappedHazard { component, detail } => {
-                write!(f, "{component}: mapped hazard: {detail}")
-            }
+            FlowError::Job {
+                design,
+                component,
+                cache_key,
+                phase,
+                error,
+            } => write!(
+                f,
+                "{design}/{component}: phase {phase} (cache key {cache_key}): {error}"
+            ),
         }
     }
 }
@@ -207,14 +221,16 @@ impl FlowResult {
 }
 
 impl ShapeError {
-    /// Attaches the component name, producing the flow-level error the
-    /// serial path would have reported.
-    fn into_flow(self, component: String) -> FlowError {
-        match self {
-            ShapeError::Compile(error) => FlowError::Compile { component, error },
-            ShapeError::Synth(error) => FlowError::Synth { component, error },
-            ShapeError::Hazard(detail) => FlowError::Hazard { component, detail },
-            ShapeError::MappedHazard(detail) => FlowError::MappedHazard { component, detail },
+    /// Attaches the full job context — design, component, cache key, and
+    /// failing phase — producing the flow-level error report.
+    fn into_flow(self, design: &str, component: &str, key: &CacheKey) -> FlowError {
+        let phase = self.phase();
+        FlowError::Job {
+            design: design.to_string(),
+            component: component.to_string(),
+            cache_key: format!("{:016x}", key.digest()),
+            phase,
+            error: self,
         }
     }
 }
@@ -253,8 +269,9 @@ fn synthesize_direct(
     options: &FlowOptions,
     library: &Library,
     threads: usize,
+    fault: Option<&FaultPlan>,
 ) -> Result<SynthArtifact, ShapeError> {
-    synthesize_shape(
+    synthesize_shape_with_fault(
         name,
         program,
         options.minimize_mode,
@@ -262,6 +279,7 @@ fn synthesize_direct(
         options.map_style,
         library,
         threads,
+        fault,
     )
 }
 
@@ -396,16 +414,25 @@ pub fn run_control_flow_with(
         bmbe_obs::trace_gauge!("flow.pending_shapes", pending.len() as i64);
         let fanout_span = bmbe_obs::span!("flow.synth", "flow");
         let fanout_parent = fanout_span.id();
-        let synthesized: Vec<Result<SynthArtifact, ShapeError>> =
-            par_map(&pending, workers, |_, k| {
+        let synthesized = par_try_map(
+            &pending,
+            workers,
+            |i, k| format!("shape job {i} (cache key {:016x})", k.key.digest()),
+            |i, k| {
                 let _g = bmbe_obs::span_with_parent!("shape.job", "flow", fanout_parent);
-                let result = synthesize_direct("shape", &k.canonical, options, library, inner);
+                let fault = options.fault.as_ref().filter(|f| f.targets_job(i));
+                let result =
+                    synthesize_direct("shape", &k.canonical, options, library, inner, fault);
                 bmbe_obs::trace_gauge!("flow.pending_shapes", add: -1);
                 result
-            });
+            },
+        );
         drop(fanout_span);
         let mut failed: HashMap<&crate::cache::CacheKey, ShapeError> = HashMap::new();
-        for (k, result) in pending.iter().zip(synthesized) {
+        for (k, slot) in pending.iter().zip(synthesized) {
+            // A panicked worker folds into the same per-shape error channel
+            // as a typed failure; its siblings have already completed.
+            let result = slot.unwrap_or_else(|job| Err(ShapeError::Panic(job.payload)));
             match result {
                 Ok(artifact) => {
                     phases.accumulate(&artifact.profile);
@@ -414,6 +441,7 @@ pub fn run_control_flow_with(
                     shapes.insert(&k.key, Some(artifact));
                 }
                 Err(e) => {
+                    bmbe_obs::trace_counter!("flow.jobs.failed", 1);
                     failed.insert(&k.key, e);
                 }
             }
@@ -421,7 +449,9 @@ pub fn run_control_flow_with(
         // Assemble in component order; the first component whose shape
         // failed reports the error the serial path would have raised (the
         // shape is re-run under the component's own names so the error
-        // text matches exactly).
+        // text matches exactly). Panics and injected faults are reported
+        // as-is — re-running those jobs would just fail (or, for an
+        // index-targeted injection, spuriously succeed) again.
         for (comp, k) in ctrl.components.iter().zip(&keyed) {
             let artifact = match shapes.get(&k.key) {
                 Some(Some(artifact)) => {
@@ -430,8 +460,20 @@ pub fn run_control_flow_with(
                 }
                 _ => {
                     debug_assert!(failed.contains_key(&k.key));
-                    match synthesize_direct(&comp.name, &comp.program, options, library, threads) {
-                        Err(e) => return Err(e.into_flow(comp.name.clone())),
+                    if let Some(e @ (ShapeError::Panic(_) | ShapeError::Injected(_))) =
+                        failed.remove(&k.key)
+                    {
+                        return Err(e.into_flow(design.netlist.name(), &comp.name, &k.key));
+                    }
+                    bmbe_obs::trace_counter!("flow.jobs.retried", 1);
+                    let retried = bmbe_par::catch_job(|| {
+                        synthesize_direct(&comp.name, &comp.program, options, library, threads, None)
+                    })
+                    .unwrap_or_else(|payload| Err(ShapeError::Panic(payload)));
+                    match retried {
+                        Err(e) => {
+                            return Err(e.into_flow(design.netlist.name(), &comp.name, &k.key))
+                        }
                         // Name-dependent divergence (canonical failed,
                         // direct succeeded) — use the direct artifact and
                         // leave the shape uncached.
@@ -476,16 +518,33 @@ pub fn run_control_flow_with(
         bmbe_obs::trace_gauge!("flow.pending_shapes", ctrl.components.len() as i64);
         let fanout_span = bmbe_obs::span!("flow.synth", "flow");
         let fanout_parent = fanout_span.id();
-        let synthesized: Vec<Result<SynthArtifact, ShapeError>> =
-            par_map(&ctrl.components, workers, |_, comp| {
+        let synthesized = par_try_map(
+            &ctrl.components,
+            workers,
+            |i, comp| format!("component job {i} ({})", comp.name),
+            |i, comp| {
                 let _g = bmbe_obs::span_with_parent!("shape.job", "flow", fanout_parent);
-                let result = synthesize_direct(&comp.name, &comp.program, options, library, inner);
+                let fault = options.fault.as_ref().filter(|f| f.targets_job(i));
+                let result =
+                    synthesize_direct(&comp.name, &comp.program, options, library, inner, fault);
                 bmbe_obs::trace_gauge!("flow.pending_shapes", add: -1);
                 result
-            });
+            },
+        );
         drop(fanout_span);
-        for (comp, result) in ctrl.components.iter().zip(synthesized) {
-            let shape = result.map_err(|e| e.into_flow(comp.name.clone()))?;
+        for (comp, slot) in ctrl.components.iter().zip(synthesized) {
+            let result = slot.unwrap_or_else(|job| Err(ShapeError::Panic(job.payload)));
+            let shape = result.map_err(|e| {
+                bmbe_obs::trace_counter!("flow.jobs.failed", 1);
+                let key = KeyedProgram::new(
+                    &comp.program,
+                    options.minimize_mode,
+                    options.map_objective,
+                    options.map_style,
+                )
+                .key;
+                e.into_flow(design.netlist.name(), &comp.name, &key)
+            })?;
             phases.accumulate(&shape.profile);
             let template = templates.get(&comp.name).copied();
             controllers.push(ControllerArtifact {

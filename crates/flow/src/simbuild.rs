@@ -122,6 +122,9 @@ impl SimOutcome {
 pub enum SimBuildError {
     /// The scenario's done condition references an unknown port.
     UnknownPort(String),
+    /// A simulation job panicked; the panic was caught and its sibling
+    /// jobs completed.
+    Panic(String),
 }
 
 impl fmt::Display for SimBuildError {
@@ -129,6 +132,9 @@ impl fmt::Display for SimBuildError {
         match self {
             SimBuildError::UnknownPort(p) => {
                 write!(f, "done condition references unknown port {p}")
+            }
+            SimBuildError::Panic(payload) => {
+                write!(f, "simulation job panicked: {payload}")
             }
         }
     }
@@ -181,9 +187,15 @@ pub fn simulate_all(
     delays: &Delays,
     threads: usize,
 ) -> Vec<Result<SimOutcome, SimBuildError>> {
-    bmbe_par::par_map(jobs, threads, |_, job| {
-        simulate_with(job.design, job.flow, job.scenario, delays, job.scheduler)
-    })
+    bmbe_par::par_try_map(
+        jobs,
+        threads,
+        |i, job| format!("sim job {i} ({})", job.design.netlist.name()),
+        |_, job| simulate_with(job.design, job.flow, job.scenario, delays, job.scheduler),
+    )
+    .into_iter()
+    .map(|slot| slot.unwrap_or_else(|job| Err(SimBuildError::Panic(job.payload))))
+    .collect()
 }
 
 /// Simulates a design with its synthesized controllers, on the production

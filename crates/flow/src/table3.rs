@@ -93,6 +93,9 @@ pub enum BenchError {
     Experiment(ExperimentError),
     /// A functional check failed.
     Check(CheckFailure),
+    /// A whole-design benchmark job panicked; the panic was caught and the
+    /// other designs completed.
+    Panic(String),
 }
 
 impl fmt::Display for BenchError {
@@ -100,6 +103,7 @@ impl fmt::Display for BenchError {
         match self {
             BenchError::Experiment(e) => write!(f, "{e}"),
             BenchError::Check(e) => write!(f, "{e}"),
+            BenchError::Panic(payload) => write!(f, "benchmark job panicked: {payload}"),
         }
     }
 }
@@ -166,7 +170,13 @@ pub fn run_designs_with(
     cache: &ControllerCache,
     threads: usize,
 ) -> Vec<Result<Comparison, BenchError>> {
-    bmbe_par::par_map(designs, threads, |_, design| {
-        run_design_with(design, library, delays, cache)
-    })
+    bmbe_par::par_try_map(
+        designs,
+        threads,
+        |i, design| format!("design job {i} ({})", design.compiled.netlist.name()),
+        |_, design| run_design_with(design, library, delays, cache),
+    )
+    .into_iter()
+    .map(|slot| slot.unwrap_or_else(|job| Err(BenchError::Panic(job.payload))))
+    .collect()
 }

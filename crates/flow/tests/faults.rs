@@ -1,0 +1,176 @@
+//! Fault injection against the parallel, memoized back-end: an injected
+//! panic (or typed error) in one synthesis job must fail only that
+//! design's flow — with the job's cache key and phase in the error — while
+//! sibling flows sharing the cache stay healthy, the cache remains usable
+//! afterward, and the failing job is the same whatever the worker-thread
+//! count.
+
+use bmbe_core::balsa_to_ch::balsa_to_ch;
+use bmbe_designs::all_designs;
+use bmbe_flow::{
+    run_control_flow, run_control_flow_with, ControllerCache, FaultKind, FaultPhase, FaultPlan,
+    FlowError, FlowOptions, KeyedProgram, ShapeError,
+};
+use bmbe_gates::Library;
+
+fn faulted(phase: FaultPhase, nth: usize, kind: FaultKind) -> FlowOptions {
+    let mut options = FlowOptions::optimized();
+    options.threads = Some(3);
+    options.fault = Some(FaultPlan { phase, nth, kind });
+    options
+}
+
+/// The (component, cache-key) pairs the flow would synthesize for a
+/// design, computed independently of the pipeline: translate, cluster,
+/// key. Used to check the error's cache key against ground truth.
+fn component_keys(design: &bmbe_designs::Design, options: &FlowOptions) -> Vec<(String, String)> {
+    let mut ctrl = balsa_to_ch(&design.compiled.netlist).expect("translate");
+    if options.optimize {
+        ctrl.t2_clustering(&options.cluster);
+    }
+    ctrl.components
+        .iter()
+        .map(|c| {
+            let keyed = KeyedProgram::new(
+                &c.program,
+                options.minimize_mode,
+                options.map_objective,
+                options.map_style,
+            );
+            (c.name.clone(), format!("{:016x}", keyed.key.digest()))
+        })
+        .collect()
+}
+
+/// Destructures the one error shape a fault may produce.
+fn job_error(err: FlowError) -> (String, String, String, &'static str, ShapeError) {
+    match err {
+        FlowError::Job {
+            design,
+            component,
+            cache_key,
+            phase,
+            error,
+        } => (design, component, cache_key, phase, error),
+        other => panic!("expected FlowError::Job, got: {other}"),
+    }
+}
+
+#[test]
+fn injected_panic_fails_only_that_flow_and_names_the_job() {
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let cache = ControllerCache::new();
+    let options = faulted(FaultPhase::Synth, 0, FaultKind::Panic);
+
+    // The faulted flow fails with full job context.
+    let err = run_control_flow_with(&designs[0].compiled, &options, &library, &cache)
+        .err()
+        .expect("injected panic must fail the flow");
+    let text = err.to_string();
+    let (design, component, cache_key, phase, shape) = job_error(err);
+    assert_eq!(design, designs[0].compiled.netlist.name());
+    assert_eq!(phase, "panic", "a caught unwind reports phase \"panic\"");
+    match &shape {
+        ShapeError::Panic(payload) => assert!(
+            payload.contains("injected fault: panic at phase synth of job 0"),
+            "panic payload must carry the injection message, got: {payload}"
+        ),
+        other => panic!("expected ShapeError::Panic, got: {other}"),
+    }
+    // The error names the failing component's content-addressed cache key.
+    let keys = component_keys(&designs[0], &options);
+    let expected = keys
+        .iter()
+        .find(|(name, _)| *name == component)
+        .unwrap_or_else(|| panic!("error names unknown component {component:?}"));
+    assert_eq!(cache_key, expected.1, "{component}: cache key mismatch");
+    assert!(
+        text.contains(&cache_key) && text.contains("phase panic"),
+        "error text must name the cache key and phase: {text}"
+    );
+
+    // Sibling designs sharing the cache are unaffected.
+    let clean = FlowOptions::optimized();
+    run_control_flow_with(&designs[1].compiled, &clean, &library, &cache)
+        .expect("sibling design sharing the cache must still succeed");
+
+    // The shared cache stays healthy: a clean re-run of the faulted design
+    // succeeds, and a second one is served entirely from the cache.
+    let rerun = run_control_flow_with(&designs[0].compiled, &clean, &library, &cache)
+        .expect("clean re-run after the fault must succeed");
+    assert_eq!(rerun.controllers.len(), keys.len());
+    let warm = run_control_flow_with(&designs[0].compiled, &clean, &library, &cache)
+        .expect("warm re-run after the fault must succeed");
+    assert_eq!(warm.cache_misses, 0, "warm run after recovery must hit");
+    assert_eq!(warm.cache_hits, warm.controllers.len());
+    assert_eq!(cache.poison_recoveries(), 0, "no lock was poisoned");
+}
+
+#[test]
+fn typed_injected_error_reports_its_phase() {
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let options = faulted(FaultPhase::Verify, 0, FaultKind::Error);
+    let err = run_control_flow(&designs[0].compiled, &options, &library)
+        .err()
+        .expect("injected error must fail the flow");
+    let text = err.to_string();
+    let (_, _, cache_key, phase, shape) = job_error(err);
+    assert_eq!(phase, "verify");
+    assert!(
+        matches!(shape, ShapeError::Injected(FaultPhase::Verify)),
+        "expected ShapeError::Injected(Verify), got: {shape}"
+    );
+    assert!(
+        text.contains("phase verify") && text.contains(&cache_key),
+        "error text must name the phase and cache key: {text}"
+    );
+}
+
+#[test]
+fn thread_count_does_not_change_the_failing_job() {
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    for kind in [FaultKind::Panic, FaultKind::Error] {
+        let mut reports = Vec::new();
+        for threads in [1usize, 4] {
+            let mut options = faulted(FaultPhase::Synth, 0, kind);
+            options.threads = Some(threads);
+            let err = run_control_flow(&designs[0].compiled, &options, &library)
+                .err()
+                .unwrap_or_else(|| panic!("{threads}-thread run must fail"));
+            let (design, component, cache_key, phase, _) = job_error(err);
+            reports.push((threads, design, component, cache_key, phase));
+        }
+        let (_, d1, c1, k1, p1) = &reports[0];
+        let (_, d4, c4, k4, p4) = &reports[1];
+        assert_eq!((d1, c1, k1, p1), (d4, c4, k4, p4), "{kind:?}: 1-thread and 4-thread runs must report the identical failing job");
+    }
+}
+
+#[test]
+fn fault_on_the_uncached_path_names_the_component() {
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let mut options = faulted(FaultPhase::Compile, 0, FaultKind::Error);
+    options.cache = false;
+    let err = run_control_flow(&designs[0].compiled, &options, &library)
+        .err()
+        .expect("injected error must fail the uncached flow");
+    let (_, component, cache_key, phase, _) = job_error(err);
+    assert_eq!(phase, "compile");
+    // Uncached job 0 is the first component in deterministic order.
+    let keys = component_keys(&designs[0], &options);
+    assert_eq!(component, keys[0].0);
+    assert_eq!(cache_key, keys[0].1);
+}
+
+#[test]
+fn fault_aimed_past_the_fanout_is_inert() {
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let options = faulted(FaultPhase::Synth, 9999, FaultKind::Panic);
+    run_control_flow(&designs[0].compiled, &options, &library)
+        .expect("a plan targeting a job index past the fan-out must not fire");
+}

@@ -39,6 +39,41 @@ pub enum CellKind {
     Celem2,
 }
 
+/// A cell cannot be evaluated combinationally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellError {
+    /// The cell holds state (the Muller C-element); its output is a
+    /// function of its history, so only the event simulator can evaluate
+    /// it.
+    Stateful(CellKind),
+    /// Wrong number of input values for the cell's pin count.
+    WrongInputCount {
+        /// The cell.
+        cell: CellKind,
+        /// Pins the cell has.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::Stateful(cell) => {
+                write!(f, "cell {cell} is stateful and has no combinational value")
+            }
+            CellError::WrongInputCount {
+                cell,
+                expected,
+                got,
+            } => write!(f, "cell {cell} has {expected} inputs, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
 impl CellKind {
     /// Number of input pins.
     pub fn num_inputs(&self) -> usize {
@@ -79,10 +114,28 @@ impl CellKind {
     ///
     /// # Panics
     ///
-    /// Panics on a wrong input count or on `Celem2`.
+    /// Panics where [`CellKind::try_eval`] errors; analysis code that must
+    /// not crash on an unexpected cell uses `try_eval` and reports.
     pub fn eval(&self, inputs: &[bool]) -> bool {
-        assert_eq!(inputs.len(), self.num_inputs(), "{self:?}");
-        match self {
+        self.try_eval(inputs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Combinational evaluation with a typed error for the stateful
+    /// C-element (whose output depends on history, not just `inputs`) and
+    /// for an input-count mismatch.
+    ///
+    /// # Errors
+    ///
+    /// See [`CellError`].
+    pub fn try_eval(&self, inputs: &[bool]) -> Result<bool, CellError> {
+        if inputs.len() != self.num_inputs() {
+            return Err(CellError::WrongInputCount {
+                cell: *self,
+                expected: self.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        Ok(match self {
             CellKind::Inv => !inputs[0],
             CellKind::Buf => inputs[0],
             CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => !inputs.iter().all(|&b| b),
@@ -93,8 +146,8 @@ impl CellKind {
             CellKind::Ao22 => (inputs[0] && inputs[1]) || (inputs[2] && inputs[3]),
             CellKind::Tie0 => false,
             CellKind::Tie1 => true,
-            CellKind::Celem2 => panic!("C-element is stateful"),
-        }
+            CellKind::Celem2 => return Err(CellError::Stateful(*self)),
+        })
     }
 }
 
@@ -199,5 +252,22 @@ mod tests {
         assert_eq!(CellKind::Nand4.num_inputs(), 4);
         assert_eq!(CellKind::Tie0.num_inputs(), 0);
         assert_eq!(CellKind::Ao21.num_inputs(), 3);
+    }
+
+    #[test]
+    fn try_eval_reports_instead_of_panicking() {
+        assert_eq!(
+            CellKind::Celem2.try_eval(&[true, true]),
+            Err(CellError::Stateful(CellKind::Celem2))
+        );
+        assert_eq!(
+            CellKind::And2.try_eval(&[true]),
+            Err(CellError::WrongInputCount {
+                cell: CellKind::And2,
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(CellKind::And2.try_eval(&[true, false]), Ok(false));
     }
 }

@@ -15,6 +15,7 @@
 //!    has a potential glitch, and every transition must settle at its
 //!    specified final value.
 
+use crate::cell::CellError;
 use crate::map::MappedNetlist;
 use bmbe_bm::synth::Controller;
 use bmbe_logic::{Cover, Cube, Tv};
@@ -29,6 +30,15 @@ pub enum HazardViolation {
         function: String,
         /// A witness input point.
         point: u64,
+    },
+    /// The netlist contains a cell the analysis cannot evaluate (say, a
+    /// stateful C-element leaked into a controller netlist); reported as a
+    /// violation rather than crashing the analysis.
+    Unevaluatable {
+        /// Function name (or `"*"` when no single function is implicated).
+        function: String,
+        /// The underlying cell error.
+        detail: String,
     },
     /// A static transition can glitch (output reads `X` mid-burst).
     StaticGlitch {
@@ -55,6 +65,9 @@ impl std::fmt::Display for HazardViolation {
         match self {
             HazardViolation::NotEquivalent { function, point } => {
                 write!(f, "{function}: mapped netlist differs at {point:#x}")
+            }
+            HazardViolation::Unevaluatable { function, detail } => {
+                write!(f, "{function}: netlist not analyzable: {detail}")
             }
             HazardViolation::StaticGlitch {
                 function,
@@ -106,7 +119,22 @@ fn tv_not(a: Tv) -> Tv {
 
 /// Ternary evaluation of a mapped netlist; returns root values in root
 /// order.
+///
+/// # Panics
+///
+/// Panics where [`try_eval_ternary`] errors; [`verify_mapped`] uses the
+/// fallible form and reports instead.
 pub fn eval_ternary(netlist: &MappedNetlist, inputs: &[Tv]) -> Vec<Tv> {
+    try_eval_ternary(netlist, inputs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Ternary evaluation with a typed error for cells the analysis cannot
+/// evaluate (the stateful C-element).
+///
+/// # Errors
+///
+/// The first unevaluatable gate, in topological order.
+pub fn try_eval_ternary(netlist: &MappedNetlist, inputs: &[Tv]) -> Result<Vec<Tv>, CellError> {
     use crate::cell::CellKind;
     use crate::subject::SubjectNode;
     // Dense value table indexed by subject-node id (gate outputs are
@@ -137,16 +165,16 @@ pub fn eval_ternary(netlist: &MappedNetlist, inputs: &[Tv]) -> Vec<Tv> {
             CellKind::Ao22 => tv_or(tv_and(v(0), v(1)), tv_and(v(2), v(3))),
             CellKind::Tie0 => Tv::Zero,
             CellKind::Tie1 => Tv::One,
-            CellKind::Celem2 => unreachable!("no C-elements in mapped controllers"),
+            CellKind::Celem2 => return Err(CellError::Stateful(CellKind::Celem2)),
         };
         values[g.output] = out;
     }
-    netlist
+    Ok(netlist
         .subject
         .roots
         .iter()
         .map(|(_, r)| values[*r])
-        .collect()
+        .collect())
 }
 
 /// Cube-count ceiling for the algebraic netlist covers; beyond it the
@@ -252,7 +280,9 @@ fn netlist_root_covers(netlist: &MappedNetlist, n: usize) -> Option<Vec<Cover>> 
             }
             CellKind::Tie0 => (Cover::empty(), universe()),
             CellKind::Tie1 => (universe(), Cover::empty()),
-            CellKind::Celem2 => unreachable!("no C-elements in mapped controllers"),
+            // No cube-cover semantics for the stateful C-element; bail to
+            // the pointwise fallback, which reports a typed violation.
+            CellKind::Celem2 => return None,
         };
         values.insert(g.output, out);
     }
@@ -292,7 +322,15 @@ pub fn verify_equivalence_pointwise(
             .collect()
     };
     for &p in &points {
-        let mapped = netlist.eval(p);
+        let mapped = match netlist.try_eval(p) {
+            Ok(values) => values,
+            Err(e) => {
+                return Some(HazardViolation::Unevaluatable {
+                    function: "*".to_string(),
+                    detail: e.to_string(),
+                })
+            }
+        };
         for (fi, (name, cover)) in covers.iter().enumerate() {
             if mapped[fi] != cover.eval(p) {
                 return Some(HazardViolation::NotEquivalent {
@@ -375,8 +413,8 @@ pub fn verify_mapped(controller: &Controller, netlist: &MappedNetlist) -> Vec<Ha
     //    (start, end) bursts, and one netlist evaluation yields every root,
     //    so each unique burst is simulated once and each unique settle
     //    point once — not once per function.
-    let mut mid_memo: HashMap<(u64, u64), Vec<Tv>> = HashMap::new();
-    let mut fin_memo: HashMap<u64, Vec<Tv>> = HashMap::new();
+    let mut mid_memo: HashMap<(u64, u64), Result<Vec<Tv>, CellError>> = HashMap::new();
+    let mut fin_memo: HashMap<u64, Result<Vec<Tv>, CellError>> = HashMap::new();
     for (fi, spec) in controller.function_specs.iter().enumerate() {
         let name = covers[fi].0.to_string();
         for t in spec.transitions() {
@@ -391,8 +429,18 @@ pub fn verify_mapped(controller: &Controller, netlist: &MappedNetlist) -> Vec<Ha
                         }
                     })
                     .collect();
-                eval_ternary(netlist, &mid)
+                try_eval_ternary(netlist, &mid)
             });
+            let mids = match mids {
+                Ok(values) => values,
+                Err(e) => {
+                    out.push(HazardViolation::Unevaluatable {
+                        function: name,
+                        detail: e.to_string(),
+                    });
+                    return out; // the netlist itself is broken; stop here
+                }
+            };
             if t.from == t.to && mids[fi] != Tv::from_bool(t.from) {
                 out.push(HazardViolation::StaticGlitch {
                     function: name.clone(),
@@ -402,8 +450,18 @@ pub fn verify_mapped(controller: &Controller, netlist: &MappedNetlist) -> Vec<Ha
             }
             let fins = fin_memo.entry(t.end).or_insert_with(|| {
                 let fin: Vec<Tv> = (0..n).map(|i| Tv::from_bool(t.end >> i & 1 == 1)).collect();
-                eval_ternary(netlist, &fin)
+                try_eval_ternary(netlist, &fin)
             });
+            let fins = match fins {
+                Ok(values) => values,
+                Err(e) => {
+                    out.push(HazardViolation::Unevaluatable {
+                        function: name,
+                        detail: e.to_string(),
+                    });
+                    return out;
+                }
+            };
             if fins[fi] != Tv::from_bool(t.to) {
                 out.push(HazardViolation::WrongSettle {
                     function: name.clone(),
@@ -466,6 +524,45 @@ mod tests {
             let violations = verify_mapped(&ctrl, &m);
             assert!(violations.is_empty(), "{style:?}: {violations:?}");
         }
+    }
+
+    #[test]
+    fn stateful_cell_reports_instead_of_crashing() {
+        use crate::cell::CellKind;
+        let ctrl = synthesize(&sequencer_spec(), MinimizeMode::Speed).unwrap();
+        let functions: Vec<(String, &Cover)> = ctrl
+            .outputs
+            .iter()
+            .cloned()
+            .chain((0..ctrl.num_state_bits).map(|j| format!("y{j}")))
+            .zip(
+                ctrl.output_covers
+                    .iter()
+                    .chain(ctrl.next_state_covers.iter()),
+            )
+            .collect();
+        let subject = SubjectGraph::from_covers(ctrl.num_vars(), &functions);
+        let mut m = map(
+            &subject,
+            &Library::cmos035(),
+            MapObjective::Delay,
+            MapStyle::SplitModules,
+        );
+        // Corrupt the netlist: turn a two-input gate into a C-element, as
+        // if a datapath cell leaked into the controller.
+        let g = m
+            .gates
+            .iter_mut()
+            .find(|g| g.inputs.len() == 2)
+            .expect("some two-input gate");
+        g.cell = CellKind::Celem2;
+        let violations = verify_mapped(&ctrl, &m);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, HazardViolation::Unevaluatable { .. })),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -88,7 +88,23 @@ impl MappedNetlist {
 
     /// Evaluates the mapped netlist at an input point, returning the value
     /// of each function root (in root order).
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`MappedNetlist::try_eval`] errors (a stateful cell in
+    /// the netlist); verification code uses `try_eval` and reports.
     pub fn eval(&self, inputs: u64) -> Vec<bool> {
+        self.try_eval(inputs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Evaluates the mapped netlist at an input point with a typed error
+    /// for cells that have no combinational value (see
+    /// [`crate::cell::CellError`]).
+    ///
+    /// # Errors
+    ///
+    /// The first unevaluatable gate, in topological order.
+    pub fn try_eval(&self, inputs: u64) -> Result<Vec<bool>, crate::cell::CellError> {
         let mut values = vec![false; self.subject.nodes.len()];
         for i in 0..self.subject.num_inputs {
             values[i] = inputs >> i & 1 == 1;
@@ -102,9 +118,9 @@ impl MappedNetlist {
         for g in &self.gates {
             ins.clear();
             ins.extend(g.inputs.iter().map(|n| values[*n]));
-            values[g.output] = g.cell.eval(&ins);
+            values[g.output] = g.cell.try_eval(&ins)?;
         }
-        self.subject.roots.iter().map(|(_, r)| values[*r]).collect()
+        Ok(self.subject.roots.iter().map(|(_, r)| values[*r]).collect())
     }
 }
 

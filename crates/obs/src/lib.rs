@@ -45,7 +45,7 @@ pub mod export;
 pub mod metrics;
 pub mod ring;
 
-pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot};
+pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot, RegistryError};
 pub use ring::{Record, RecordKind, Sample};
 
 use ring::ThreadBuffer;
@@ -494,7 +494,10 @@ macro_rules! trace_gauge {
 #[macro_export]
 macro_rules! vlog {
     ($level:expr, $($arg:tt)*) => {
-        if $crate::verbosity() >= $level {
+        // checked_sub instead of `>=` so a literal level of 0 (always
+        // print) doesn't trip the unused-comparison lint on unsigned
+        // verbosity.
+        if $crate::verbosity().checked_sub($level).is_some() {
             eprintln!($($arg)*);
         }
     };

@@ -7,8 +7,42 @@
 //! distinct metrics is small and fixed by the callsites in the code, so the
 //! leak is bounded and buys handle copies that are plain pointer pairs.
 
+use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+/// A metric name was already registered with a different type (say,
+/// `counter!("x")` at one callsite and `gauge!("x")` at another).
+///
+/// Registration never panics on this: the infallible `register` entry
+/// points log the error once via [`crate::vlog!`] and hand back a detached
+/// cell (working, but excluded from [`snapshot`]), while `try_register`
+/// surfaces it to callers that want to handle it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryError {
+    /// The colliding metric name.
+    pub name: &'static str,
+    /// The type this registration asked for.
+    pub requested: &'static str,
+    /// The type the name is already registered with.
+    pub registered: &'static str,
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "metric {:?} already registered as a {}; this {} registration gets a detached cell",
+            self.name, self.registered, self.requested
+        )
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+fn report(e: RegistryError) {
+    crate::vlog!(0, "bmbe-obs: {e}");
+}
 
 /// A monotonically increasing counter.
 #[derive(Clone, Copy)]
@@ -17,11 +51,32 @@ pub struct Counter {
 }
 
 impl Counter {
-    /// Registers (or finds) the counter `name`.
+    /// Registers (or finds) the counter `name`. On a name/type collision
+    /// the error is logged and a detached (unshared, unsnapshotted) cell is
+    /// returned — metrics must never take the instrumented program down.
     pub fn register(name: &'static str) -> Counter {
+        Counter::try_register(name).unwrap_or_else(|e| {
+            report(e);
+            Counter {
+                cell: leak(AtomicU64::new(0)),
+            }
+        })
+    }
+
+    /// Registers (or finds) the counter `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError`] when `name` is already registered as a different
+    /// metric type.
+    pub fn try_register(name: &'static str) -> Result<Counter, RegistryError> {
         match find_or_insert(name, || Slot::Counter(leak(AtomicU64::new(0)))) {
-            Slot::Counter(cell) => Counter { cell },
-            _ => panic!("metric {name:?} already registered with a different type"),
+            Slot::Counter(cell) => Ok(Counter { cell }),
+            other => Err(RegistryError {
+                name,
+                requested: "counter",
+                registered: other.kind(),
+            }),
         }
     }
 
@@ -48,11 +103,32 @@ pub struct Gauge {
 }
 
 impl Gauge {
-    /// Registers (or finds) the gauge `name`.
+    /// Registers (or finds) the gauge `name`. On a name/type collision the
+    /// error is logged and a detached cell is returned (see
+    /// [`Counter::register`]).
     pub fn register(name: &'static str) -> Gauge {
+        Gauge::try_register(name).unwrap_or_else(|e| {
+            report(e);
+            Gauge {
+                cell: leak(AtomicI64::new(0)),
+            }
+        })
+    }
+
+    /// Registers (or finds) the gauge `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError`] when `name` is already registered as a different
+    /// metric type.
+    pub fn try_register(name: &'static str) -> Result<Gauge, RegistryError> {
         match find_or_insert(name, || Slot::Gauge(leak(AtomicI64::new(0)))) {
-            Slot::Gauge(cell) => Gauge { cell },
-            _ => panic!("metric {name:?} already registered with a different type"),
+            Slot::Gauge(cell) => Ok(Gauge { cell }),
+            other => Err(RegistryError {
+                name,
+                requested: "gauge",
+                registered: other.kind(),
+            }),
         }
     }
 
@@ -89,21 +165,45 @@ pub struct Histogram {
 impl Histogram {
     /// Registers (or finds) the histogram `name` with the given bucket
     /// upper bounds (ascending). The bounds of an already-registered
-    /// histogram win; callsites for one name must agree.
+    /// histogram win; callsites for one name must agree. On a name/type
+    /// collision the error is logged and a detached cell is returned (see
+    /// [`Counter::register`]).
     pub fn register(name: &'static str, bounds: &'static [u64]) -> Histogram {
+        Histogram::try_register(name, bounds).unwrap_or_else(|e| {
+            report(e);
+            Histogram::detached(bounds)
+        })
+    }
+
+    /// Registers (or finds) the histogram `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError`] when `name` is already registered as a different
+    /// metric type.
+    pub fn try_register(
+        name: &'static str,
+        bounds: &'static [u64],
+    ) -> Result<Histogram, RegistryError> {
         debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
-        let made = find_or_insert(name, || {
-            let buckets: Vec<AtomicU64> = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
-            Slot::Histogram(Histogram {
-                bounds,
-                buckets: Box::leak(buckets.into_boxed_slice()),
-                count: leak(AtomicU64::new(0)),
-                sum: leak(AtomicU64::new(0)),
-            })
-        });
+        let made = find_or_insert(name, || Slot::Histogram(Histogram::detached(bounds)));
         match made {
-            Slot::Histogram(h) => h,
-            _ => panic!("metric {name:?} already registered with a different type"),
+            Slot::Histogram(h) => Ok(h),
+            other => Err(RegistryError {
+                name,
+                requested: "histogram",
+                registered: other.kind(),
+            }),
+        }
+    }
+
+    fn detached(bounds: &'static [u64]) -> Histogram {
+        let buckets: Vec<AtomicU64> = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets: Box::leak(buckets.into_boxed_slice()),
+            count: leak(AtomicU64::new(0)),
+            sum: leak(AtomicU64::new(0)),
         }
     }
 
@@ -150,6 +250,16 @@ enum Slot {
     Histogram(Histogram),
 }
 
+impl Slot {
+    fn kind(self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
 fn leak<T>(v: T) -> &'static T {
     Box::leak(Box::new(v))
 }
@@ -159,8 +269,22 @@ fn table() -> &'static Mutex<Vec<(&'static str, Slot)>> {
     TABLE.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// Locks the registry, shrugging off poison: the table is a `Vec` of
+/// `Copy` pairs mutated only by `push`, so a panicking registrant cannot
+/// leave it half-written, and the metrics layer must never add a second
+/// panic on top of whatever killed that thread.
+fn lock_table() -> std::sync::MutexGuard<'static, Vec<(&'static str, Slot)>> {
+    match table().lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            table().clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
 fn find_or_insert(name: &'static str, make: impl FnOnce() -> Slot) -> Slot {
-    let mut t = table().lock().expect("obs metrics lock");
+    let mut t = lock_table();
     if let Some((_, slot)) = t.iter().find(|(n, _)| *n == name) {
         return *slot;
     }
@@ -203,7 +327,7 @@ pub enum MetricSnapshot {
 
 /// Reads every registered metric, in registration order.
 pub fn snapshot() -> Vec<MetricSnapshot> {
-    let t = table().lock().expect("obs metrics lock");
+    let t = lock_table();
     t.iter()
         .map(|(name, slot)| match slot {
             Slot::Counter(c) => MetricSnapshot::Counter {
@@ -293,6 +417,54 @@ mod tests {
         assert_eq!(h.bucket_counts(), vec![2, 2, 2, 1, 1]);
         assert_eq!(h.count(), 8);
         assert_eq!(h.sum(), 0 + 1 + 2 + 10 + 11 + 100 + 5000 + 1000);
+    }
+
+    #[test]
+    fn type_collision_reports_instead_of_panicking() {
+        let c = Counter::register("test.collision");
+        c.add(2);
+        // Same name as a gauge: typed error from try_register…
+        let err = Gauge::try_register("test.collision").map(|_| ()).unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError {
+                name: "test.collision",
+                requested: "gauge",
+                registered: "counter",
+            }
+        );
+        // …and a working detached cell (no panic) from register.
+        let g = Gauge::register("test.collision");
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        // The registered counter is untouched and still snapshotted as a
+        // counter.
+        assert_eq!(c.get(), 2);
+        assert!(snapshot().iter().any(|m| matches!(
+            m,
+            MetricSnapshot::Counter {
+                name: "test.collision",
+                value: 2
+            }
+        )));
+        static BOUNDS: [u64; 2] = [1, 2];
+        assert!(Histogram::try_register("test.collision", &BOUNDS).is_err());
+        Histogram::register("test.collision", &BOUNDS).observe(1);
+    }
+
+    #[test]
+    fn registry_survives_a_poisoned_lock() {
+        let c = Counter::register("test.poison.metrics");
+        c.add(1);
+        // Poison the table lock by panicking while holding it.
+        let _ = std::panic::catch_unwind(|| {
+            let _guard = table().lock().unwrap();
+            panic!("poison the metrics table");
+        });
+        // Registration and snapshots still work.
+        let again = Counter::register("test.poison.metrics");
+        assert_eq!(again.get(), 1);
+        assert!(!snapshot().is_empty());
     }
 
     #[test]

@@ -7,7 +7,10 @@
 #   3. bmbe-obs builds clean under -D warnings (new crate, zero-warning
 #      policy);
 #   4. obs_report --check: runs a traced Stack flow + sim + verification
-#      and validates the emitted Chrome trace / JSONL / span coverage.
+#      and validates the emitted Chrome trace / JSONL / span coverage;
+#   5. fault smoke: an injected fault (BMBE_FAULT=synth:0) must fail
+#      perf_report with a structured error line and a nonzero exit, and
+#      the same binary must then pass clean.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,5 +29,26 @@ cargo rustc -p bmbe-obs --release -- -D warnings
 echo "== tier1: obs_report --check =="
 BMBE_TRACE_OUT="${TMPDIR:-/tmp}/bmbe_tier1_trace.json" \
     cargo run --release -p bmbe-bench --bin obs_report -- --check >/dev/null
+
+echo "== tier1: fault smoke =="
+fault_err="${TMPDIR:-/tmp}/bmbe_tier1_fault.err"
+if BMBE_FAULT=synth:0 cargo run --release -p bmbe-bench --bin perf_report \
+    >/dev/null 2>"$fault_err"; then
+    echo "tier1: FAIL: perf_report succeeded under BMBE_FAULT=synth:0" >&2
+    exit 1
+fi
+if ! grep -q '^error: perf_report: ' "$fault_err"; then
+    echo "tier1: FAIL: no structured error line under BMBE_FAULT=synth:0" >&2
+    cat "$fault_err" >&2
+    exit 1
+fi
+# The clean pass runs in a scratch directory so the checked-in
+# BENCH_flow.json is not overwritten with this machine's timings.
+fault_dir="$(mktemp -d)"
+repo_root="$(pwd)"
+(cd "$fault_dir" && cargo run --release \
+    --manifest-path "$repo_root/Cargo.toml" \
+    -p bmbe-bench --bin perf_report >/dev/null)
+rm -rf "$fault_dir"
 
 echo "tier1: all gates passed"
