@@ -8,6 +8,7 @@
 use bmbe_designs::all_designs;
 use bmbe_flow::{run_control_flow, ControllerArtifact, FlowOptions};
 use bmbe_gates::{verify_equivalence_algebraic, verify_equivalence_pointwise, Library};
+use bmbe_logic::hfmin::{MinimizeBackend, MinimizeOptions};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -56,8 +57,25 @@ fn bench_kernels(c: &mut Criterion) {
     g.bench_function(format!("primes_reference_expansion/{name}"), |b| {
         b.iter(|| black_box(spec).dhf_primes_reference().expect("primes"))
     });
+    g.bench_function(format!("primes_partitioned_4t/{name}"), |b| {
+        b.iter(|| black_box(spec).dhf_primes_par(4).expect("primes"))
+    });
     g.bench_function(format!("minimize_primes_plus_covering/{name}"), |b| {
         b.iter(|| black_box(spec).minimize().expect("minimizes"))
+    });
+    let exact = MinimizeOptions {
+        backend: MinimizeBackend::ExactPrimes,
+        ..MinimizeOptions::default()
+    };
+    g.bench_function(format!("minimize_exact_backend/{name}"), |b| {
+        b.iter(|| black_box(spec).minimize_opts(&exact).expect("minimizes"))
+    });
+    let cofactor = MinimizeOptions {
+        backend: MinimizeBackend::CubeCofactor,
+        ..MinimizeOptions::default()
+    };
+    g.bench_function(format!("minimize_cofactor_backend/{name}"), |b| {
+        b.iter(|| black_box(spec).minimize_opts(&cofactor).expect("minimizes"))
     });
     g.bench_function(format!("equivalence_algebraic/{name}"), |b| {
         b.iter(|| {

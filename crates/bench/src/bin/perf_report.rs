@@ -13,7 +13,8 @@
 
 use bmbe_designs::all_designs;
 use bmbe_flow::{
-    run_control_flow, run_control_flow_with, ControllerCache, FlowOptions, PhaseProfile,
+    run_control_flow, run_control_flow_with, ControllerCache, FlowOptions, MinimizeBackend,
+    PhaseProfile,
 };
 use bmbe_gates::Library;
 use std::fmt::Write as _;
@@ -57,6 +58,11 @@ struct Row {
     hits: usize,
     misses: usize,
     phases: PhaseProfile,
+    /// Median cold prime-generation seconds under the default (`Auto`)
+    /// minimizer backend and under the exact prime-enumerating backend:
+    /// the per-backend before/after the perf-smoke gate checks.
+    prime_gen_auto_s: f64,
+    prime_gen_exact_s: f64,
     prev_serial_s: Option<f64>,
     prev_cached_s: Option<f64>,
 }
@@ -160,6 +166,23 @@ fn run() -> Result<(), String> {
         let result = run_control_flow(&design.compiled, &FlowOptions::optimized(), &library)
             .map_err(|e| format!("{}: {e}", design.name))?;
         threads_used = result.threads_used;
+        // Per-backend prime generation, cold cache, median of 3: the Auto
+        // default (which routes wide functions to the cube-cofactor
+        // engine) against the exact prime-enumerating backend.
+        let prime_gen_median = |backend: MinimizeBackend| -> Result<f64, String> {
+            let samples = (0..3)
+                .map(|_| {
+                    let mut options = FlowOptions::optimized();
+                    options.minimize_backend = backend;
+                    run_control_flow(&design.compiled, &options, &library)
+                        .map(|r| r.phases.prime_gen.as_secs_f64())
+                        .map_err(|e| format!("{}/{backend:?}: {e}", design.name))
+                })
+                .collect::<Result<Vec<f64>, String>>()?;
+            Ok(median(samples))
+        };
+        let prime_gen_auto_s = prime_gen_median(MinimizeBackend::Auto)?;
+        let prime_gen_exact_s = prime_gen_median(MinimizeBackend::ExactPrimes)?;
         rows.push(Row {
             design: design.name.to_string(),
             components: result.controllers.len(),
@@ -169,6 +192,8 @@ fn run() -> Result<(), String> {
             hits: result.cache_hits,
             misses: result.cache_misses,
             phases: result.phases,
+            prime_gen_auto_s,
+            prime_gen_exact_s,
             prev_serial_s,
             prev_cached_s,
         });
@@ -234,6 +259,28 @@ fn run() -> Result<(), String> {
             p.shapes
         );
     }
+    bmbe_obs::vlog!(
+        1,
+        "\nprime generation per backend (cold, median of 3 runs, seconds):"
+    );
+    bmbe_obs::vlog!(
+        1,
+        "{:<22} {:>12} {:>12} {:>9}",
+        "design",
+        "auto",
+        "exact",
+        "speedup"
+    );
+    for r in &rows {
+        bmbe_obs::vlog!(
+            1,
+            "{:<22} {:>12.4} {:>12.4} {:>8.2}x",
+            r.design,
+            r.prime_gen_auto_s,
+            r.prime_gen_exact_s,
+            r.prime_gen_exact_s / r.prime_gen_auto_s.max(f64::EPSILON)
+        );
+    }
 
     let mut json = String::from("{\n  \"bench\": \"flow_e2e\",\n");
     let _ = writeln!(json, "  \"threads\": {threads_used},");
@@ -270,6 +317,14 @@ fn run() -> Result<(), String> {
                 pc / r.cached_s
             );
         }
+        let _ = write!(
+            json,
+            ", \"backends\": {{\"auto_prime_gen_s\": {:.6}, \"exact_prime_gen_s\": {:.6}, \
+             \"auto_speedup_vs_exact\": {:.3}}}",
+            r.prime_gen_auto_s,
+            r.prime_gen_exact_s,
+            r.prime_gen_exact_s / r.prime_gen_auto_s.max(f64::EPSILON)
+        );
         let p = &r.phases;
         let _ = write!(
             json,

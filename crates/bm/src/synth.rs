@@ -16,7 +16,7 @@
 use crate::assign::{assign_with, AssignError, Separation, StateAssignment};
 use crate::spec::{BmError, BmSpec};
 use bmbe_logic::cover::{Cover, Tv};
-use bmbe_logic::hfmin::{FunctionSpec, HfminError, MinimizeStats};
+use bmbe_logic::hfmin::{FunctionSpec, HfminError, MinimizeOptions, MinimizeStats};
 use bmbe_par::par_map;
 use std::collections::HashMap;
 use std::fmt;
@@ -258,15 +258,36 @@ pub fn synthesize_parallel(
     mode: MinimizeMode,
     threads: usize,
 ) -> Result<Controller, SynthError> {
+    synthesize_full(spec, mode, threads, &MinimizeOptions::default())
+}
+
+/// [`synthesize_parallel`] with explicit [`MinimizeOptions`]: backend
+/// selection and fault injection are taken from `opts` verbatim, while
+/// `opts.threads` is *overridden* per function by [`intra_budget`] — the
+/// total `threads` budget is split between fanning functions out and
+/// fanning the prime-generation worklist of each function across workers,
+/// so the two levels never oversubscribe the pool.
+///
+/// # Errors
+///
+/// See [`synthesize`]. An injected prime-generation fault propagates as
+/// [`SynthError::Hfmin`] without triggering the separation escalation
+/// (only genuine [`HfminError::NoHazardFreeCover`] does).
+pub fn synthesize_full(
+    spec: &BmSpec,
+    mode: MinimizeMode,
+    threads: usize,
+    opts: &MinimizeOptions,
+) -> Result<Controller, SynthError> {
     // Try the minimal race-free assignment first; if hazard-free
     // minimization turns out infeasible (the CHASM interaction between
     // encoding and hazard constraints), fall back to the fully separated
     // assignment, which guarantees feasibility.
-    match synthesize_with_threads(spec, mode, Separation::Conflicts, threads) {
+    match synthesize_with_opts(spec, mode, Separation::Conflicts, threads, opts) {
         Err(SynthError::Hfmin {
             error: HfminError::NoHazardFreeCover { .. },
             ..
-        }) => synthesize_with_threads(spec, mode, Separation::AllArcs, threads),
+        }) => synthesize_with_opts(spec, mode, Separation::AllArcs, threads, opts),
         other => other,
     }
 }
@@ -297,6 +318,34 @@ pub fn synthesize_with_threads(
     mode: MinimizeMode,
     separation: Separation,
     threads: usize,
+) -> Result<Controller, SynthError> {
+    synthesize_with_opts(spec, mode, separation, threads, &MinimizeOptions::default())
+}
+
+/// Splits a worker budget between the two parallelism levels of one
+/// controller: `fan` functions minimized concurrently, each allowed
+/// `intra` workers for its partitioned prime-generation worklist.
+/// `fan * intra <= threads.max(1)` always holds, so composing the levels
+/// never oversubscribes the pool; a controller with a single function
+/// gets the whole budget *inside* that function.
+pub fn intra_budget(threads: usize, num_funcs: usize) -> (usize, usize) {
+    let threads = threads.max(1);
+    let fan = threads.min(num_funcs.max(1));
+    (fan, (threads / fan).max(1))
+}
+
+/// [`synthesize_with_threads`] with explicit [`MinimizeOptions`] (see
+/// [`synthesize_full`] for how `opts.threads` is overridden).
+///
+/// # Errors
+///
+/// See [`SynthError`].
+pub fn synthesize_with_opts(
+    spec: &BmSpec,
+    mode: MinimizeMode,
+    separation: Separation,
+    threads: usize,
+    opts: &MinimizeOptions,
 ) -> Result<Controller, SynthError> {
     let entry = spec.validate()?;
     let assignment = assign_with(spec, separation)?;
@@ -376,15 +425,22 @@ pub fn synthesize_with_threads(
             format!("y{}", fi - output_signals.len())
         }
     };
+    let (fan, intra) = intra_budget(threads, num_funcs);
+    let job_opts = MinimizeOptions {
+        threads: intra,
+        ..*opts
+    };
     let results: Vec<Result<bmbe_logic::hfmin::HfminResult, SynthError>> = par_map(
         &specs,
-        threads,
+        fan,
         |fi, fspec| {
             let name = function_name(fi);
-            let result = fspec.minimize().map_err(|error| SynthError::Hfmin {
-                function: name.clone(),
-                error,
-            })?;
+            let result = fspec
+                .minimize_opts(&job_opts)
+                .map_err(|error| SynthError::Hfmin {
+                    function: name.clone(),
+                    error,
+                })?;
             if let Err(e) = fspec.verify_cover(&result.cover) {
                 panic!(
                 "internal: minimizer returned a bad cover for {name}: {e}\n                 spec transitions: {:?}\ncover: {}",
@@ -401,8 +457,7 @@ pub fn synthesize_with_threads(
     for result in results {
         let result = result?;
         exact &= result.exact;
-        minimize_stats.prime_gen += result.stats.prime_gen;
-        minimize_stats.covering += result.stats.covering;
+        minimize_stats.accumulate(&result.stats);
         covers.push(result.cover);
     }
     // Area mode currently shares identical products downstream; the covers
@@ -568,6 +623,62 @@ mod tests {
         inputs ^= 1 << 1; // a1_a+
         let (out3, _) = eval_all(inputs, code);
         assert_eq!(out3 >> a1r_ix & 1, 0, "a1_r must fall after a1_a+");
+    }
+
+    #[test]
+    fn intra_budget_never_oversubscribes() {
+        for threads in 0..=9 {
+            for num_funcs in 0..=9 {
+                let (fan, intra) = intra_budget(threads, num_funcs);
+                assert!(fan >= 1 && intra >= 1);
+                assert!(
+                    fan * intra <= threads.max(1),
+                    "threads={threads} funcs={num_funcs}: fan={fan} intra={intra}"
+                );
+            }
+        }
+        // One huge function gets the whole budget inside the function; many
+        // functions get the budget as fan-out.
+        assert_eq!(intra_budget(4, 1), (1, 4));
+        assert_eq!(intra_budget(4, 6), (4, 1));
+        assert_eq!(intra_budget(4, 2), (2, 2));
+        assert_eq!(intra_budget(1, 8), (1, 1));
+    }
+
+    #[test]
+    fn backends_agree_on_small_controllers() {
+        use bmbe_logic::hfmin::MinimizeBackend;
+        for spec in [sequencer(), call_module()] {
+            let exact = synthesize_full(
+                &spec,
+                MinimizeMode::Speed,
+                1,
+                &MinimizeOptions {
+                    backend: MinimizeBackend::ExactPrimes,
+                    ..MinimizeOptions::default()
+                },
+            )
+            .unwrap();
+            let cofactor = synthesize_full(
+                &spec,
+                MinimizeMode::Speed,
+                1,
+                &MinimizeOptions {
+                    backend: MinimizeBackend::CubeCofactor,
+                    ..MinimizeOptions::default()
+                },
+            )
+            .unwrap();
+            cofactor.verify_ternary().unwrap();
+            assert!(!cofactor.exact, "cofactor covers are never provably minimum");
+            assert!(
+                cofactor.num_products() >= exact.num_products(),
+                "{}: cofactor beat the exact minimum",
+                spec.name()
+            );
+            assert!(cofactor.minimize_stats.cofactor_funcs > 0);
+            assert_eq!(cofactor.minimize_stats.exact_funcs, 0);
+        }
     }
 
     #[test]

@@ -26,10 +26,11 @@
 //! (retried) on the next lookup instead of being served in an unknown
 //! state. Entries written by stores that completed are kept.
 
-use crate::fault::{FaultPhase, FaultPlan};
+use crate::fault::{FaultKind, FaultPhase, FaultPlan};
 use crate::profile::PhaseProfile;
 use bmbe_bm::statemin::minimize_states;
-use bmbe_bm::synth::{synthesize_parallel, Controller, MinimizeMode, SynthError};
+use bmbe_bm::synth::{synthesize_full, Controller, MinimizeMode, SynthError};
+use bmbe_logic::hfmin::{HfminError, MinimizeBackend, MinimizeOptions, PrimeGenFault};
 use bmbe_core::ast::{alpha_rename, ChExpr};
 use bmbe_core::compile::{compile_to_bm, CompileError};
 use bmbe_core::parse::print_ch;
@@ -51,6 +52,9 @@ pub struct CacheKey {
     pub canonical: String,
     /// Minimization mode.
     pub minimize_mode: MinimizeMode,
+    /// Minimizer backend (the covers differ between backends, so the
+    /// backend must be part of the content address).
+    pub minimize_backend: MinimizeBackend,
     /// Technology-mapping objective.
     pub map_objective: MapObjective,
     /// Technology-mapping style.
@@ -73,8 +77,8 @@ impl CacheKey {
         eat(
             h,
             format!(
-                "|{:?}|{:?}|{:?}",
-                self.minimize_mode, self.map_objective, self.map_style
+                "|{:?}|{:?}|{:?}|{:?}",
+                self.minimize_mode, self.minimize_backend, self.map_objective, self.map_style
             )
             .as_bytes(),
         )
@@ -101,6 +105,7 @@ impl KeyedProgram {
     pub fn new(
         program: &ChExpr,
         minimize_mode: MinimizeMode,
+        minimize_backend: MinimizeBackend,
         map_objective: MapObjective,
         map_style: MapStyle,
     ) -> Self {
@@ -112,6 +117,7 @@ impl KeyedProgram {
             key: CacheKey {
                 canonical: print_ch(&canonical),
                 minimize_mode,
+                minimize_backend,
                 map_objective,
                 map_style,
             },
@@ -221,10 +227,12 @@ pub struct SynthArtifact {
 /// # Errors
 ///
 /// Returns the first failing stage.
+#[allow(clippy::too_many_arguments)]
 pub fn synthesize_shape(
     spec_name: &str,
     program: &ChExpr,
     minimize_mode: MinimizeMode,
+    minimize_backend: MinimizeBackend,
     map_objective: MapObjective,
     map_style: MapStyle,
     library: &Library,
@@ -234,6 +242,7 @@ pub fn synthesize_shape(
         spec_name,
         program,
         minimize_mode,
+        minimize_backend,
         map_objective,
         map_style,
         library,
@@ -256,6 +265,7 @@ pub fn synthesize_shape_with_fault(
     spec_name: &str,
     program: &ChExpr,
     minimize_mode: MinimizeMode,
+    minimize_backend: MinimizeBackend,
     map_objective: MapObjective,
     map_style: MapStyle,
     library: &Library,
@@ -268,6 +278,15 @@ pub fn synthesize_shape_with_fault(
             None => Ok(()),
         }
     };
+    // A prime_gen-phase plan fires *inside* the logic crate's minimizer
+    // (so it exercises the backend and partitioner code paths), carried
+    // there via MinimizeOptions rather than tripped here.
+    let prime_fault = fault.and_then(|plan| {
+        (plan.phase == FaultPhase::PrimeGen).then(|| match plan.kind {
+            FaultKind::Panic => PrimeGenFault::Panic,
+            FaultKind::Error => PrimeGenFault::Error,
+        })
+    });
     let profile = Rc::new(RefCell::new(PhaseProfile {
         shapes: 1,
         ..PhaseProfile::default()
@@ -301,7 +320,18 @@ pub fn synthesize_shape_with_fault(
             let controller = {
                 let _s = bmbe_obs::span!("shape.synth", "flow");
                 trip(FaultPhase::Synth)?;
-                synthesize_parallel(&spec, minimize_mode, threads).map_err(ShapeError::Synth)?
+                let opts = MinimizeOptions {
+                    backend: minimize_backend,
+                    threads: 1, // overridden per function by intra_budget
+                    fault: prime_fault,
+                };
+                synthesize_full(&spec, minimize_mode, threads, &opts).map_err(|e| match e {
+                    SynthError::Hfmin {
+                        error: HfminError::Injected,
+                        ..
+                    } => ShapeError::Injected(FaultPhase::PrimeGen),
+                    other => ShapeError::Synth(other),
+                })?
             };
             {
                 let _s = bmbe_obs::span!("shape.verify", "flow");
@@ -531,7 +561,8 @@ impl ControllerCache {
         map_style: MapStyle,
         library: &Library,
     ) -> Result<(Arc<SynthArtifact>, KeyedProgram), ShapeError> {
-        let keyed = KeyedProgram::new(program, minimize_mode, map_objective, map_style);
+        let backend = MinimizeBackend::default();
+        let keyed = KeyedProgram::new(program, minimize_mode, backend, map_objective, map_style);
         if let Some(entry) = self.peek(&keyed.key) {
             self.record(1, 0);
             return Ok((entry, keyed));
@@ -540,6 +571,7 @@ impl ControllerCache {
             "shape",
             &keyed.canonical,
             minimize_mode,
+            backend,
             map_objective,
             map_style,
             library,
@@ -561,6 +593,7 @@ mod cache_tests {
         let keyed = KeyedProgram::new(
             program,
             MinimizeMode::Speed,
+            MinimizeBackend::default(),
             MapObjective::Delay,
             MapStyle::SplitModules,
         );
@@ -568,6 +601,7 @@ mod cache_tests {
             "shape",
             &keyed.canonical,
             MinimizeMode::Speed,
+            MinimizeBackend::default(),
             MapObjective::Delay,
             MapStyle::SplitModules,
             &Library::cmos035(),
@@ -583,17 +617,28 @@ mod cache_tests {
         let k_speed = KeyedProgram::new(
             &seq2,
             MinimizeMode::Speed,
+            MinimizeBackend::default(),
             MapObjective::Delay,
             MapStyle::SplitModules,
         );
         let k_area = KeyedProgram::new(
             &seq2,
             MinimizeMode::Area,
+            MinimizeBackend::default(),
+            MapObjective::Delay,
+            MapStyle::SplitModules,
+        );
+        let k_cofactor = KeyedProgram::new(
+            &seq2,
+            MinimizeMode::Speed,
+            MinimizeBackend::CubeCofactor,
             MapObjective::Delay,
             MapStyle::SplitModules,
         );
         assert_eq!(k_speed.key.digest(), k_speed.key.digest());
         assert_ne!(k_speed.key.digest(), k_area.key.digest());
+        assert_ne!(k_speed.key, k_cofactor.key, "backend must change the key");
+        assert_ne!(k_speed.key.digest(), k_cofactor.key.digest());
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub enum FaultPhase {
     Statemin,
     /// Hazard-free two-level synthesis.
     Synth,
+    /// DHF prime/implicant generation inside synthesis (the logic crate's
+    /// minimizer backends; see `bmbe_logic::hfmin::PrimeGenFault`).
+    PrimeGen,
     /// Ternary / post-mapping verification.
     Verify,
     /// Technology mapping.
@@ -38,6 +41,7 @@ impl FaultPhase {
             FaultPhase::Compile => "compile",
             FaultPhase::Statemin => "statemin",
             FaultPhase::Synth => "synth",
+            FaultPhase::PrimeGen => "prime_gen",
             FaultPhase::Verify => "verify",
             FaultPhase::Map => "map",
         }
@@ -48,6 +52,7 @@ impl FaultPhase {
             "compile" => FaultPhase::Compile,
             "statemin" => FaultPhase::Statemin,
             "synth" => FaultPhase::Synth,
+            "prime_gen" => FaultPhase::PrimeGen,
             "verify" => FaultPhase::Verify,
             "map" => FaultPhase::Map,
             _ => return None,
@@ -87,7 +92,7 @@ pub struct FaultPlan {
 
 /// A malformed fault specification (the `BMBE_FAULT` grammar is
 /// `<phase>:<nth>[:err]` with `<phase>` one of `compile`, `statemin`,
-/// `synth`, `verify`, `map`).
+/// `synth`, `prime_gen`, `verify`, `map`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultParseError {
     /// The rejected specification text.
@@ -99,7 +104,7 @@ impl fmt::Display for FaultParseError {
         write!(
             f,
             "invalid fault spec {:?}: expected <phase>:<nth>[:err] with <phase> one of \
-             compile|statemin|synth|verify|map",
+             compile|statemin|synth|prime_gen|verify|map",
             self.spec
         )
     }
@@ -213,6 +218,14 @@ mod tests {
             FaultPlan {
                 phase: FaultPhase::Map,
                 nth: 7,
+                kind: FaultKind::Error
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("prime_gen:2:err").unwrap(),
+            FaultPlan {
+                phase: FaultPhase::PrimeGen,
+                nth: 2,
                 kind: FaultKind::Error
             }
         );

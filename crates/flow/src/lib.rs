@@ -25,6 +25,7 @@ pub mod templates;
 pub use area::{component_area, datapath_area};
 pub use cache::{CacheKey, CacheStats, ControllerCache, KeyedProgram, ShapeError, SynthArtifact};
 pub use experiment::{compare, compare_with, Comparison};
+pub use bmbe_logic::MinimizeBackend;
 pub use fault::{FaultKind, FaultParseError, FaultPhase, FaultPlan};
 pub use pipeline::{
     run_control_flow, run_control_flow_with, ControllerArtifact, FlowError, FlowOptions, FlowResult,

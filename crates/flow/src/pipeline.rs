@@ -9,6 +9,7 @@ use crate::profile::PhaseProfile;
 use crate::templates::{template_table, Template};
 use bmbe_balsa::CompiledDesign;
 use bmbe_bm::synth::{Controller, MinimizeMode};
+use bmbe_logic::MinimizeBackend;
 use bmbe_core::balsa_to_ch::{balsa_to_ch, TranslateError};
 use bmbe_core::opt::cluster::{ClusterOptions, ClusterReport};
 use bmbe_gates::{Library, MapObjective, MapStyle, MappedNetlist};
@@ -24,6 +25,10 @@ pub struct FlowOptions {
     pub optimize: bool,
     /// Minimization mode (Minimalist's speed/area split).
     pub minimize_mode: MinimizeMode,
+    /// Hazard-free minimizer backend (part of the cache key): the exact
+    /// prime-enumerating engine, the espresso-style cube-cofactor engine,
+    /// or the per-function automatic split (the default).
+    pub minimize_backend: MinimizeBackend,
     /// Technology-mapping objective.
     pub map_objective: MapObjective,
     /// Mapping style (the paper's split-module flow vs whole-controller).
@@ -60,6 +65,7 @@ impl FlowOptions {
         FlowOptions {
             optimize: true,
             minimize_mode: MinimizeMode::Speed,
+            minimize_backend: MinimizeBackend::default(),
             map_objective: MapObjective::Delay,
             map_style: MapStyle::SplitModules,
             cluster: ClusterOptions::default(),
@@ -275,20 +281,13 @@ fn synthesize_direct(
         name,
         program,
         options.minimize_mode,
+        options.minimize_backend,
         options.map_objective,
         options.map_style,
         library,
         threads,
         fault,
     )
-}
-
-/// Splits a thread budget between the outer per-shape fan-out and the
-/// per-function minimizations inside each shape: with fewer jobs than
-/// workers the spare workers move inside the shapes, so a single long-pole
-/// controller still gets the full budget.
-fn inner_threads(threads: usize, jobs: usize) -> usize {
-    (threads / threads.min(jobs).max(1)).max(1)
 }
 
 /// Canonical-program-text length below which a shape counts as small work:
@@ -299,13 +298,26 @@ fn inner_threads(threads: usize, jobs: usize) -> usize {
 /// `perf_report`; see BENCH_flow.json).
 const PAR_COST_CUTOFF: usize = 160;
 
-/// Whether a per-shape fan-out is worth spawning workers for: only when at
-/// least two shapes are above the small-work cutoff. Otherwise the outer
-/// loop stays serial and the whole thread budget moves *inside* the shapes
-/// (see [`inner_threads`]), which is where a single long pole spends it
-/// best.
-fn worth_fanning_out(costs: impl Iterator<Item = usize>) -> bool {
-    costs.filter(|&c| c >= PAR_COST_CUTOFF).count() >= 2
+/// Splits the flow's thread budget between the per-shape fan-out and the
+/// parallelism *inside* each shape (per-function jobs and the partitioned
+/// prime-generation worklist), returning `(workers, inner)` with
+/// `workers * inner <= threads.max(1)` — the two levels compose instead of
+/// double-subscribing the pool.
+///
+/// The outer width is set by the number of shapes above the small-work
+/// cutoff, not by the total shape count: small shapes finish in noise, so
+/// counting them would starve the long poles of inner workers. With fewer
+/// than two long poles the outer loop stays serial and the whole budget
+/// moves inside — which is where a single huge cluster controller spends
+/// it best.
+fn fanout_budget(threads: usize, costs: impl Iterator<Item = usize>) -> (usize, usize) {
+    let threads = threads.max(1);
+    let big = costs.filter(|&c| c >= PAR_COST_CUTOFF).count();
+    if big < 2 {
+        return (1, threads);
+    }
+    let workers = threads.min(big);
+    (workers, (threads / workers).max(1))
 }
 
 /// Runs the control back-end on a compiled design with a private,
@@ -377,6 +389,7 @@ pub fn run_control_flow_with(
                 KeyedProgram::new(
                     &comp.program,
                     options.minimize_mode,
+                    options.minimize_backend,
                     options.map_objective,
                     options.map_style,
                 )
@@ -402,12 +415,8 @@ pub fn run_control_flow_with(
         // results are matched back through `shapes` by key, so dispatch
         // order is free to differ from component order.
         pending.sort_by_key(|k| std::cmp::Reverse(k.key.canonical.len()));
-        let workers = if worth_fanning_out(pending.iter().map(|k| k.key.canonical.len())) {
-            threads
-        } else {
-            1
-        };
-        let inner = inner_threads(threads, if workers == 1 { 1 } else { pending.len() });
+        let (workers, inner) =
+            fanout_budget(threads, pending.iter().map(|k| k.key.canonical.len()));
         // The fan-out queue depth: set to the number of unique misses, then
         // decremented by each worker as its shape finishes — the Chrome
         // counter lane shows the queue draining.
@@ -502,19 +511,7 @@ pub fn run_control_flow_with(
             .iter()
             .map(|comp| bmbe_core::parse::print_ch(&comp.program).len())
             .collect();
-        let workers = if worth_fanning_out(costs.into_iter()) {
-            threads
-        } else {
-            1
-        };
-        let inner = inner_threads(
-            threads,
-            if workers == 1 {
-                1
-            } else {
-                ctrl.components.len()
-            },
-        );
+        let (workers, inner) = fanout_budget(threads, costs.into_iter());
         bmbe_obs::trace_gauge!("flow.pending_shapes", ctrl.components.len() as i64);
         let fanout_span = bmbe_obs::span!("flow.synth", "flow");
         let fanout_parent = fanout_span.id();
@@ -539,6 +536,7 @@ pub fn run_control_flow_with(
                 let key = KeyedProgram::new(
                     &comp.program,
                     options.minimize_mode,
+                    options.minimize_backend,
                     options.map_objective,
                     options.map_style,
                 )
@@ -571,4 +569,58 @@ pub fn run_control_flow_with(
         threads_used: threads,
         phases,
     })
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::{fanout_budget, PAR_COST_CUTOFF};
+
+    const BIG: usize = PAR_COST_CUTOFF;
+    const SMALL: usize = PAR_COST_CUTOFF - 1;
+
+    #[test]
+    fn composed_levels_never_oversubscribe() {
+        for threads in 0..=9 {
+            for big in 0..=6 {
+                for small in 0..=6 {
+                    let costs = std::iter::repeat(BIG)
+                        .take(big)
+                        .chain(std::iter::repeat(SMALL).take(small));
+                    let (workers, inner) = fanout_budget(threads, costs);
+                    assert!(workers >= 1 && inner >= 1);
+                    assert!(
+                        workers * inner <= threads.max(1),
+                        "threads={threads} big={big} small={small}: \
+                         workers={workers} inner={inner}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_long_pole_gets_the_whole_budget_inside() {
+        // One big shape among many small ones: the outer loop stays serial
+        // and every worker moves inside the long pole — small shapes must
+        // not be counted as fan-out jobs (the regression this pins).
+        let costs = || std::iter::once(BIG).chain(std::iter::repeat(SMALL).take(20));
+        assert_eq!(fanout_budget(8, costs()), (1, 8));
+        assert_eq!(fanout_budget(1, costs()), (1, 1));
+    }
+
+    #[test]
+    fn long_poles_split_the_budget_with_the_remainder_inside() {
+        // Two long poles, eight workers: fan the poles out and give each
+        // four inner workers, rather than eight outer workers with small
+        // shapes diluting the inner budget to one.
+        let costs = || {
+            std::iter::repeat(BIG)
+                .take(2)
+                .chain(std::iter::repeat(SMALL).take(10))
+        };
+        assert_eq!(fanout_budget(8, costs()), (2, 4));
+        // More poles than workers: outer width caps at the thread budget.
+        let many = || std::iter::repeat(BIG).take(12);
+        assert_eq!(fanout_budget(4, many()), (4, 1));
+    }
 }

@@ -3,26 +3,27 @@
 
 use bmbe_bm::synth::MinimizeMode;
 use bmbe_core::components::{call, decision_wait, sequencer};
-use bmbe_flow::{ControllerCache, KeyedProgram};
+use bmbe_flow::{ControllerCache, KeyedProgram, MinimizeBackend};
 use bmbe_gates::{Library, MapObjective, MapStyle};
 
 fn names(xs: &[&str]) -> Vec<String> {
     xs.iter().map(|s| (*s).to_string()).collect()
 }
 
-const DEFAULTS: (MinimizeMode, MapObjective, MapStyle) = (
+const DEFAULTS: (MinimizeMode, MinimizeBackend, MapObjective, MapStyle) = (
     MinimizeMode::Speed,
+    MinimizeBackend::Auto,
     MapObjective::Delay,
     MapStyle::SplitModules,
 );
 
 #[test]
 fn structurally_identical_programs_share_a_key() {
-    let (mode, objective, style) = DEFAULTS;
+    let (mode, backend, objective, style) = DEFAULTS;
     let a = sequencer("activate", &names(&["left", "right"]));
     let b = sequencer("go", &names(&["first", "second"]));
-    let ka = KeyedProgram::new(&a, mode, objective, style);
-    let kb = KeyedProgram::new(&b, mode, objective, style);
+    let ka = KeyedProgram::new(&a, mode, backend, objective, style);
+    let kb = KeyedProgram::new(&b, mode, backend, objective, style);
     assert_eq!(ka.key, kb.key);
     assert_eq!(ka.names, names(&["activate", "left", "right"]));
     assert_eq!(kb.names, names(&["go", "first", "second"]));
@@ -30,20 +31,20 @@ fn structurally_identical_programs_share_a_key() {
     let dw1 = decision_wait("act", &names(&["i0", "i1"]), &names(&["o0", "o1"]));
     let dw2 = decision_wait("trigger", &names(&["p", "q"]), &names(&["u", "v"]));
     assert_eq!(
-        KeyedProgram::new(&dw1, mode, objective, style).key,
-        KeyedProgram::new(&dw2, mode, objective, style).key
+        KeyedProgram::new(&dw1, mode, backend, objective, style).key,
+        KeyedProgram::new(&dw2, mode, backend, objective, style).key
     );
 }
 
 #[test]
 fn structurally_different_programs_get_different_keys() {
-    let (mode, objective, style) = DEFAULTS;
+    let (mode, backend, objective, style) = DEFAULTS;
     let seq2 = sequencer("a", &names(&["x", "y"]));
     let seq3 = sequencer("a", &names(&["x", "y", "z"]));
     let call2 = call(&names(&["x", "y"]), "a");
-    let k2 = KeyedProgram::new(&seq2, mode, objective, style).key;
-    assert_ne!(k2, KeyedProgram::new(&seq3, mode, objective, style).key);
-    assert_ne!(k2, KeyedProgram::new(&call2, mode, objective, style).key);
+    let k2 = KeyedProgram::new(&seq2, mode, backend, objective, style).key;
+    assert_ne!(k2, KeyedProgram::new(&seq3, mode, backend, objective, style).key);
+    assert_ne!(k2, KeyedProgram::new(&call2, mode, backend, objective, style).key);
 }
 
 #[test]
@@ -52,38 +53,62 @@ fn synthesis_options_are_part_of_the_key() {
     let base = KeyedProgram::new(
         &program,
         MinimizeMode::Speed,
+        MinimizeBackend::Auto,
         MapObjective::Delay,
         MapStyle::SplitModules,
     );
     let minmode = KeyedProgram::new(
         &program,
         MinimizeMode::Area,
+        MinimizeBackend::Auto,
+        MapObjective::Delay,
+        MapStyle::SplitModules,
+    );
+    let backend = KeyedProgram::new(
+        &program,
+        MinimizeMode::Speed,
+        MinimizeBackend::CubeCofactor,
+        MapObjective::Delay,
+        MapStyle::SplitModules,
+    );
+    let exact = KeyedProgram::new(
+        &program,
+        MinimizeMode::Speed,
+        MinimizeBackend::ExactPrimes,
         MapObjective::Delay,
         MapStyle::SplitModules,
     );
     let objective = KeyedProgram::new(
         &program,
         MinimizeMode::Speed,
+        MinimizeBackend::Auto,
         MapObjective::Area,
         MapStyle::SplitModules,
     );
     let style = KeyedProgram::new(
         &program,
         MinimizeMode::Speed,
+        MinimizeBackend::Auto,
         MapObjective::Delay,
         MapStyle::WholeController,
     );
     assert_ne!(base.key, minmode.key);
+    assert_ne!(base.key, backend.key);
+    assert_ne!(base.key, exact.key);
+    assert_ne!(backend.key, exact.key);
+    assert_ne!(base.key.digest(), backend.key.digest());
     assert_ne!(base.key, objective.key);
     assert_ne!(base.key, style.key);
     // Only the options differ — the canonical text is shared.
     assert_eq!(base.key.canonical, minmode.key.canonical);
+    assert_eq!(base.key.canonical, backend.key.canonical);
     assert_eq!(base.key.canonical, style.key.canonical);
 }
 
 #[test]
 fn renamed_instances_hit_and_options_miss() {
-    let (mode, objective, style) = DEFAULTS;
+    // get_or_synthesize keys under the default backend internally.
+    let (mode, _backend, objective, style) = DEFAULTS;
     let library = Library::cmos035();
     let cache = ControllerCache::new();
 

@@ -6,6 +6,7 @@
 use bmbe_designs::all_designs;
 use bmbe_flow::{
     run_control_flow, run_control_flow_with, ControllerCache, FlowOptions, FlowResult,
+    MinimizeBackend,
 };
 use bmbe_gates::Library;
 
@@ -141,33 +142,41 @@ fn cached_parallel_flow_is_bit_identical_to_serial_uncached() {
 fn per_output_parallel_minimization_is_bit_identical_to_serial() {
     let library = Library::cmos035();
     let designs = all_designs().expect("shipped designs build");
-    for design in &designs {
-        // Serial, uncached: one function minimized at a time.
-        let reference = run_control_flow(
-            &design.compiled,
-            &FlowOptions::optimized().serial_uncached(),
-            &library,
-        )
-        .unwrap_or_else(|e| panic!("{} serial: {e}", design.name));
-        // Same uncached path, but with the per-output minimizations inside
-        // each controller fanned across workers. Every cover must come back
-        // cube-for-cube identical regardless of the worker count.
-        for threads in [1usize, 4] {
-            let mut options = FlowOptions::optimized().serial_uncached();
-            options.threads = Some(threads);
-            let candidate = run_control_flow(&design.compiled, &options, &library)
-                .unwrap_or_else(|e| panic!("{} {threads}t: {e}", design.name));
-            assert_eq!(
-                candidate.threads_used, threads,
-                "{}: reported worker count",
-                design.name
-            );
-            assert_identical(
-                design.name,
-                &format!("uncached-{threads}t"),
-                &reference,
-                &candidate,
-            );
+    // Every backend must be deterministic across worker counts: the exact
+    // path exercises the partitioned canonical-ascent worklist (per-worker
+    // dedup sets merged in chunk order), the cube-cofactor path exercises
+    // the order-preserving per-seed EXPAND fan-out, and Auto mixes both.
+    for backend in [
+        MinimizeBackend::Auto,
+        MinimizeBackend::ExactPrimes,
+        MinimizeBackend::CubeCofactor,
+    ] {
+        for design in &designs {
+            // Serial, uncached: one function minimized at a time.
+            let mut serial = FlowOptions::optimized().serial_uncached();
+            serial.minimize_backend = backend;
+            let reference = run_control_flow(&design.compiled, &serial, &library)
+                .unwrap_or_else(|e| panic!("{}/{backend:?} serial: {e}", design.name));
+            // Same uncached path, but with the minimizations inside each
+            // controller fanned across workers. Every cover must come back
+            // cube-for-cube identical regardless of the worker count.
+            for threads in [1usize, 4] {
+                let mut options = serial.clone();
+                options.threads = Some(threads);
+                let candidate = run_control_flow(&design.compiled, &options, &library)
+                    .unwrap_or_else(|e| panic!("{}/{backend:?} {threads}t: {e}", design.name));
+                assert_eq!(
+                    candidate.threads_used, threads,
+                    "{}: reported worker count",
+                    design.name
+                );
+                assert_identical(
+                    design.name,
+                    &format!("{backend:?}-uncached-{threads}t"),
+                    &reference,
+                    &candidate,
+                );
+            }
         }
     }
 }

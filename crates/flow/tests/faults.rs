@@ -34,6 +34,7 @@ fn component_keys(design: &bmbe_designs::Design, options: &FlowOptions) -> Vec<(
             let keyed = KeyedProgram::new(
                 &c.program,
                 options.minimize_mode,
+                options.minimize_backend,
                 options.map_objective,
                 options.map_style,
             );
@@ -129,23 +130,77 @@ fn typed_injected_error_reports_its_phase() {
 }
 
 #[test]
+fn injected_prime_gen_panic_unwinds_from_inside_the_minimizer() {
+    // A prime_gen-phase plan is carried into the logic crate's minimizer
+    // (it fires inside the backend, not at the flow's phase gate), so a
+    // panic kind unwinds out of a per-function minimization job.
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let cache = ControllerCache::new();
+    let options = faulted(FaultPhase::PrimeGen, 0, FaultKind::Panic);
+    let err = run_control_flow_with(&designs[0].compiled, &options, &library, &cache)
+        .err()
+        .expect("injected prime_gen panic must fail the flow");
+    let (_, _, _, phase, shape) = job_error(err);
+    assert_eq!(phase, "panic", "a caught unwind reports phase \"panic\"");
+    match &shape {
+        ShapeError::Panic(payload) => assert!(
+            payload.contains("injected fault: panic at phase prime_gen"),
+            "panic payload must carry the injection message, got: {payload}"
+        ),
+        other => panic!("expected ShapeError::Panic, got: {other}"),
+    }
+    // The cache stays healthy afterwards.
+    run_control_flow_with(
+        &designs[0].compiled,
+        &FlowOptions::optimized(),
+        &library,
+        &cache,
+    )
+    .expect("clean re-run after the prime_gen fault must succeed");
+}
+
+#[test]
+fn typed_prime_gen_error_reports_the_prime_gen_phase() {
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let options = faulted(FaultPhase::PrimeGen, 0, FaultKind::Error);
+    let err = run_control_flow(&designs[0].compiled, &options, &library)
+        .err()
+        .expect("injected prime_gen error must fail the flow");
+    let text = err.to_string();
+    let (_, _, cache_key, phase, shape) = job_error(err);
+    assert_eq!(phase, "prime_gen");
+    assert!(
+        matches!(shape, ShapeError::Injected(FaultPhase::PrimeGen)),
+        "expected ShapeError::Injected(PrimeGen), got: {shape}"
+    );
+    assert!(
+        text.contains("phase prime_gen") && text.contains(&cache_key),
+        "error text must name the phase and cache key: {text}"
+    );
+}
+
+#[test]
 fn thread_count_does_not_change_the_failing_job() {
     let library = Library::cmos035();
     let designs = all_designs().expect("shipped designs build");
-    for kind in [FaultKind::Panic, FaultKind::Error] {
-        let mut reports = Vec::new();
-        for threads in [1usize, 4] {
-            let mut options = faulted(FaultPhase::Synth, 0, kind);
-            options.threads = Some(threads);
-            let err = run_control_flow(&designs[0].compiled, &options, &library)
-                .err()
-                .unwrap_or_else(|| panic!("{threads}-thread run must fail"));
-            let (design, component, cache_key, phase, _) = job_error(err);
-            reports.push((threads, design, component, cache_key, phase));
+    for fault_phase in [FaultPhase::Synth, FaultPhase::PrimeGen] {
+        for kind in [FaultKind::Panic, FaultKind::Error] {
+            let mut reports = Vec::new();
+            for threads in [1usize, 4] {
+                let mut options = faulted(fault_phase, 0, kind);
+                options.threads = Some(threads);
+                let err = run_control_flow(&designs[0].compiled, &options, &library)
+                    .err()
+                    .unwrap_or_else(|| panic!("{threads}-thread run must fail"));
+                let (design, component, cache_key, phase, _) = job_error(err);
+                reports.push((threads, design, component, cache_key, phase));
+            }
+            let (_, d1, c1, k1, p1) = &reports[0];
+            let (_, d4, c4, k4, p4) = &reports[1];
+            assert_eq!((d1, c1, k1, p1), (d4, c4, k4, p4), "{fault_phase:?}/{kind:?}: 1-thread and 4-thread runs must report the identical failing job");
         }
-        let (_, d1, c1, k1, p1) = &reports[0];
-        let (_, d4, c4, k4, p4) = &reports[1];
-        assert_eq!((d1, c1, k1, p1), (d4, c4, k4, p4), "{kind:?}: 1-thread and 4-thread runs must report the identical failing job");
     }
 }
 

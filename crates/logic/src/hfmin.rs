@@ -26,6 +26,80 @@ use std::time::{Duration, Instant};
 /// functions use greedy expansion orders (see [`FunctionSpec::dhf_primes`]).
 pub const EXACT_PRIME_VARS: usize = 14;
 
+/// Variable-count ceiling up to which [`MinimizeBackend::Auto`] stays on the
+/// exact prime-enumerating engine; larger functions are routed to the
+/// espresso-style cube-cofactor backend. Matches the widest specs the
+/// property suite cross-checks against the exactness oracle.
+pub const AUTO_EXACT_VARS: usize = 10;
+
+/// Minimum worklist-level width before [`FunctionSpec::expand_canonical`]
+/// fans a level across the `bmbe-par` pool; narrower levels are expanded
+/// inline (the chunking overhead would dominate). Low enough that the
+/// determinism suite exercises real parallel merges on test-sized specs.
+pub(crate) const PAR_FRONTIER_MIN: usize = 16;
+
+/// Which engine [`FunctionSpec::minimize_opts`] uses to build the cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MinimizeBackend {
+    /// Enumerate all DHF primes via the canonical-ascent worklist (exact up
+    /// to [`EXACT_PRIME_VARS`] variables, greedy orders beyond), then solve
+    /// the covering problem over the full prime set. The exactness oracle.
+    ExactPrimes,
+    /// Espresso-style recursive cube-cofactor minimizer
+    /// ([`crate::espresso`]): expand each required cube to one good DHF
+    /// prime without enumerating the rest, then drop redundant products.
+    /// Valid and hazard-free by construction; not guaranteed minimum.
+    CubeCofactor,
+    /// Per function: [`MinimizeBackend::ExactPrimes`] up to
+    /// [`AUTO_EXACT_VARS`] variables, [`MinimizeBackend::CubeCofactor`]
+    /// beyond — small controllers keep their exact covers while the big
+    /// cluster functions skip prime enumeration entirely.
+    #[default]
+    Auto,
+}
+
+/// How an injected prime-generation fault manifests (the logic-crate end of
+/// the flow's `BMBE_FAULT=prime_gen:...` plans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimeGenFault {
+    /// Panic at the start of prime generation.
+    Panic,
+    /// Return [`HfminError::Injected`] instead.
+    Error,
+}
+
+/// Knobs of one minimization run.
+#[derive(Debug, Clone, Copy)]
+pub struct MinimizeOptions {
+    /// Engine selection.
+    pub backend: MinimizeBackend,
+    /// Worker budget for the partitioned canonical-ascent worklist (the
+    /// exact path); `1` keeps prime generation on the calling thread. The
+    /// result is bit-identical whatever the value.
+    pub threads: usize,
+    /// Deterministic fault injection into prime generation (tests only).
+    pub fault: Option<PrimeGenFault>,
+}
+
+impl Default for MinimizeOptions {
+    fn default() -> Self {
+        MinimizeOptions {
+            backend: MinimizeBackend::default(),
+            threads: 1,
+            fault: None,
+        }
+    }
+}
+
+/// Trips an armed prime-generation fault (no-op when unarmed).
+pub(crate) fn trip_prime_gen_fault(fault: Option<PrimeGenFault>) -> Result<(), HfminError> {
+    match fault {
+        None => Ok(()),
+        Some(PrimeGenFault::Error) => Err(HfminError::Injected),
+        Some(PrimeGenFault::Panic) => panic!("injected fault: panic at phase prime_gen"),
+    }
+}
+
 /// One specified multiple-input-change transition of a single-output
 /// function: the inputs move monotonically from `start` to `end` (each
 /// variable changing at most once), and the function moves from `from`
@@ -91,6 +165,9 @@ pub enum HfminError {
         /// The offending transition.
         transition: SpecTransition,
     },
+    /// Prime generation was aborted by an injected fault (see
+    /// [`PrimeGenFault`]); only producible under fault injection.
+    Injected,
 }
 
 impl fmt::Display for HfminError {
@@ -115,6 +192,9 @@ impl fmt::Display for HfminError {
                     transition.start
                 )
             }
+            HfminError::Injected => {
+                write!(f, "prime generation aborted by an injected fault")
+            }
         }
     }
 }
@@ -125,10 +205,34 @@ impl std::error::Error for HfminError {}
 /// per-phase profiler.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MinimizeStats {
-    /// Time spent generating DHF-prime implicants.
+    /// Time spent generating DHF implicants (all primes on the exact path;
+    /// the cube-cofactor EXPAND pass on the espresso-style path).
     pub prime_gen: Duration,
-    /// Time spent in the unate-covering solver.
+    /// Time spent selecting products (the unate-covering solver on the
+    /// exact path; the IRREDUNDANT pass on the espresso-style path).
     pub covering: Duration,
+    /// Functions minimized through the exact prime-enumerating engine.
+    pub exact_funcs: usize,
+    /// Functions minimized through the cube-cofactor backend.
+    pub cofactor_funcs: usize,
+    /// Deepest cube-cofactor recursion observed (0 on the exact path).
+    pub cofactor_depth: usize,
+    /// Duplicate cubes dropped at the partitioned worklist's deterministic
+    /// merge barriers (0 when prime generation ran serially).
+    pub worklist_merges: usize,
+}
+
+impl MinimizeStats {
+    /// Sums another run's stats into this one (`cofactor_depth` takes the
+    /// maximum; everything else adds).
+    pub fn accumulate(&mut self, other: &MinimizeStats) {
+        self.prime_gen += other.prime_gen;
+        self.covering += other.covering;
+        self.exact_funcs += other.exact_funcs;
+        self.cofactor_funcs += other.cofactor_funcs;
+        self.cofactor_depth = self.cofactor_depth.max(other.cofactor_depth);
+        self.worklist_merges += other.worklist_merges;
+    }
 }
 
 /// Result of a minimization run.
@@ -331,23 +435,49 @@ impl FunctionSpec {
     /// by construction, possibly not minimum (this is the synthesis run-time
     /// pressure the paper's §4.4 size restrictions exist to contain).
     pub fn dhf_primes(&self) -> Result<Vec<Cube>, HfminError> {
+        self.dhf_primes_par(1).map(|(primes, _)| primes)
+    }
+
+    /// [`FunctionSpec::dhf_primes`] with the canonical-ascent worklist
+    /// partitioned across up to `threads` workers (see
+    /// [`FunctionSpec::expand_canonical`]): each worklist level is split
+    /// into contiguous chunks, workers expand their chunks with private
+    /// dedup sets, and the per-chunk discoveries are merged back into the
+    /// shared visited/prime sets in chunk order at a serial barrier — so
+    /// the returned prime set is bit-identical whatever the thread count.
+    /// Also returns the number of duplicate cubes the merge barriers
+    /// dropped (0 on a serial run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HfminError::NoHazardFreeCover`] when some required cube is
+    /// not a DHF implicant.
+    pub fn dhf_primes_par(&self, threads: usize) -> Result<(Vec<Cube>, usize), HfminError> {
         let off = self.off_set_ordered();
         let privileged = self.privileged_cubes();
         let required = self.required_cubes();
         let mut primes: HashSet<Cube> = HashSet::new();
         let exact = self.n <= EXACT_PRIME_VARS;
         let mut visited: HashSet<Cube> = HashSet::new();
+        let mut merges = 0usize;
         for r in &required {
             if !self.is_dhf_implicant(r, &off, &privileged) {
                 return Err(HfminError::NoHazardFreeCover { required: *r });
             }
             if exact {
-                self.expand_canonical(*r, &off, &privileged, &mut visited, &mut primes);
+                merges += self.expand_canonical(
+                    *r,
+                    &off,
+                    &privileged,
+                    &mut visited,
+                    &mut primes,
+                    threads,
+                );
             } else {
                 self.expand_heuristic(*r, &off, &privileged, &mut primes);
             }
         }
-        Ok(Self::maximal_sorted(primes))
+        Ok((Self::maximal_sorted(primes), merges))
     }
 
     /// Reference implementation of [`FunctionSpec::dhf_primes`]: the seed's
@@ -377,7 +507,7 @@ impl FunctionSpec {
     /// The OFF-set with its cubes ordered largest (fewest literals) first,
     /// so [`FunctionSpec::is_dhf_implicant`] hits the likeliest blocker
     /// early. Same set, same results, faster rejection.
-    fn off_set_ordered(&self) -> Cover {
+    pub(crate) fn off_set_ordered(&self) -> Cover {
         let mut cubes = self.off_set().cubes().to_vec();
         cubes.sort_by_key(Cube::num_literals);
         Cover::from_cubes(cubes)
@@ -445,6 +575,17 @@ impl FunctionSpec {
     ///   stay unordered because their freeing order can decide whether an
     ///   intermediate cube is hazard-free at all.
     ///
+    /// The worklist is processed level-synchronously (a breadth-first
+    /// sweep over the sets `S` by size): when a level is wide enough and
+    /// `threads > 1`, it is split into contiguous chunks fanned across the
+    /// `bmbe-par` pool, each worker deduplicating its own discoveries in a
+    /// private set; the chunks' results are then merged into the shared
+    /// `visited`/`primes` sets serially, **in chunk order**, at a barrier.
+    /// The set of reachable cubes is traversal-order independent (the
+    /// visited set only prevents re-expansion), so the primes produced are
+    /// bit-identical whatever the thread count or chunk split. Returns the
+    /// number of duplicate cubes dropped at merge barriers.
+    ///
     /// [`expand_to_primes`]: FunctionSpec::expand_to_primes
     fn expand_canonical(
         &self,
@@ -453,7 +594,8 @@ impl FunctionSpec {
         privileged: &[PrivilegedCube],
         visited: &mut HashSet<Cube>,
         primes: &mut HashSet<Cube>,
-    ) {
+        threads: usize,
+    ) -> usize {
         let freeable = seed.care_mask();
         let seed_value = seed.value_mask();
         // OFF obstacles as disagreement masks, biggest cubes first (small
@@ -504,10 +646,12 @@ impl FunctionSpec {
         };
         let cube_of = |s: u64| Cube::from_masks(self.n, freeable & !s, seed_value);
         if !visited.insert(seed) {
-            return; // region already explored from an earlier seed
+            return 0; // region already explored from an earlier seed
         }
-        let mut stack: Vec<u64> = vec![0];
-        while let Some(s) = stack.pop() {
+        // Expands one set: feasible successors worth exploring (canonical
+        // order), plus whether the set is a prime (no feasible growth at
+        // all, canonical or not).
+        let step = |s: u64, explore: &mut Vec<u64>| -> bool {
             // Ordered variables may only ascend past the highest one freed
             // so far (a property of the *set* S, not of the path to it).
             let freed_ordered = s & ordered;
@@ -527,15 +671,63 @@ impl FunctionSpec {
                     // Primality considers every variable; the canonical
                     // order only restricts which successors are *explored*.
                     grew = true;
-                    if expandable >> i & 1 == 1 && visited.insert(cube_of(s2)) {
-                        stack.push(s2);
+                    if expandable >> i & 1 == 1 {
+                        explore.push(s2);
                     }
                 }
             }
-            if !grew {
-                primes.insert(cube_of(s));
+            grew
+        };
+        let mut merged_dups = 0usize;
+        let mut frontier: Vec<u64> = vec![0];
+        while !frontier.is_empty() {
+            // (discovered-to-explore, primes-found) for one chunk, both
+            // deduplicated against the worker's private set only.
+            let expand_chunk = |chunk: &[u64]| -> (Vec<u64>, Vec<u64>) {
+                let mut local_seen: HashSet<u64> = HashSet::new();
+                let mut explore = Vec::new();
+                let mut found = Vec::new();
+                let mut succ = Vec::new();
+                for &s in chunk {
+                    succ.clear();
+                    if !step(s, &mut succ) {
+                        found.push(s);
+                    }
+                    explore.extend(succ.iter().copied().filter(|&s2| local_seen.insert(s2)));
+                }
+                bmbe_obs::trace_counter!("hfmin.worklist.chunk_cubes", explore.len() as u64);
+                (explore, found)
+            };
+            let results: Vec<(Vec<u64>, Vec<u64>)> =
+                if threads > 1 && frontier.len() >= PAR_FRONTIER_MIN {
+                    let chunk = frontier.len().div_ceil(threads);
+                    let chunks: Vec<&[u64]> = frontier.chunks(chunk).collect();
+                    bmbe_par::par_map(&chunks, threads, |_, c| expand_chunk(c))
+                } else {
+                    vec![expand_chunk(&frontier)]
+                };
+            // Serial merge barrier, in chunk order: the shared visited set
+            // is the only cross-chunk state, and it is only appended to
+            // here, deterministically.
+            let mut next = Vec::new();
+            for (explore, found) in results {
+                for s2 in explore {
+                    if visited.insert(cube_of(s2)) {
+                        next.push(s2);
+                    } else {
+                        merged_dups += 1;
+                    }
+                }
+                for s in found {
+                    primes.insert(cube_of(s));
+                }
             }
+            frontier = next;
         }
+        if merged_dups > 0 {
+            bmbe_obs::trace_counter!("hfmin.worklist.merged", merged_dups as u64);
+        }
+        merged_dups
     }
 
     fn expand_to_primes(
@@ -565,13 +757,27 @@ impl FunctionSpec {
         }
     }
 
-    /// Runs the complete hazard-free minimization.
+    /// Runs the complete hazard-free minimization with the default knobs
+    /// ([`MinimizeBackend::Auto`], serial prime generation, no faults).
     ///
     /// # Errors
     ///
     /// Propagates specification inconsistencies and hazard-free
     /// infeasibility; see [`HfminError`].
     pub fn minimize(&self) -> Result<HfminResult, HfminError> {
+        self.minimize_opts(&MinimizeOptions::default())
+    }
+
+    /// [`FunctionSpec::minimize`] with explicit [`MinimizeOptions`]: backend
+    /// selection, a worker budget for the partitioned prime-generation
+    /// worklist, and deterministic fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates specification inconsistencies and hazard-free
+    /// infeasibility; see [`HfminError`]. Returns [`HfminError::Injected`]
+    /// when `opts.fault` is armed with [`PrimeGenFault::Error`].
+    pub fn minimize_opts(&self, opts: &MinimizeOptions) -> Result<HfminResult, HfminError> {
         self.check_consistency()?;
         let required = self.required_cubes();
         if required.is_empty() {
@@ -582,9 +788,21 @@ impl FunctionSpec {
                 stats: MinimizeStats::default(),
             });
         }
+        let use_cofactor = match opts.backend {
+            MinimizeBackend::ExactPrimes => false,
+            MinimizeBackend::CubeCofactor => true,
+            MinimizeBackend::Auto => self.n > AUTO_EXACT_VARS,
+        };
+        if use_cofactor {
+            return crate::espresso::minimize_cofactor(self, &required, opts);
+        }
+        trip_prime_gen_fault(opts.fault)?;
+        let _span = bmbe_obs::span!("hfmin.prime_gen", "hfmin");
         let t_primes = Instant::now();
-        let primes = self.dhf_primes()?;
+        let (primes, worklist_merges) = self.dhf_primes_par(opts.threads.max(1))?;
         let prime_gen = t_primes.elapsed();
+        drop(_span);
+        let _span = bmbe_obs::span!("hfmin.covering", "hfmin");
         let mut problem = CoveringProblem::new(required.len());
         for p in &primes {
             let rows: Vec<usize> = required
@@ -617,6 +835,9 @@ impl FunctionSpec {
             stats: MinimizeStats {
                 prime_gen,
                 covering,
+                exact_funcs: 1,
+                worklist_merges,
+                ..MinimizeStats::default()
             },
         })
     }

@@ -32,10 +32,14 @@
 pub mod cover;
 pub mod covering;
 pub mod cube;
+pub mod espresso;
 pub mod hfmin;
 pub mod qm;
 
 pub use cover::{Cover, Tv};
 pub use covering::{CoveringProblem, CoveringSolution};
 pub use cube::{Cube, Point};
-pub use hfmin::{FunctionSpec, HfminError, HfminResult, PrivilegedCube, SpecTransition};
+pub use hfmin::{
+    FunctionSpec, HfminError, HfminResult, MinimizeBackend, MinimizeOptions, MinimizeStats,
+    PrimeGenFault, PrivilegedCube, SpecTransition, AUTO_EXACT_VARS,
+};

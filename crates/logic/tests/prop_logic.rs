@@ -1,7 +1,7 @@
 //! Property-based tests of the cube algebra and the hazard-free minimizer.
 
 use bmbe_logic::cube::Cube;
-use bmbe_logic::hfmin::FunctionSpec;
+use bmbe_logic::hfmin::{FunctionSpec, MinimizeBackend, MinimizeOptions, SpecTransition};
 use proptest::prelude::*;
 
 const N: usize = 6;
@@ -174,4 +174,181 @@ proptest! {
             ),
         }
     }
+}
+
+fn backend_opts(backend: MinimizeBackend) -> MinimizeOptions {
+    MinimizeOptions {
+        backend,
+        ..MinimizeOptions::default()
+    }
+}
+
+/// The exact backend is the oracle: the cube-cofactor cover must be valid
+/// and hazard-free whenever the oracle finds a cover, never smaller than
+/// the oracle's minimum, and never larger than one product per required
+/// cube (EXPAND picks at most one cube per seed).
+fn check_cofactor_against_oracle(spec: &FunctionSpec) -> Result<(), TestCaseError> {
+    let exact = spec.minimize_opts(&backend_opts(MinimizeBackend::ExactPrimes));
+    let cofactor = spec.minimize_opts(&backend_opts(MinimizeBackend::CubeCofactor));
+    let required = spec.required_cubes().len();
+    if required == 0 {
+        // Trivial spec: both backends short-circuit to the empty cover
+        // before dispatch, so there is nothing backend-specific to check.
+        return Ok(());
+    }
+    match (exact, cofactor) {
+        (Ok(e), Ok(c)) => {
+            prop_assert!(
+                spec.verify_cover(&c.cover).is_ok(),
+                "cofactor cover fails the structural hazard check"
+            );
+            prop_assert!(!c.exact, "heuristic backend must not claim exactness");
+            prop_assert!(
+                c.cover.len() >= e.cover.len(),
+                "cofactor cover ({}) beat the exact minimum ({})",
+                c.cover.len(),
+                e.cover.len()
+            );
+            prop_assert!(
+                c.cover.len() <= required,
+                "cofactor cover ({}) exceeds one product per required cube ({required})",
+                c.cover.len()
+            );
+            prop_assert_eq!(c.stats.cofactor_funcs, 1);
+            prop_assert_eq!(c.stats.exact_funcs, 0);
+        }
+        (Err(_), Err(_)) => {} // both reject: infeasible spec
+        (e, c) => prop_assert!(
+            false,
+            "backends disagree on feasibility: exact={:?} cofactor={:?}",
+            e.is_ok(),
+            c.is_ok()
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn cofactor_backend_matches_the_oracle(spec in arb_spec()) {
+        if spec.check_consistency().is_err() {
+            return Ok(());
+        }
+        check_cofactor_against_oracle(&spec)?;
+    }
+
+    #[test]
+    fn auto_backend_is_exact_below_the_width_threshold(spec in arb_spec()) {
+        // N = 6 <= AUTO_EXACT_VARS, so Auto must route to the exact engine
+        // and reproduce its covers bit for bit.
+        if spec.check_consistency().is_err() {
+            return Ok(());
+        }
+        let nontrivial = !spec.required_cubes().is_empty();
+        let auto = spec.minimize_opts(&backend_opts(MinimizeBackend::Auto));
+        let exact = spec.minimize_opts(&backend_opts(MinimizeBackend::ExactPrimes));
+        match (auto, exact) {
+            (Ok(a), Ok(e)) => {
+                prop_assert_eq!(a.cover, e.cover);
+                prop_assert_eq!(a.exact, e.exact);
+                if nontrivial {
+                    prop_assert_eq!(a.stats.exact_funcs, 1);
+                    prop_assert_eq!(a.stats.cofactor_funcs, 0);
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (a, e) => prop_assert!(
+                false,
+                "Auto disagrees with ExactPrimes on feasibility: auto={:?} exact={:?}",
+                a.is_ok(),
+                e.is_ok()
+            ),
+        }
+    }
+
+    #[test]
+    fn partitioned_worklist_is_bit_identical(spec in arb_spec_n(10)) {
+        // The level-synchronous partitioned canonical ascent must return
+        // the same primes in the same order whatever the worker count,
+        // and both must agree with the brute-force reference expansion.
+        if spec.check_consistency().is_err() {
+            return Ok(());
+        }
+        match (spec.dhf_primes_par(1), spec.dhf_primes_par(4)) {
+            (Ok((serial, _)), Ok((fanned, _))) => {
+                prop_assert_eq!(&serial, &fanned);
+                let reference = spec.dhf_primes_reference()
+                    .expect("reference agrees on feasibility");
+                prop_assert_eq!(serial, reference);
+            }
+            (Err(_), Err(_)) => {}
+            (serial, fanned) => prop_assert!(
+                false,
+                "worker count changes feasibility: 1t={:?} 4t={:?}",
+                serial.is_ok(),
+                fanned.is_ok()
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn cofactor_backend_matches_the_oracle_wide(spec in arb_spec_n(10)) {
+        if spec.check_consistency().is_err() {
+            return Ok(());
+        }
+        check_cofactor_against_oracle(&spec)?;
+    }
+}
+
+/// A deterministic wide spec whose canonical-ascent frontier exceeds
+/// `PAR_FRONTIER_MIN` (16) and whose privileged implications exempt
+/// enough variables from the canonical order that different chunks
+/// rediscover the same cubes: the partitioned path must actually engage,
+/// drop those cross-chunk duplicates at the merge barrier, and still
+/// return bit-identical primes.
+#[test]
+fn partitioned_worklist_engages_and_merges_on_a_wide_frontier() {
+    let n = 10;
+    // A burst-mode walk (found by deterministic search) whose 4-way
+    // partitioned expansion reports a nonzero duplicate-drop count.
+    let walk: [(u64, bool); 7] = [
+        (601, false),
+        (793, false),
+        (310, false),
+        (240, false),
+        (200, true),
+        (207, false),
+        (387, true),
+    ];
+    let mut spec = FunctionSpec::new(n);
+    let mut cur = 0u64;
+    let mut val = false;
+    for (target, flip) in walk {
+        let to_val = val ^ flip;
+        spec.add_transition(SpecTransition {
+            start: cur,
+            end: target,
+            from: val,
+            to: to_val,
+        });
+        cur = target;
+        val = to_val;
+    }
+    spec.check_consistency().expect("hand-built spec is consistent");
+    let (serial, _) = spec.dhf_primes_par(1).expect("serial primes");
+    let (fanned, merges) = spec.dhf_primes_par(4).expect("fanned primes");
+    assert_eq!(serial, fanned, "worker count changed the prime set");
+    assert_eq!(
+        serial,
+        spec.dhf_primes_reference().expect("reference primes"),
+        "partitioned ascent disagrees with the reference expansion"
+    );
+    assert!(
+        merges > 0,
+        "no merge barrier ever dropped a duplicate: the partitioned path never engaged"
+    );
 }

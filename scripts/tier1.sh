@@ -8,9 +8,14 @@
 #      policy);
 #   4. obs_report --check: runs a traced Stack flow + sim + verification
 #      and validates the emitted Chrome trace / JSONL / span coverage;
-#   5. fault smoke: an injected fault (BMBE_FAULT=synth:0) must fail
+#   5. fault smoke: an injected fault (BMBE_FAULT=synth:0, then one
+#      inside prime generation, BMBE_FAULT=prime_gen:0:err) must fail
 #      perf_report with a structured error line and a nonzero exit, and
-#      the same binary must then pass clean.
+#      the same binary must then pass clean;
+#   6. perf smoke: in the clean pass's report, the Microprocessor core's
+#      cold prime generation under the default backend must be at least
+#      5x faster than under the exact prime-enumerating backend (the
+#      seed behaviour; its recorded cold baseline was 0.0804 s).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -32,16 +37,18 @@ BMBE_TRACE_OUT="${TMPDIR:-/tmp}/bmbe_tier1_trace.json" \
 
 echo "== tier1: fault smoke =="
 fault_err="${TMPDIR:-/tmp}/bmbe_tier1_fault.err"
-if BMBE_FAULT=synth:0 cargo run --release -p bmbe-bench --bin perf_report \
-    >/dev/null 2>"$fault_err"; then
-    echo "tier1: FAIL: perf_report succeeded under BMBE_FAULT=synth:0" >&2
-    exit 1
-fi
-if ! grep -q '^error: perf_report: ' "$fault_err"; then
-    echo "tier1: FAIL: no structured error line under BMBE_FAULT=synth:0" >&2
-    cat "$fault_err" >&2
-    exit 1
-fi
+for plan in synth:0 prime_gen:0:err; do
+    if BMBE_FAULT="$plan" cargo run --release -p bmbe-bench --bin perf_report \
+        >/dev/null 2>"$fault_err"; then
+        echo "tier1: FAIL: perf_report succeeded under BMBE_FAULT=$plan" >&2
+        exit 1
+    fi
+    if ! grep -q '^error: perf_report: ' "$fault_err"; then
+        echo "tier1: FAIL: no structured error line under BMBE_FAULT=$plan" >&2
+        cat "$fault_err" >&2
+        exit 1
+    fi
+done
 # The clean pass runs in a scratch directory so the checked-in
 # BENCH_flow.json is not overwritten with this machine's timings.
 fault_dir="$(mktemp -d)"
@@ -49,6 +56,24 @@ repo_root="$(pwd)"
 (cd "$fault_dir" && cargo run --release \
     --manifest-path "$repo_root/Cargo.toml" \
     -p bmbe-bench --bin perf_report >/dev/null)
+
+echo "== tier1: perf smoke (minimizer backend) =="
+# Ratio gate, measured in one fresh report on this host (robust on slow
+# machines, unlike an absolute wall-time bound): the default backend's
+# cold prime_gen on the Microprocessor core must beat the exact backend
+# by at least 5x.
+micro_line="$(grep '"design": "Microprocessor' "$fault_dir/BENCH_flow.json")" || {
+    echo "tier1: FAIL: no Microprocessor row in the fresh BENCH_flow.json" >&2
+    exit 1
+}
+auto_s="$(printf '%s' "$micro_line" | sed 's/.*"auto_prime_gen_s": \([0-9.]*\).*/\1/')"
+exact_s="$(printf '%s' "$micro_line" | sed 's/.*"exact_prime_gen_s": \([0-9.]*\).*/\1/')"
+if ! awk -v a="$auto_s" -v e="$exact_s" \
+    'BEGIN { exit !(a > 0 && e / a >= 5) }'; then
+    echo "tier1: FAIL: Microprocessor cold prime_gen: default backend ${auto_s}s vs exact ${exact_s}s (< 5x)" >&2
+    exit 1
+fi
+echo "tier1: Microprocessor cold prime_gen ${auto_s}s (default) vs ${exact_s}s (exact)"
 rm -rf "$fault_dir"
 
 echo "tier1: all gates passed"
