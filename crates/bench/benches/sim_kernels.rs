@@ -1,19 +1,22 @@
 //! Micro-benchmarks of the checking-side kernels: the event-wheel scheduler
 //! against the seed's binary-heap scheduler, both on raw queue traffic and
-//! on the full Microprocessor-core benchmark scenario, plus on-the-fly
-//! against materialized ACR trace verification on the paper's
+//! on the full Microprocessor-core benchmark scenario; the bit-parallel
+//! compiled backend against the wheel on a 64-scenario batch (and the pure
+//! tape run with compilation hoisted out); plus on-the-fly against
+//! materialized ACR trace verification on the paper's
 //! decision-wait/sequencer obligation.
 
 use bmbe_core::components::{decision_wait, sequencer};
 use bmbe_core::opt::{verify_acr, verify_acr_materialized};
-use bmbe_designs::all_designs;
 use bmbe_designs::scenarios::Design;
+use bmbe_designs::{all_designs, scenario_variants};
 use bmbe_flow::{
-    run_control_flow, simulate_with, to_flow_scenario, FlowOptions, FlowResult, Scenario,
+    batch_input_ports, compile_sim, run_control_flow, simulate_scenarios, simulate_with,
+    to_flow_scenario, FlowOptions, FlowResult, Scenario, SimBackend,
 };
 use bmbe_gates::Library;
 use bmbe_sim::prims::Delays;
-use bmbe_sim::{EventWheel, SchedulerKind};
+use bmbe_sim::{EventWheel, SchedulerKind, LANES};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -129,7 +132,7 @@ fn bench_engine_rings(c: &mut Criterion) {
         for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
             let label = match kind {
                 SchedulerKind::Wheel => "rings_wheel",
-                SchedulerKind::Heap => "rings_heap",
+                _ => "rings_heap",
             };
             g.bench_function(format!("{label}/depth_{rings}"), |b| {
                 b.iter(|| black_box(run_rings(kind, rings, 40_000)))
@@ -161,7 +164,7 @@ fn bench_simulation(c: &mut Criterion) {
     for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
         let label = match kind {
             SchedulerKind::Wheel => "simulate_wheel",
-            SchedulerKind::Heap => "simulate_heap",
+            _ => "simulate_heap",
         };
         g.bench_function(format!("{label}/{}", micro.name), |b| {
             b.iter(|| {
@@ -178,6 +181,52 @@ fn bench_simulation(c: &mut Criterion) {
             })
         });
     }
+    g.finish();
+}
+
+/// Lane-evaluation kernels of the compiled backend: the same 64-scenario
+/// Microprocessor-core batch on each backend (compile amortized once per
+/// batch for the compiled side, exactly as `simulate_scenarios` runs it),
+/// plus the pure tape run with compilation hoisted out of the loop.
+fn bench_compiled_lanes(c: &mut Criterion) {
+    let (micro, flow, _) = micro_core();
+    let delays = Delays::default();
+    let seed = micro.name.bytes().map(u64::from).sum::<u64>() * 0x9e37_79b9;
+    let scenarios: Vec<Scenario> = scenario_variants(&micro, LANES, seed)
+        .iter()
+        .map(to_flow_scenario)
+        .collect();
+    let mut g = c.benchmark_group("sim_kernels");
+    g.sample_size(10);
+    for backend in [SimBackend::Compiled, SimBackend::EventWheel] {
+        g.bench_function(format!("batch64_{}/{}", backend.name(), micro.name), |b| {
+            b.iter(|| {
+                let runs = simulate_scenarios(
+                    black_box(&micro.compiled),
+                    black_box(&flow),
+                    &scenarios,
+                    &delays,
+                    backend,
+                    1,
+                    None,
+                );
+                for r in &runs {
+                    assert!(r.as_ref().expect("simulates").completed);
+                }
+                runs
+            })
+        });
+    }
+    // Tape evaluation alone: one compile, 64 lanes per iteration.
+    let cs = compile_sim(&micro.compiled, &flow, &batch_input_ports(&scenarios), None)
+        .expect("compiles");
+    g.bench_function(format!("lanes_precompiled/{}", micro.name), |b| {
+        b.iter(|| {
+            let runs = cs.run_batch(black_box(&scenarios)).expect("runs");
+            assert!(runs.iter().all(|r| r.completed));
+            runs
+        })
+    });
     g.finish();
 }
 
@@ -213,6 +262,7 @@ criterion_group!(
     bench_queues,
     bench_engine_rings,
     bench_simulation,
+    bench_compiled_lanes,
     bench_verification
 );
 criterion_main!(kernels);

@@ -11,18 +11,21 @@
 
 use bmbe_core::components::{decision_wait, sequencer};
 use bmbe_core::opt::verify_acr_compared;
-use bmbe_designs::all_designs;
+use bmbe_designs::{all_designs, scenario_variants};
 use bmbe_flow::{
-    run_control_flow, simulate_with, to_flow_scenario, FlowOptions, FlowResult, Scenario,
-    SimOutcome,
+    run_control_flow, simulate_scenarios, simulate_with, to_flow_scenario, FaultPlan, FlowOptions,
+    FlowResult, Scenario, SimBackend, SimOutcome,
 };
 use bmbe_gates::Library;
 use bmbe_sim::prims::Delays;
-use bmbe_sim::SchedulerKind;
+use bmbe_sim::{SchedulerKind, LANES};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 const SAMPLES: usize = 9;
+/// Samples for the batched backend comparison (64 event runs per sample on
+/// the wheel side make each sample an order of magnitude heavier).
+const BATCH_SAMPLES: usize = 5;
 
 struct SchedNumbers {
     wall_s: f64,
@@ -128,6 +131,95 @@ fn measure(
     })
 }
 
+/// One design's batched compiled-vs-wheel comparison: the same 64-scenario
+/// batch end to end on each backend, single worker thread.
+struct BackendRow {
+    design: String,
+    lanes: usize,
+    /// Oracle aggregate event count across the batch — the common work
+    /// unit both throughput figures divide, so their ratio is a pure
+    /// wall-time ratio on identical work.
+    events: u64,
+    compiled_wall_s: f64,
+    wheel_wall_s: f64,
+}
+
+impl BackendRow {
+    fn compiled_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.compiled_wall_s
+    }
+
+    fn wheel_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wheel_wall_s
+    }
+
+    fn speedup(&self) -> f64 {
+        self.wheel_wall_s / self.compiled_wall_s
+    }
+}
+
+/// Runs the design's 64-variant scenario batch on the compiled backend and
+/// the event wheel, asserting per-lane behavioural parity with the oracle
+/// before any timing, then keeps the median end-to-end wall of
+/// `BATCH_SAMPLES` interleaved runs per backend.
+fn measure_backends(
+    design: &bmbe_designs::scenarios::Design,
+    flow: &FlowResult,
+    delays: &Delays,
+    fault: Option<&FaultPlan>,
+) -> Result<BackendRow, String> {
+    let seed = design.name.bytes().map(u64::from).sum::<u64>() * 0x9e37_79b9;
+    let scenarios: Vec<Scenario> = scenario_variants(design, LANES, seed)
+        .iter()
+        .map(to_flow_scenario)
+        .collect();
+    let run_batch = |backend: SimBackend| -> Result<(Vec<SimOutcome>, f64), String> {
+        let start = std::time::Instant::now();
+        let runs = simulate_scenarios(&design.compiled, flow, &scenarios, delays, backend, 1, fault);
+        let wall_s = start.elapsed().as_secs_f64();
+        let runs: Vec<SimOutcome> = runs
+            .into_iter()
+            .map(|r| r.map_err(|e| format!("{} {}: {e}", design.name, backend.name())))
+            .collect::<Result<_, _>>()?;
+        Ok((runs, wall_s))
+    };
+    // Warm-up, and the per-lane parity assertion the numbers depend on:
+    // every compiled lane must reproduce its event-oracle behaviour.
+    let (compiled_ref, _) = run_batch(SimBackend::Compiled)?;
+    let (wheel_ref, _) = run_batch(SimBackend::EventWheel)?;
+    for (lane, (c, o)) in compiled_ref.iter().zip(&wheel_ref).enumerate() {
+        if !o.completed {
+            return Err(format!("{}: oracle lane {lane} incomplete", design.name));
+        }
+        if !c.same_behaviour(o) {
+            return Err(format!(
+                "{}: compiled lane {lane} diverged from the event-wheel oracle",
+                design.name
+            ));
+        }
+    }
+    let mut walls = [Vec::with_capacity(BATCH_SAMPLES), Vec::with_capacity(BATCH_SAMPLES)];
+    for _ in 0..BATCH_SAMPLES {
+        for (i, backend) in [SimBackend::Compiled, SimBackend::EventWheel]
+            .into_iter()
+            .enumerate()
+        {
+            let (_, wall_s) = run_batch(backend)?;
+            walls[i].push(wall_s);
+        }
+    }
+    for w in &mut walls {
+        w.sort_by(f64::total_cmp);
+    }
+    Ok(BackendRow {
+        design: design.name.to_string(),
+        lanes: scenarios.len(),
+        events: wheel_ref.iter().map(|o| o.events).sum(),
+        compiled_wall_s: walls[0][BATCH_SAMPLES / 2],
+        wheel_wall_s: walls[1][BATCH_SAMPLES / 2],
+    })
+}
+
 struct VerifyRow {
     obligation: &'static str,
     otf_states: usize,
@@ -177,19 +269,23 @@ fn run() -> Result<(), String> {
     let library = Library::cmos035();
     let delays = Delays::default();
     let designs = all_designs().map_err(|e| format!("shipped designs: {e}"))?;
-    let rows: Vec<Row> = designs
-        .iter()
-        .map(|design| {
-            let flow = run_control_flow(
-                &design.compiled,
-                &FlowOptions::optimized().with_env_fault(),
-                &library,
-            )
-            .map_err(|e| format!("{} flow: {e}", design.name))?;
-            let scenario = to_flow_scenario(&design.scenario);
-            measure(design, &flow, &scenario, &delays)
-        })
-        .collect::<Result<_, _>>()?;
+    // The sim-side fault switch (e.g. `BMBE_FAULT=sim_compile:0`): the
+    // flow itself also arms it via `with_env_fault`, so either side of
+    // the pipeline can be poisoned from the same variable.
+    let fault = FaultPlan::from_env();
+    let mut rows: Vec<Row> = Vec::with_capacity(designs.len());
+    let mut backends: Vec<BackendRow> = Vec::with_capacity(designs.len());
+    for design in &designs {
+        let flow = run_control_flow(
+            &design.compiled,
+            &FlowOptions::optimized().with_env_fault(),
+            &library,
+        )
+        .map_err(|e| format!("{} flow: {e}", design.name))?;
+        let scenario = to_flow_scenario(&design.scenario);
+        rows.push(measure(design, &flow, &scenario, &delays)?);
+        backends.push(measure_backends(design, &flow, &delays, fault.as_ref())?);
+    }
     let verify = verify_rows()?;
 
     bmbe_obs::vlog!(
@@ -225,6 +321,36 @@ fn run() -> Result<(), String> {
             vs_base
         );
     }
+    bmbe_obs::vlog!(
+        1,
+        "\nbackends (64-scenario batch, end to end, 1 worker thread; median of {BATCH_SAMPLES}):"
+    );
+    bmbe_obs::vlog!(
+        1,
+        "{:<22} {:>5} {:>9} {:>12} {:>15} {:>12} {:>15} {:>9}",
+        "design",
+        "lanes",
+        "events",
+        "compiled s",
+        "compiled ev/s",
+        "wheel s",
+        "wheel ev/s",
+        "vs wheel"
+    );
+    for r in &backends {
+        bmbe_obs::vlog!(
+            1,
+            "{:<22} {:>5} {:>9} {:>12.6} {:>15.0} {:>12.6} {:>15.0} {:>8.1}x",
+            r.design,
+            r.lanes,
+            r.events,
+            r.compiled_wall_s,
+            r.compiled_events_per_sec(),
+            r.wheel_wall_s,
+            r.wheel_events_per_sec(),
+            r.speedup()
+        );
+    }
     bmbe_obs::vlog!(1, "\nverification (states explored, on-the-fly vs materialized):");
     for v in &verify {
         bmbe_obs::vlog!(
@@ -250,7 +376,13 @@ fn run() -> Result<(), String> {
          throughput against the pre-change engine recorded in BENCH_sim_baseline.json \
          (measured at the prior commit, run loop estimated by subtracting an \
          empty-scenario call), capturing scheduler, free-listed action slots, \
-         memoization, and done-check hoisting together.\",\n",
+         memoization, and done-check hoisting together. The backends section times the \
+         same 64-scenario variant batch end to end (compile/build included) on one worker \
+         thread per backend; both events_per_sec figures divide the event-wheel oracle's \
+         aggregate event count so compiled_vs_wheel is a pure wall-time ratio on identical \
+         work. Per-lane behavioural parity between the compiled backend and the wheel \
+         oracle is asserted before any timing (a divergence fails this report), not \
+         sampled.\",\n",
     );
     json.push_str("  \"designs\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -281,6 +413,25 @@ fn run() -> Result<(), String> {
         }
         json.push_str("}");
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"backends\": [\n");
+    for (i, r) in backends.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"design\": \"{}\", \"lanes\": {}, \"events\": {}, \
+             \"compiled\": {{\"wall_s\": {:.6}, \"events_per_sec\": {:.0}}}, \
+             \"wheel\": {{\"wall_s\": {:.6}, \"events_per_sec\": {:.0}}}, \
+             \"compiled_vs_wheel\": {:.3}}}",
+            r.design,
+            r.lanes,
+            r.events,
+            r.compiled_wall_s,
+            r.compiled_events_per_sec(),
+            r.wheel_wall_s,
+            r.wheel_events_per_sec(),
+            r.speedup()
+        );
+        json.push_str(if i + 1 < backends.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n  \"verification\": [\n");
     for (i, v) in verify.iter().enumerate() {

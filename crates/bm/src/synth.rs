@@ -430,10 +430,14 @@ pub fn synthesize_with_opts(
         threads: intra,
         ..*opts
     };
+    // Workers parent their spans on the dispatching span, so the trace's
+    // span tree is independent of the worker-thread count.
+    let fanout_parent = bmbe_obs::current_span();
     let results: Vec<Result<bmbe_logic::hfmin::HfminResult, SynthError>> = par_map(
         &specs,
         fan,
         |fi, fspec| {
+            let _g = bmbe_obs::span_with_parent!("hfmin.job", "hfmin", fanout_parent);
             let name = function_name(fi);
             let result = fspec
                 .minimize_opts(&job_opts)

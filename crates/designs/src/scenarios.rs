@@ -172,6 +172,47 @@ pub fn ssem_core() -> Result<Design, DesignError> {
     })
 }
 
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generates `n` scenario variants of a design's benchmark scenario for
+/// batched (bit-parallel) simulation: variant 0 is the base scenario
+/// verbatim; later variants keep the protocol shape (activation cycles,
+/// done condition, memory preloads, and any control-scripting port such as
+/// the stack's `cmd`) but randomize the scripted *data* values from a
+/// deterministic `seed`. Variants beyond the base carry [`Check::None`] —
+/// their expected outcome is whatever the event-engine oracle computes,
+/// which is exactly what the compiled-vs-event differential tests assert.
+pub fn scenario_variants(design: &Design, n: usize, seed: u64) -> Vec<DesignScenario> {
+    let base = &design.scenario;
+    let mut rng = seed ^ 0xd6e8_feb8_6659_fd93;
+    (0..n)
+        .map(|k| {
+            let mut s = base.clone();
+            if k > 0 {
+                for (port, values) in &mut s.input_values {
+                    // Command/selector scripts steer control flow; changing
+                    // them changes the handshake count the done condition
+                    // waits for, so only data ports vary.
+                    if port == "cmd" {
+                        continue;
+                    }
+                    for v in values.iter_mut() {
+                        *v = splitmix64(&mut rng) & 0xff;
+                    }
+                }
+                s.check = Check::None;
+            }
+            s
+        })
+        .collect()
+}
+
 /// All four designs in Table 3 order.
 ///
 /// # Errors
@@ -196,6 +237,32 @@ mod tests {
         assert_eq!(designs.len(), 4);
         assert_eq!(designs[0].name, "Systolic counter");
         assert_eq!(designs[3].name, "Microprocessor core");
+    }
+
+    #[test]
+    fn variants_preserve_shape_and_are_deterministic() {
+        let stack = stack().unwrap();
+        let a = scenario_variants(&stack, 8, 42);
+        let b = scenario_variants(&stack, 8, 42);
+        assert_eq!(a.len(), 8);
+        // Variant 0 is the base scenario.
+        assert_eq!(a[0].input_values, stack.scenario.input_values);
+        assert!(matches!(a[0].check, Check::OutputEquals { .. }));
+        for (k, v) in a.iter().enumerate().skip(1) {
+            // Protocol shape survives: same ports, same lengths, same cmd.
+            assert_eq!(v.input_values["cmd"], stack.scenario.input_values["cmd"]);
+            assert_eq!(
+                v.input_values["din"].len(),
+                stack.scenario.input_values["din"].len()
+            );
+            assert!(matches!(v.check, Check::None), "variant {k}");
+            assert_eq!(v.done, stack.scenario.done);
+            // Deterministic for a fixed seed.
+            assert_eq!(v.input_values, b[k].input_values);
+        }
+        // A different seed varies the data.
+        let c = scenario_variants(&stack, 8, 43);
+        assert_ne!(a[1].input_values["din"], c[1].input_values["din"]);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum FaultPhase {
     Verify,
     /// Technology mapping.
     Map,
+    /// Controller-tape compilation for the bit-parallel simulation backend
+    /// (per-controller, in fan-out index order; see `crate::csim`).
+    SimCompile,
 }
 
 impl FaultPhase {
@@ -44,6 +47,7 @@ impl FaultPhase {
             FaultPhase::PrimeGen => "prime_gen",
             FaultPhase::Verify => "verify",
             FaultPhase::Map => "map",
+            FaultPhase::SimCompile => "sim_compile",
         }
     }
 
@@ -55,6 +59,7 @@ impl FaultPhase {
             "prime_gen" => FaultPhase::PrimeGen,
             "verify" => FaultPhase::Verify,
             "map" => FaultPhase::Map,
+            "sim_compile" => FaultPhase::SimCompile,
             _ => return None,
         })
     }
@@ -92,7 +97,7 @@ pub struct FaultPlan {
 
 /// A malformed fault specification (the `BMBE_FAULT` grammar is
 /// `<phase>:<nth>[:err]` with `<phase>` one of `compile`, `statemin`,
-/// `synth`, `prime_gen`, `verify`, `map`).
+/// `synth`, `prime_gen`, `verify`, `map`, `sim_compile`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultParseError {
     /// The rejected specification text.
@@ -104,7 +109,7 @@ impl fmt::Display for FaultParseError {
         write!(
             f,
             "invalid fault spec {:?}: expected <phase>:<nth>[:err] with <phase> one of \
-             compile|statemin|synth|prime_gen|verify|map",
+             compile|statemin|synth|prime_gen|verify|map|sim_compile",
             self.spec
         )
     }
@@ -226,6 +231,14 @@ mod tests {
             FaultPlan {
                 phase: FaultPhase::PrimeGen,
                 nth: 2,
+                kind: FaultKind::Error
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("sim_compile:1:err").unwrap(),
+            FaultPlan {
+                phase: FaultPhase::SimCompile,
+                nth: 1,
                 kind: FaultKind::Error
             }
         );

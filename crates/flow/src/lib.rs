@@ -14,6 +14,7 @@
 
 pub mod area;
 pub mod cache;
+pub mod csim;
 pub mod experiment;
 pub mod fault;
 pub mod pipeline;
@@ -24,6 +25,8 @@ pub mod templates;
 
 pub use area::{component_area, datapath_area};
 pub use cache::{CacheKey, CacheStats, ControllerCache, KeyedProgram, ShapeError, SynthArtifact};
+pub use csim::{batch_input_ports, compile_sim, simulate_scenarios, CompiledSim};
+pub use bmbe_sim::SimBackend;
 pub use experiment::{compare, compare_with, Comparison};
 pub use bmbe_logic::MinimizeBackend;
 pub use fault::{FaultKind, FaultParseError, FaultPhase, FaultPlan};

@@ -9,7 +9,7 @@ use bmbe_sim::prims::{
     FetchDataPrim, MemSite, MemoryPrim, PullMuxPrim, PullProviderEnv, PushConsumerEnv,
     SelectAdapterPrim, SyncResponderEnv, UnFuncPrim, VariablePrim,
 };
-use bmbe_sim::{NodeId, PrimId, SchedulerKind, Sim, Time};
+use bmbe_sim::{NodeId, PrimId, SchedulerKind, Sim, SimBackend, Time};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
@@ -68,8 +68,18 @@ impl Scenario {
 /// simulated behaviour must not).
 #[derive(Debug, Clone)]
 pub struct SimStats {
-    /// The scheduler the run used.
+    /// The backend the run used.
+    pub backend: SimBackend,
+    /// The scheduler the run used (meaningful only on the event backend;
+    /// the compiled backend has no event queue).
     pub scheduler: SchedulerKind,
+    /// Scenario lanes sharing the run (1 on the event backend, up to 64 on
+    /// the compiled backend — every outcome of a batch reports the batch's
+    /// lane count and wall time).
+    pub lanes: usize,
+    /// Settle waves the compiled backend executed (0 on the event
+    /// backend).
+    pub waves: u64,
     /// Largest number of simultaneously pending events.
     pub peak_queue_depth: usize,
     /// Host wall-clock seconds spent inside the event loop.
@@ -115,6 +125,20 @@ impl SimOutcome {
             && self.sync_counts == other.sync_counts
             && self.memories == other.memories
     }
+
+    /// Whether two runs simulated identical *behaviour*: same completion,
+    /// port data, sync counts, and memory contents — ignoring simulated
+    /// time and event counts on top of what [`SimOutcome::same_result`]
+    /// already ignores. This is the equality the compiled-vs-event
+    /// differential checks assert: the compiled backend is untimed, so
+    /// `time_ns` cannot match, and its "events" are applied wire changes
+    /// rather than scheduled events.
+    pub fn same_behaviour(&self, other: &SimOutcome) -> bool {
+        self.completed == other.completed
+            && self.outputs == other.outputs
+            && self.sync_counts == other.sync_counts
+            && self.memories == other.memories
+    }
 }
 
 /// Errors raised while building the simulation.
@@ -125,6 +149,17 @@ pub enum SimBuildError {
     /// A simulation job panicked; the panic was caught and its sibling
     /// jobs completed.
     Panic(String),
+    /// A controller could not be compiled into a bit-parallel tape (see
+    /// `crate::csim`).
+    Compile {
+        /// The controller.
+        controller: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A scenario batch is malformed for the compiled backend (mismatched
+    /// input-port sets across lanes).
+    BatchShape(String),
 }
 
 impl fmt::Display for SimBuildError {
@@ -135,6 +170,12 @@ impl fmt::Display for SimBuildError {
             }
             SimBuildError::Panic(payload) => {
                 write!(f, "simulation job panicked: {payload}")
+            }
+            SimBuildError::Compile { controller, detail } => {
+                write!(f, "compiling controller {controller} for simulation: {detail}")
+            }
+            SimBuildError::BatchShape(detail) => {
+                write!(f, "malformed scenario batch: {detail}")
             }
         }
     }
@@ -163,7 +204,7 @@ impl ChannelTable {
 
 /// Channels pulled through a select adapter (case/while selectors) use a
 /// renamed provider side.
-fn provider_name(name: &str) -> String {
+pub(crate) fn provider_name(name: &str) -> String {
     format!("{name}$p")
 }
 
@@ -229,6 +270,9 @@ pub fn simulate_with(
 ) -> Result<SimOutcome, SimBuildError> {
     let _sim_span = bmbe_obs::span!("sim.build", "sim");
     let netlist = &design.netlist;
+    // `Auto` picks the scheduler by design size (handshake components plus
+    // synthesized controllers ~ primitive count).
+    let scheduler = scheduler.resolve(flow.controllers.len() + netlist.components().len());
     let mut sim = Sim::with_scheduler(scheduler);
     let mut table = ChannelTable {
         chans: HashMap::new(),
@@ -613,7 +657,10 @@ pub fn simulate_with(
         sync_counts,
         memories,
         stats: SimStats {
+            backend: SimBackend::EventWheel,
             scheduler,
+            lanes: 1,
+            waves: 0,
             peak_queue_depth: sim.peak_queue_depth(),
             wall_s,
             far_heap_hits: sim.far_heap_hits(),

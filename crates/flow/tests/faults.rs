@@ -222,6 +222,37 @@ fn fault_on_the_uncached_path_names_the_component() {
 }
 
 #[test]
+fn sim_compile_fault_fails_only_the_compiled_backend() {
+    // The sim_compile phase lives downstream of synthesis: the flow itself
+    // must succeed, and the fault fires only when the compiled simulation
+    // backend is built (see tests/compiled_sim.rs for the surfaced error).
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let options = faulted(FaultPhase::SimCompile, 0, FaultKind::Error);
+    let flow = run_control_flow(&designs[0].compiled, &options, &library)
+        .expect("a sim_compile fault must not fail synthesis");
+    let plan = options.fault.unwrap();
+    let scenarios = vec![bmbe_flow::to_flow_scenario(&designs[0].scenario); 2];
+    let results = bmbe_flow::simulate_scenarios(
+        &designs[0].compiled,
+        &flow,
+        &scenarios,
+        &bmbe_sim::prims::Delays::default(),
+        bmbe_flow::SimBackend::Compiled,
+        1,
+        Some(&plan),
+    );
+    for slot in results {
+        match slot {
+            Err(bmbe_flow::SimBuildError::Compile { detail, .. }) => {
+                assert!(detail.contains("injected fault at sim_compile"), "{detail}")
+            }
+            other => panic!("expected a typed sim_compile error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn fault_aimed_past_the_fanout_is_inert() {
     let library = Library::cmos035();
     let designs = all_designs().expect("shipped designs build");

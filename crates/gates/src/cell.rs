@@ -149,6 +149,66 @@ impl CellKind {
             CellKind::Celem2 => return Err(CellError::Stateful(*self)),
         })
     }
+
+    /// Bit-parallel combinational evaluation: each input word carries 64
+    /// independent scenarios, one per bit lane, and the result word holds
+    /// the cell's output for every lane at once. Lane `L` of the output
+    /// equals `eval` applied to lane `L` of the inputs — the agreement the
+    /// lane-vs-scalar property test pins.
+    ///
+    /// # Errors
+    ///
+    /// See [`CellError`]; the stateful C-element needs
+    /// [`CellKind::eval_lanes_seq`].
+    pub fn eval_lanes(&self, inputs: &[u64]) -> Result<u64, CellError> {
+        if inputs.len() != self.num_inputs() {
+            return Err(CellError::WrongInputCount {
+                cell: *self,
+                expected: self.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        Ok(match self {
+            CellKind::Inv => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Nand2 => !(inputs[0] & inputs[1]),
+            CellKind::Nand3 => !(inputs[0] & inputs[1] & inputs[2]),
+            CellKind::Nand4 => !(inputs[0] & inputs[1] & inputs[2] & inputs[3]),
+            CellKind::And2 => inputs[0] & inputs[1],
+            CellKind::Or2 => inputs[0] | inputs[1],
+            CellKind::Nor2 => !(inputs[0] | inputs[1]),
+            CellKind::Ao21 => (inputs[0] & inputs[1]) | inputs[2],
+            CellKind::Ao22 => (inputs[0] & inputs[1]) | (inputs[2] & inputs[3]),
+            CellKind::Tie0 => 0,
+            CellKind::Tie1 => !0,
+            CellKind::Celem2 => return Err(CellError::Stateful(*self)),
+        })
+    }
+
+    /// Like [`CellKind::eval_lanes`], but sequential: `prev` is the cell's
+    /// previous output word, which resolves the C-element (per lane,
+    /// `a·b + prev·(a + b)`: set when both inputs agree high, cleared when
+    /// both agree low, held otherwise). Combinational cells ignore `prev`.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::WrongInputCount`] only — every cell kind has a
+    /// sequential lane value.
+    pub fn eval_lanes_seq(&self, inputs: &[u64], prev: u64) -> Result<u64, CellError> {
+        match self {
+            CellKind::Celem2 => {
+                if inputs.len() != 2 {
+                    return Err(CellError::WrongInputCount {
+                        cell: *self,
+                        expected: 2,
+                        got: inputs.len(),
+                    });
+                }
+                Ok((inputs[0] & inputs[1]) | (prev & (inputs[0] | inputs[1])))
+            }
+            _ => self.eval_lanes(inputs),
+        }
+    }
 }
 
 impl fmt::Display for CellKind {
@@ -252,6 +312,71 @@ mod tests {
         assert_eq!(CellKind::Nand4.num_inputs(), 4);
         assert_eq!(CellKind::Tie0.num_inputs(), 0);
         assert_eq!(CellKind::Ao21.num_inputs(), 3);
+    }
+
+    #[test]
+    fn lanes_agree_with_scalar_eval_on_every_cell() {
+        // Deterministic pseudo-random lane words (splitmix64).
+        fn mix(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let cells = [
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Nand3,
+            CellKind::Nand4,
+            CellKind::And2,
+            CellKind::Or2,
+            CellKind::Nor2,
+            CellKind::Ao21,
+            CellKind::Ao22,
+            CellKind::Tie0,
+            CellKind::Tie1,
+        ];
+        for (ci, cell) in cells.iter().enumerate() {
+            let n = cell.num_inputs();
+            let words: Vec<u64> = (0..n).map(|i| mix((ci * 7 + i) as u64)).collect();
+            let out = cell.eval_lanes(&words).unwrap();
+            for lane in 0..64 {
+                let scalar: Vec<bool> = words.iter().map(|w| w >> lane & 1 == 1).collect();
+                assert_eq!(
+                    out >> lane & 1 == 1,
+                    cell.eval(&scalar),
+                    "{cell} lane {lane}"
+                );
+            }
+            assert_eq!(cell.eval_lanes_seq(&words, mix(99)).unwrap(), out);
+        }
+    }
+
+    #[test]
+    fn celem_lanes_follow_the_set_hold_clear_rule() {
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        let prev = 0b0110u64;
+        // lane0: a=0,b=0 -> clear; lane1: a=0,b=1,prev=1 -> hold 1;
+        // lane2: a=1,b=0,prev=1 -> hold 1; lane3: a=1,b=1 -> set.
+        assert_eq!(
+            CellKind::Celem2.eval_lanes_seq(&[a, b], prev).unwrap(),
+            0b1110
+        );
+        assert_eq!(
+            CellKind::Celem2.eval_lanes(&[a, b]),
+            Err(CellError::Stateful(CellKind::Celem2))
+        );
+        assert_eq!(
+            CellKind::Celem2.eval_lanes_seq(&[a], prev),
+            Err(CellError::WrongInputCount {
+                cell: CellKind::Celem2,
+                expected: 2,
+                got: 1
+            })
+        );
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Deterministic DAG levelization and feedback-arc detection.
+//!
+//! The compiled simulation backend turns a mapped gate netlist into a
+//! straight-line instruction tape; that requires a topological order and,
+//! for asynchronous circuits, knowing which arcs close feedback loops (the
+//! state bits a settle-to-fixpoint outer loop iterates over). Both are
+//! generic graph questions, so they live here next to the netlist IR
+//! rather than in the simulator.
+//!
+//! The algorithms are deterministic: ready nodes are processed in
+//! ascending index within each level, so the same graph always yields the
+//! same order — the property the compiled backend's bit-identical
+//! determinism tests rest on.
+
+use std::fmt;
+
+/// A topological levelization of a DAG.
+#[derive(Debug, Clone)]
+pub struct Levelization {
+    /// Node indices in topological order (sources first; within a level,
+    /// ascending index).
+    pub order: Vec<usize>,
+    /// ASAP level per node: 0 for sources, `1 + max(level of preds)`
+    /// otherwise.
+    pub level: Vec<u32>,
+    /// Number of distinct levels (`max(level) + 1`, 0 for an empty graph).
+    pub num_levels: u32,
+}
+
+/// The graph is not acyclic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// The lowest-index node on some cycle.
+    pub node: usize,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "combinational cycle through node {}", self.node)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Levelizes a DAG given as a predecessor list: `preds[v]` are the nodes
+/// `v` depends on. Duplicate predecessor entries are allowed (each is one
+/// arc; levels only care about the set).
+///
+/// # Errors
+///
+/// [`CycleError`] naming the lowest-index node on a cycle if the graph is
+/// not acyclic.
+pub fn levelize(preds: &[Vec<usize>]) -> Result<Levelization, CycleError> {
+    let n = preds.len();
+    let mut indeg = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            assert!(p < n, "predecessor {p} out of range for {n} nodes");
+            indeg[v] += 1;
+            succs[p].push(v);
+        }
+    }
+    let mut level = vec![0u32; n];
+    let mut order = Vec::with_capacity(n);
+    // Kahn's algorithm, one level at a time so ties resolve by index.
+    let mut frontier: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut num_levels = 0u32;
+    while !frontier.is_empty() {
+        frontier.sort_unstable();
+        let mut next = Vec::new();
+        for &v in &frontier {
+            order.push(v);
+            for &s in &succs[v] {
+                level[s] = level[s].max(level[v] + 1);
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    next.push(s);
+                }
+            }
+        }
+        num_levels = num_levels.max(frontier.iter().map(|&v| level[v] + 1).max().unwrap_or(0));
+        frontier = next;
+    }
+    if order.len() != n {
+        let node = (0..n).find(|&v| indeg[v] > 0).expect("unplaced node");
+        return Err(CycleError { node });
+    }
+    Ok(Levelization {
+        order,
+        level,
+        num_levels,
+    })
+}
+
+/// Finds a set of feedback arcs `(from, to)` whose removal leaves the
+/// graph acyclic: the back edges of a deterministic depth-first search
+/// (roots and children visited in ascending index). For an already-acyclic
+/// graph this is empty; for a controller netlist with its state feedback
+/// wired in, these are exactly the arcs the settle loop iterates over.
+pub fn feedback_arcs(preds: &[Vec<usize>]) -> Vec<(usize, usize)> {
+    let n = preds.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            succs[p].push(v);
+        }
+    }
+    for s in &mut succs {
+        s.sort_unstable();
+        s.dedup();
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut mark = vec![0u8; n];
+    let mut arcs = Vec::new();
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if mark[root] != 0 {
+            continue;
+        }
+        mark[root] = 1;
+        stack.push((root, 0));
+        while let Some(&mut (v, ref mut ix)) = stack.last_mut() {
+            if *ix < succs[v].len() {
+                let s = succs[v][*ix];
+                *ix += 1;
+                match mark[s] {
+                    0 => {
+                        mark[s] = 1;
+                        stack.push((s, 0));
+                    }
+                    1 => arcs.push((v, s)),
+                    _ => {}
+                }
+            } else {
+                mark[v] = 2;
+                stack.pop();
+            }
+        }
+    }
+    arcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levelizes_a_diamond() {
+        // 0 -> 1, 0 -> 2, {1,2} -> 3
+        let preds = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        let l = levelize(&preds).unwrap();
+        assert_eq!(l.order, vec![0, 1, 2, 3]);
+        assert_eq!(l.level, vec![0, 1, 1, 2]);
+        assert_eq!(l.num_levels, 3);
+    }
+
+    #[test]
+    fn order_is_deterministic_and_respects_levels() {
+        // Two independent chains interleaved in index space.
+        let preds = vec![vec![], vec![], vec![1], vec![0], vec![2, 3]];
+        let l = levelize(&preds).unwrap();
+        assert_eq!(l.order, vec![0, 1, 2, 3, 4]);
+        for (pos, &v) in l.order.iter().enumerate() {
+            for &p in &preds[v] {
+                let ppos = l.order.iter().position(|&x| x == p).unwrap();
+                assert!(ppos < pos, "pred {p} after {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_a_cycle() {
+        // 1 -> 2 -> 3 -> 1, with 0 acyclic on the side.
+        let preds = vec![vec![], vec![3], vec![1], vec![2]];
+        let err = levelize(&preds).unwrap_err();
+        assert_eq!(err.node, 1);
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn feedback_arcs_break_cycles() {
+        let preds = vec![vec![], vec![3, 0], vec![1], vec![2]];
+        let arcs = feedback_arcs(&preds);
+        assert_eq!(arcs.len(), 1);
+        // Removing the reported arcs must leave an acyclic graph.
+        let mut cut = preds.clone();
+        for &(from, to) in &arcs {
+            cut[to].retain(|&p| p != from);
+        }
+        assert!(levelize(&cut).is_ok());
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_feedback() {
+        let preds = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        assert!(feedback_arcs(&preds).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let l = levelize(&[]).unwrap();
+        assert!(l.order.is_empty());
+        assert_eq!(l.num_levels, 0);
+    }
+}

@@ -28,9 +28,11 @@
 //! ```
 
 pub mod kind;
+pub mod levelize;
 pub mod netlist;
 
 pub use kind::{Activity, BinOp, ComponentKind, PortSpec, UnOp};
+pub use levelize::{feedback_arcs, levelize, CycleError, Levelization};
 pub use netlist::{
     Channel, ChannelId, Component, ComponentId, Endpoint, Netlist, NetlistError, Partition,
 };

@@ -62,6 +62,33 @@ pub enum SchedulerKind {
     /// The seed's `BinaryHeap` scheduler with its append-only action log
     /// and per-event watcher-list clone, kept as the reference oracle.
     Heap,
+    /// Picks per design: the heap for small circuits (whose peak queue
+    /// depth of 1–3 never reaches the wheel's interesting regime), the
+    /// wheel above [`AUTO_HEAP_MAX_PRIMS`] primitives. Resolved by
+    /// [`SchedulerKind::resolve`] before a [`Sim`] is built.
+    Auto,
+}
+
+/// Primitive-count threshold for [`SchedulerKind::Auto`]: at or below this
+/// many primitives a design's event traffic is so shallow (BENCH_sim shows
+/// peak queue depths of 1–3 on the three small paper designs) that the
+/// plain binary heap wins; above it the wheel's O(1) bucket operations pay
+/// off. The paper designs straddle it (counting handshake components plus
+/// synthesized controllers): Systolic counter (10), Stack (26) and Wagging
+/// register (53) resolve to the heap, the Microprocessor core (74) to the
+/// wheel.
+pub const AUTO_HEAP_MAX_PRIMS: usize = 56;
+
+impl SchedulerKind {
+    /// Resolves [`SchedulerKind::Auto`] against the size of the simulation
+    /// (number of primitives); `Wheel` and `Heap` pass through unchanged.
+    pub fn resolve(self, prims: usize) -> SchedulerKind {
+        match self {
+            SchedulerKind::Auto if prims <= AUTO_HEAP_MAX_PRIMS => SchedulerKind::Heap,
+            SchedulerKind::Auto => SchedulerKind::Wheel,
+            other => other,
+        }
+    }
 }
 
 /// A scheduled event: `(time, seq, action slot)`. Ordered by `(time, seq)`;
@@ -90,6 +117,13 @@ const WORDS: usize = WHEEL_BUCKETS / 64;
 /// in `tests/prop_sched.rs`.
 #[derive(Debug)]
 pub struct EventWheel {
+    /// Depth-1 fast slot: when the queue is empty, the next event is held
+    /// here and popped back without touching a bucket, the occupancy
+    /// bitmap, or the batch machinery. Handshake circuits spend most of
+    /// their life at queue depth 1 (BENCH_sim peaks of 1–3), so this is
+    /// the common case; a second push spills the held event into the
+    /// buckets and the wheel proceeds as before.
+    single: Option<Event>,
     buckets: Vec<Vec<Event>>,
     occupied: [u64; WORDS],
     wheel_start: Time,
@@ -121,6 +155,7 @@ impl EventWheel {
     /// An empty wheel based at time zero.
     pub fn new() -> Self {
         EventWheel {
+            single: None,
             buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
             occupied: [0; WORDS],
             wheel_start: 0,
@@ -170,13 +205,28 @@ impl EventWheel {
         debug_assert!(time >= self.wheel_start, "event scheduled in the past");
         self.len += 1;
         self.peak = self.peak.max(self.len);
-        let offset = ((time - self.wheel_start) >> self.shift) as usize;
-        if offset >= WHEEL_BUCKETS {
-            self.far_pushes += 1;
-            self.far.push(Reverse((time, seq, slot)));
+        if self.len == 1 {
+            // Empty queue: hold the event in the fast slot, skipping the
+            // bucket machinery entirely for depth-1 traffic.
+            self.single = Some((time, seq, slot));
             return;
         }
-        self.buckets[offset].push((time, seq, slot));
+        if let Some(held) = self.single.take() {
+            self.push_inner(held);
+        }
+        self.push_inner((time, seq, slot));
+    }
+
+    /// Files an event into a bucket or the overflow heap (no accounting —
+    /// `push` has already counted it).
+    fn push_inner(&mut self, e: Event) {
+        let offset = ((e.0 - self.wheel_start) >> self.shift) as usize;
+        if offset >= WHEEL_BUCKETS {
+            self.far_pushes += 1;
+            self.far.push(Reverse(e));
+            return;
+        }
+        self.buckets[offset].push(e);
         self.occupied[offset / 64] |= 1 << (offset % 64);
         self.near += 1;
     }
@@ -203,6 +253,14 @@ impl EventWheel {
             self.batch_ix = 0;
             if self.len == 0 {
                 return None;
+            }
+            if let Some(e) = self.single.take() {
+                // The fast slot only holds an event while it is the whole
+                // queue (a second push spills it), so it is the minimum.
+                debug_assert_eq!(self.len, 1);
+                self.len = 0;
+                self.note_pop(e.0);
+                return Some(e);
             }
             if self.near == 0 {
                 self.rebase();
@@ -309,7 +367,9 @@ enum EventQueue {
 impl EventQueue {
     fn new(kind: SchedulerKind) -> Self {
         match kind {
-            SchedulerKind::Wheel => EventQueue::Wheel(EventWheel::new()),
+            // `Auto` should be resolved by the caller (it needs the design
+            // size); an unresolved `Auto` gets the production default.
+            SchedulerKind::Wheel | SchedulerKind::Auto => EventQueue::Wheel(EventWheel::new()),
             SchedulerKind::Heap => EventQueue::Heap {
                 heap: BinaryHeap::new(),
                 peak: 0,
@@ -471,6 +531,12 @@ impl Sim {
     /// heap, append-only action log, per-event watcher clone — and exists
     /// as the reference oracle for differential tests and benchmarks.
     pub fn with_scheduler(kind: SchedulerKind) -> Self {
+        // An unresolved `Auto` (see `SchedulerKind::resolve`) falls back to
+        // the production wheel so `self.kind` is always concrete.
+        let kind = match kind {
+            SchedulerKind::Auto => SchedulerKind::Wheel,
+            k => k,
+        };
         Sim {
             nodes: Vec::new(),
             node_names: Vec::new(),
@@ -635,20 +701,20 @@ impl Sim {
                         bmbe_obs::event!("sim.wire_change", node.0 as i64);
                     }
                     match self.kind {
-                        SchedulerKind::Wheel => {
-                            // Indexed delivery: the watcher lists are fixed
-                            // once simulation starts (primitives cannot
-                            // register new ones), so no defensive clone.
-                            for i in 0..self.watchers[node.0].len() {
-                                let w = self.watchers[node.0][i];
-                                self.call(w, |p, ctx| p.on_change(ctx, node));
-                            }
-                        }
                         SchedulerKind::Heap => {
                             // The seed's per-event clone, preserved in the
                             // oracle so before/after numbers are honest.
                             let watchers = self.watchers[node.0].clone();
                             for w in watchers {
+                                self.call(w, |p, ctx| p.on_change(ctx, node));
+                            }
+                        }
+                        _ => {
+                            // Indexed delivery: the watcher lists are fixed
+                            // once simulation starts (primitives cannot
+                            // register new ones), so no defensive clone.
+                            for i in 0..self.watchers[node.0].len() {
+                                let w = self.watchers[node.0][i];
                                 self.call(w, |p, ctx| p.on_change(ctx, node));
                             }
                         }
@@ -811,6 +877,43 @@ mod tests {
         let mut sim = Sim::new();
         let s = sim.slot();
         assert_eq!(sim.slot_value(s), 0);
+    }
+
+    #[test]
+    fn singleton_fast_slot_handles_depth_one_traffic() {
+        let mut w = EventWheel::new();
+        // Alternating push/pop never touches a bucket.
+        for i in 0..1000u64 {
+            w.push(i * 64, i, i as u32);
+            assert_eq!(w.pop(), Some((i * 64, i, i as u32)));
+        }
+        assert!(w.is_empty());
+        assert_eq!(w.peak(), 1);
+        assert_eq!(w.refits(), 0);
+        // A held event far beyond the horizon spills into the far heap
+        // when a second push arrives, and still pops in order.
+        w.push(100_000_000, 1000, 0);
+        w.push(64_000, 1001, 1);
+        assert_eq!(w.pop(), Some((64_000, 1001, 1)));
+        assert_eq!(w.pop(), Some((100_000_000, 1000, 0)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn auto_resolves_by_design_size() {
+        assert_eq!(
+            SchedulerKind::Auto.resolve(AUTO_HEAP_MAX_PRIMS),
+            SchedulerKind::Heap
+        );
+        assert_eq!(
+            SchedulerKind::Auto.resolve(AUTO_HEAP_MAX_PRIMS + 1),
+            SchedulerKind::Wheel
+        );
+        assert_eq!(SchedulerKind::Wheel.resolve(1), SchedulerKind::Wheel);
+        assert_eq!(SchedulerKind::Heap.resolve(10_000), SchedulerKind::Heap);
+        // An unresolved Auto still builds a working (wheel) simulator.
+        let sim = Sim::with_scheduler(SchedulerKind::Auto);
+        assert_eq!(sim.scheduler(), SchedulerKind::Wheel);
     }
 
     #[test]

@@ -10,10 +10,18 @@
 //! See [`engine::Sim`] for the core and [`prims`] for the primitive
 //! library.
 
+pub mod compile;
 pub mod engine;
 pub mod prims;
 
-pub use engine::{Ctx, EventWheel, NodeId, PrimId, Primitive, SchedulerKind, Sim, SlotId, Time};
+pub use compile::{
+    CCh, CPrim, CSite, CSlot, CWire, CircuitBuilder, CompileError, CompiledCircuit,
+    ControllerTape, DoneSpec, GateSpec, LaneSpec, RunResult, RunSpec, SimBackend, TapeOp, LANES,
+};
+pub use engine::{
+    Ctx, EventWheel, NodeId, PrimId, Primitive, SchedulerKind, Sim, SlotId, Time,
+    AUTO_HEAP_MAX_PRIMS,
+};
 pub use prims::{
     ActivationDriverEnv, BinFuncPrim, CallMuxPrim, ConstantPrim, ControllerPrim, DataCh, Delays,
     FetchDataPrim, MemSite, MemoryPrim, PullMuxPrim, PullProviderEnv, PushConsumerEnv,

@@ -11,11 +11,16 @@
 #   5. fault smoke: an injected fault (BMBE_FAULT=synth:0, then one
 #      inside prime generation, BMBE_FAULT=prime_gen:0:err) must fail
 #      perf_report with a structured error line and a nonzero exit, and
-#      the same binary must then pass clean;
+#      the same binary must then pass clean; a simulation-compile fault
+#      (BMBE_FAULT=sim_compile:0) must likewise fail sim_report;
 #   6. perf smoke: in the clean pass's report, the Microprocessor core's
 #      cold prime generation under the default backend must be at least
 #      5x faster than under the exact prime-enumerating backend (the
-#      seed behaviour; its recorded cold baseline was 0.0804 s).
+#      seed behaviour; its recorded cold baseline was 0.0804 s);
+#   7. sim perf smoke: in a fresh sim_report, the compiled backend's
+#      batched 64-scenario Microprocessor-core run must beat the event
+#      wheel's aggregate events/s by at least 5x (per-lane parity with
+#      the wheel oracle is asserted inside sim_report itself).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -49,6 +54,16 @@ for plan in synth:0 prime_gen:0:err; do
         exit 1
     fi
 done
+if BMBE_FAULT=sim_compile:0 cargo run --release -p bmbe-bench --bin sim_report \
+    >/dev/null 2>"$fault_err"; then
+    echo "tier1: FAIL: sim_report succeeded under BMBE_FAULT=sim_compile:0" >&2
+    exit 1
+fi
+if ! grep -q '^error: sim_report: ' "$fault_err"; then
+    echo "tier1: FAIL: no structured error line under BMBE_FAULT=sim_compile:0" >&2
+    cat "$fault_err" >&2
+    exit 1
+fi
 # The clean pass runs in a scratch directory so the checked-in
 # BENCH_flow.json is not overwritten with this machine's timings.
 fault_dir="$(mktemp -d)"
@@ -74,6 +89,27 @@ if ! awk -v a="$auto_s" -v e="$exact_s" \
     exit 1
 fi
 echo "tier1: Microprocessor cold prime_gen ${auto_s}s (default) vs ${exact_s}s (exact)"
+
+echo "== tier1: sim perf smoke (compiled backend) =="
+# Ratio gate on a fresh sim_report (same scratch directory): the compiled
+# backend's batched 64-scenario Microprocessor run must clear 5x the
+# event wheel's aggregate events/s. sim_report asserts per-lane parity
+# with the wheel oracle before timing, so this pass also re-proves the
+# differential property on this host.
+(cd "$fault_dir" && cargo run --release \
+    --manifest-path "$repo_root/Cargo.toml" \
+    -p bmbe-bench --bin sim_report >/dev/null)
+micro_sim_line="$(grep '"compiled_vs_wheel"' "$fault_dir/BENCH_sim.json" \
+    | grep '"design": "Microprocessor')" || {
+    echo "tier1: FAIL: no Microprocessor backends row in the fresh BENCH_sim.json" >&2
+    exit 1
+}
+ratio="$(printf '%s' "$micro_sim_line" | sed 's/.*"compiled_vs_wheel": \([0-9.]*\).*/\1/')"
+if ! awk -v r="$ratio" 'BEGIN { exit !(r >= 5) }'; then
+    echo "tier1: FAIL: Microprocessor batched compiled_vs_wheel ${ratio}x (< 5x)" >&2
+    exit 1
+fi
+echo "tier1: Microprocessor batched compiled backend ${ratio}x the event wheel"
 rm -rf "$fault_dir"
 
 echo "tier1: all gates passed"
