@@ -65,7 +65,7 @@ impl From<NetlistError> for BalsaError {
 }
 
 /// The result of compiling a procedure.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CompiledDesign {
     /// The handshake-component netlist.
     pub netlist: Netlist,

@@ -21,5 +21,5 @@ pub mod scenarios;
 pub mod sources;
 pub mod ssem;
 
-pub use scenarios::{all_designs, scenario_variants, Design};
+pub use scenarios::{all_designs, scenario_variants, variants_of, Design};
 pub use ssem::{assemble, Instr};

@@ -182,14 +182,28 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 /// Generates `n` scenario variants of a design's benchmark scenario for
 /// batched (bit-parallel) simulation: variant 0 is the base scenario
-/// verbatim; later variants keep the protocol shape (activation cycles,
-/// done condition, memory preloads, and any control-scripting port such as
-/// the stack's `cmd`) but randomize the scripted *data* values from a
-/// deterministic `seed`. Variants beyond the base carry [`Check::None`] —
-/// their expected outcome is whatever the event-engine oracle computes,
-/// which is exactly what the compiled-vs-event differential tests assert.
+/// verbatim; later variants keep the protocol shape (done condition kind,
+/// memory preloads, and any control-scripting port such as the stack's
+/// `cmd`) but randomize the scripted *data* values from a deterministic
+/// `seed`, and every fourth variant additionally sweeps the run *length* —
+/// activation cycles and the done-condition count scale together by 2–4× —
+/// so a batch is a mix of short and long lanes rather than sixty-four
+/// copies of the same trace length. Variants beyond the base carry
+/// [`Check::None`] — their expected outcome is whatever the event-engine
+/// oracle computes, which is exactly what the compiled-vs-event
+/// differential tests assert.
+///
+/// Length sweeps are skipped for designs with memory preloads (the SSEM):
+/// a preloaded program runs to its own halt exactly once, so its done
+/// count cannot be multiplied.
 pub fn scenario_variants(design: &Design, n: usize, seed: u64) -> Vec<DesignScenario> {
-    let base = &design.scenario;
+    variants_of(&design.scenario, n, seed)
+}
+
+/// [`scenario_variants`] for a bare scenario — the batch driver's sim
+/// stage works from a [`DesignScenario`] supplied per job, without a
+/// [`Design`] wrapper.
+pub fn variants_of(base: &DesignScenario, n: usize, seed: u64) -> Vec<DesignScenario> {
     let mut rng = seed ^ 0xd6e8_feb8_6659_fd93;
     (0..n)
         .map(|k| {
@@ -198,13 +212,19 @@ pub fn scenario_variants(design: &Design, n: usize, seed: u64) -> Vec<DesignScen
                 for (port, values) in &mut s.input_values {
                     // Command/selector scripts steer control flow; changing
                     // them changes the handshake count the done condition
-                    // waits for, so only data ports vary.
+                    // waits for, so only data ports vary (the scripts cycle,
+                    // so longer variants replay the same balanced commands).
                     if port == "cmd" {
                         continue;
                     }
                     for v in values.iter_mut() {
                         *v = splitmix64(&mut rng) & 0xff;
                     }
+                }
+                if k % 4 == 3 && base.memory_init.is_empty() {
+                    let m = 2 + (k / 4) % 3;
+                    s.activation_cycles *= m;
+                    s.done.2 *= m;
                 }
                 s.check = Check::None;
             }
@@ -256,13 +276,39 @@ mod tests {
                 stack.scenario.input_values["din"].len()
             );
             assert!(matches!(v.check, Check::None), "variant {k}");
-            assert_eq!(v.done, stack.scenario.done);
+            // Every fourth variant sweeps the run length; the rest keep the
+            // base done count. Either way the done kind and port survive.
+            assert_eq!(v.done.0, stack.scenario.done.0);
+            assert_eq!(v.done.1, stack.scenario.done.1);
+            if k % 4 == 3 {
+                let m = 2 + (k / 4) % 3;
+                assert_eq!(v.done.2, stack.scenario.done.2 * m, "variant {k}");
+                assert_eq!(
+                    v.activation_cycles,
+                    stack.scenario.activation_cycles * m,
+                    "variant {k}"
+                );
+            } else {
+                assert_eq!(v.done, stack.scenario.done);
+                assert_eq!(v.activation_cycles, stack.scenario.activation_cycles);
+            }
             // Deterministic for a fixed seed.
             assert_eq!(v.input_values, b[k].input_values);
         }
         // A different seed varies the data.
         let c = scenario_variants(&stack, 8, 43);
         assert_ne!(a[1].input_values["din"], c[1].input_values["din"]);
+    }
+
+    #[test]
+    fn length_sweeps_skip_memory_preloaded_designs() {
+        // The SSEM runs its preloaded program to a single halt; its done
+        // count must never be multiplied.
+        let ssem = ssem_core().unwrap();
+        for (k, v) in scenario_variants(&ssem, 12, 7).iter().enumerate() {
+            assert_eq!(v.done, ssem.scenario.done, "variant {k}");
+            assert_eq!(v.activation_cycles, ssem.scenario.activation_cycles);
+        }
     }
 
     #[test]

@@ -25,6 +25,19 @@
 //! entry a crashed store left half-written — the shape is simply re-missed
 //! (retried) on the next lookup instead of being served in an unknown
 //! state. Entries written by stores that completed are kept.
+//!
+//! Since PR 8 the cache can also be *persistent*: layering a
+//! [`DiskCache`] (see [`disk`]) under the in-memory map turns every
+//! lookup into memory → disk → synthesize, and every store into a
+//! write-through. Disk hits are promoted into the memory map; disk
+//! failures of any kind (I/O errors, corrupt entries, even a panicking
+//! filesystem) degrade to an ordinary miss, so `synthesize_*` callers
+//! are untouched whether or not a cache directory is configured.
+
+pub mod codec;
+pub mod disk;
+
+pub use disk::{DiskCache, DiskMiss, CACHE_DIR_ENV};
 
 use crate::fault::{FaultKind, FaultPhase, FaultPlan};
 use crate::profile::PhaseProfile;
@@ -440,19 +453,47 @@ struct Shelf {
 }
 
 /// A thread-safe, content-addressed store of synthesized controller
-/// shapes. Poison-tolerant: see the module docs and [`CacheStats`].
+/// shapes, optionally backed by a persistent [`DiskCache`].
+/// Poison-tolerant: see the module docs and [`CacheStats`].
 #[derive(Debug, Default)]
 pub struct ControllerCache {
     entries: Mutex<Shelf>,
+    disk: Option<DiskCache>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     poison_recoveries: AtomicUsize,
 }
 
 impl ControllerCache {
-    /// An empty cache.
+    /// An empty, memory-only cache (the default for library callers and
+    /// tests — nothing touches the filesystem).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache layered over a persistent store: lookups read
+    /// through to disk, stores write through, disk failures degrade to
+    /// misses.
+    pub fn with_disk(disk: DiskCache) -> Self {
+        ControllerCache {
+            disk: Some(disk),
+            ..Self::default()
+        }
+    }
+
+    /// A cache honouring `BMBE_CACHE_DIR`: disk-backed when the variable
+    /// names a usable directory, memory-only otherwise. The report
+    /// binaries and the batch driver use this.
+    pub fn from_env() -> Self {
+        match DiskCache::from_env() {
+            Some(disk) => Self::with_disk(disk),
+            None => Self::new(),
+        }
+    }
+
+    /// The persistent layer, when configured.
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
     }
 
     /// Locks the entry map, recovering from a poisoned mutex instead of
@@ -511,13 +552,52 @@ impl ControllerCache {
         self.poison_recoveries.load(Ordering::Relaxed)
     }
 
-    /// Looks up a shape without touching the counters.
+    /// Looks up a shape without touching the counters: the in-memory map
+    /// first, then the persistent layer (a disk hit is promoted into
+    /// memory so later lookups are free). Any disk-layer failure —
+    /// corrupt entry, I/O error, panic — degrades to `None`.
     pub fn peek(&self, key: &CacheKey) -> Option<Arc<SynthArtifact>> {
-        self.shelf().map.get(key).map(|e| e.artifact.clone())
+        if let Some(artifact) = self.shelf().map.get(key).map(|e| e.artifact.clone()) {
+            return Some(artifact);
+        }
+        let disk = self.disk.as_ref()?;
+        // The disk layer handles its own typed failures; catch_job adds
+        // panic isolation on top (an injected cache_io panic, or a truly
+        // broken filesystem, must read as a miss — never take down the
+        // flow or poison the entry lock).
+        let artifact = match bmbe_par::catch_job(|| disk.load(key).ok()) {
+            Ok(loaded) => loaded?,
+            Err(payload) => {
+                bmbe_obs::vlog!(1, "bmbe-flow: disk cache read panicked: {payload}");
+                return None;
+            }
+        };
+        self.store_in_memory(key.clone(), artifact.clone());
+        Some(artifact)
     }
 
-    /// Stores a shape.
+    /// Stores a shape in memory and, when a persistent layer is
+    /// configured, writes it through to disk. A failed or panicking disk
+    /// write degrades to an unpersisted entry (the flow still has the
+    /// artifact; only the warm-start is lost).
     pub fn store(&self, key: CacheKey, artifact: Arc<SynthArtifact>) {
+        if let Some(disk) = &self.disk {
+            match bmbe_par::catch_job(|| disk.store(&key, &artifact)) {
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => {
+                    bmbe_obs::vlog!(1, "bmbe-flow: disk cache write failed (degrading): {e}");
+                }
+                Err(payload) => {
+                    bmbe_obs::vlog!(1, "bmbe-flow: disk cache write panicked: {payload}");
+                }
+            }
+        }
+        self.store_in_memory(key, artifact);
+    }
+
+    /// The in-memory half of a store (also used to promote disk hits,
+    /// which must not be written back out).
+    fn store_in_memory(&self, key: CacheKey, artifact: Arc<SynthArtifact>) {
         bmbe_obs::trace_counter!("cache.bytes", approx_artifact_bytes(&key, &artifact) as u64);
         let mut shelf = self.shelf();
         shelf.write_generation += 1;

@@ -34,6 +34,11 @@ pub enum FaultPhase {
     /// Controller-tape compilation for the bit-parallel simulation backend
     /// (per-controller, in fan-out index order; see `crate::csim`).
     SimCompile,
+    /// Disk-cache I/O (`crate::cache::disk::DiskCache`). Unlike the other
+    /// phases, `nth` counts *disk operations* on one cache handle (reads
+    /// and writes share the counter), not fan-out job indices — there is
+    /// no deterministic job order across the I/O a persistent cache sees.
+    CacheIo,
 }
 
 impl FaultPhase {
@@ -48,6 +53,7 @@ impl FaultPhase {
             FaultPhase::Verify => "verify",
             FaultPhase::Map => "map",
             FaultPhase::SimCompile => "sim_compile",
+            FaultPhase::CacheIo => "cache_io",
         }
     }
 
@@ -60,6 +66,7 @@ impl FaultPhase {
             "verify" => FaultPhase::Verify,
             "map" => FaultPhase::Map,
             "sim_compile" => FaultPhase::SimCompile,
+            "cache_io" => FaultPhase::CacheIo,
             _ => return None,
         })
     }
@@ -97,7 +104,7 @@ pub struct FaultPlan {
 
 /// A malformed fault specification (the `BMBE_FAULT` grammar is
 /// `<phase>:<nth>[:err]` with `<phase>` one of `compile`, `statemin`,
-/// `synth`, `prime_gen`, `verify`, `map`, `sim_compile`).
+/// `synth`, `prime_gen`, `verify`, `map`, `sim_compile`, `cache_io`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultParseError {
     /// The rejected specification text.
@@ -109,7 +116,7 @@ impl fmt::Display for FaultParseError {
         write!(
             f,
             "invalid fault spec {:?}: expected <phase>:<nth>[:err] with <phase> one of \
-             compile|statemin|synth|prime_gen|verify|map|sim_compile",
+             compile|statemin|synth|prime_gen|verify|map|sim_compile|cache_io",
             self.spec
         )
     }
@@ -239,6 +246,14 @@ mod tests {
             FaultPlan {
                 phase: FaultPhase::SimCompile,
                 nth: 1,
+                kind: FaultKind::Error
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("cache_io:0:err").unwrap(),
+            FaultPlan {
+                phase: FaultPhase::CacheIo,
+                nth: 0,
                 kind: FaultKind::Error
             }
         );

@@ -13,6 +13,7 @@
 //! improvement, overhead).
 
 pub mod area;
+pub mod batch;
 pub mod cache;
 pub mod csim;
 pub mod experiment;
@@ -24,7 +25,11 @@ pub mod table3;
 pub mod templates;
 
 pub use area::{component_area, datapath_area};
-pub use cache::{CacheKey, CacheStats, ControllerCache, KeyedProgram, ShapeError, SynthArtifact};
+pub use batch::{run_batch, BatchJob, BatchSummary, JobFailure, JobReport, Resolution, ShapeRegistry};
+pub use cache::{
+    CacheKey, CacheStats, ControllerCache, DiskCache, DiskMiss, KeyedProgram, ShapeError,
+    SynthArtifact, CACHE_DIR_ENV,
+};
 pub use csim::{batch_input_ports, compile_sim, simulate_scenarios, CompiledSim};
 pub use bmbe_sim::SimBackend;
 pub use experiment::{compare, compare_with, Comparison};

@@ -243,8 +243,10 @@ impl ShapeError {
 
 /// Re-materializes a cached canonical artifact as one component's
 /// controller: clones the shape, renames canonical wires back to the
-/// component's channel names, and attaches the instance name.
-fn instantiate(
+/// component's channel names, and attaches the instance name. Shared with
+/// the batch driver (`crate::batch`), whose jobs resolve shapes through
+/// the fleet-wide singleflight registry instead of this pipeline.
+pub(crate) fn instantiate(
     shape: &SynthArtifact,
     keyed: &KeyedProgram,
     name: &str,
@@ -423,25 +425,49 @@ pub fn run_control_flow_with(
         bmbe_obs::trace_gauge!("flow.pending_shapes", pending.len() as i64);
         let fanout_span = bmbe_obs::span!("flow.synth", "flow");
         let fanout_parent = fanout_span.id();
-        let synthesized = par_try_map(
-            &pending,
-            workers,
-            |i, k| format!("shape job {i} (cache key {:016x})", k.key.digest()),
-            |i, k| {
-                let _g = bmbe_obs::span_with_parent!("shape.job", "flow", fanout_parent);
-                let fault = options.fault.as_ref().filter(|f| f.targets_job(i));
-                let result =
-                    synthesize_direct("shape", &k.canonical, options, library, inner, fault);
-                bmbe_obs::trace_gauge!("flow.pending_shapes", add: -1);
-                result
-            },
-        );
-        drop(fanout_span);
-        let mut failed: HashMap<&crate::cache::CacheKey, ShapeError> = HashMap::new();
-        for (k, slot) in pending.iter().zip(synthesized) {
+        let synthesized: Vec<Result<SynthArtifact, ShapeError>> = if workers == 1 {
+            // Inline path: with fewer than two long-pole shapes (e.g. a
+            // 2-shape design with no dedup, like the clustered Stack) the
+            // fan-out machinery is pure overhead — run the misses on the
+            // calling thread, keeping the same job indexing (for fault
+            // targeting) and the same per-shape panic isolation.
+            pending
+                .iter()
+                .enumerate()
+                .map(|(i, k)| {
+                    let _g = bmbe_obs::span_with_parent!("shape.job", "flow", fanout_parent);
+                    let fault = options.fault.as_ref().filter(|f| f.targets_job(i));
+                    let result = bmbe_par::catch_job(|| {
+                        synthesize_direct("shape", &k.canonical, options, library, inner, fault)
+                    })
+                    .unwrap_or_else(|payload| Err(ShapeError::Panic(payload)));
+                    bmbe_obs::trace_gauge!("flow.pending_shapes", add: -1);
+                    result
+                })
+                .collect()
+        } else {
+            par_try_map(
+                &pending,
+                workers,
+                |i, k| format!("shape job {i} (cache key {:016x})", k.key.digest()),
+                |i, k| {
+                    let _g = bmbe_obs::span_with_parent!("shape.job", "flow", fanout_parent);
+                    let fault = options.fault.as_ref().filter(|f| f.targets_job(i));
+                    let result =
+                        synthesize_direct("shape", &k.canonical, options, library, inner, fault);
+                    bmbe_obs::trace_gauge!("flow.pending_shapes", add: -1);
+                    result
+                },
+            )
+            .into_iter()
             // A panicked worker folds into the same per-shape error channel
             // as a typed failure; its siblings have already completed.
-            let result = slot.unwrap_or_else(|job| Err(ShapeError::Panic(job.payload)));
+            .map(|slot| slot.unwrap_or_else(|job| Err(ShapeError::Panic(job.payload))))
+            .collect()
+        };
+        drop(fanout_span);
+        let mut failed: HashMap<&crate::cache::CacheKey, ShapeError> = HashMap::new();
+        for (k, result) in pending.iter().zip(synthesized) {
             match result {
                 Ok(artifact) => {
                     phases.accumulate(&artifact.profile);
@@ -606,6 +632,22 @@ mod budget_tests {
         let costs = || std::iter::once(BIG).chain(std::iter::repeat(SMALL).take(20));
         assert_eq!(fanout_budget(8, costs()), (1, 8));
         assert_eq!(fanout_budget(1, costs()), (1, 1));
+    }
+
+    #[test]
+    fn two_shape_design_without_dedup_stays_inline() {
+        // The clustered Stack benchmark: one tiny loop controller and one
+        // 500+-char cluster controller, no dedup between them. Exactly one
+        // shape clears the cutoff, so the outer loop must stay inline
+        // (workers == 1) at every thread count — fanning two jobs out for
+        // one long pole and one trivial shape only buys scheduling
+        // overhead (the BENCH_flow.json Stack regression this pins).
+        let stack_like = || [62usize, 537].into_iter();
+        for threads in [1, 2, 4, 8] {
+            let (workers, inner) = fanout_budget(threads, stack_like());
+            assert_eq!(workers, 1, "threads={threads}");
+            assert_eq!(inner, threads);
+        }
     }
 
     #[test]

@@ -260,3 +260,125 @@ fn fault_aimed_past_the_fanout_is_inert() {
     run_control_flow(&designs[0].compiled, &options, &library)
         .expect("a plan targeting a job index past the fan-out must not fire");
 }
+
+/// A scratch cache directory for the `cache_io` fault tests, removed on
+/// drop so faulted runs never leak into a real `BMBE_CACHE_DIR`.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir = std::env::temp_dir().join(format!(
+            "bmbe-fault-cache-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// An injected disk-write failure degrades that shape to an unpersisted
+/// cache miss: the flow still succeeds, the unaffected entry lands on
+/// disk, and a later pristine run backfills the missing one.
+#[test]
+fn faulted_cache_write_degrades_to_a_miss_and_the_flow_succeeds() {
+    use bmbe_flow::DiskCache;
+    let scratch = ScratchDir::new("write");
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let counter = &designs[0]; // two unique shapes
+    let shapes = component_keys(counter, &FlowOptions::optimized());
+    let unique: std::collections::HashSet<&String> = shapes.iter().map(|(_, k)| k).collect();
+    assert_eq!(unique.len(), 2, "test assumes two unique shapes");
+    // Disk op order for a cold 2-shape run: load #0, load #1 (both miss),
+    // then store #2, store #3. Fault op 2: the first store fails.
+    let plan = FaultPlan {
+        phase: FaultPhase::CacheIo,
+        nth: 2,
+        kind: FaultKind::Error,
+    };
+    let cache = bmbe_flow::ControllerCache::with_disk(
+        DiskCache::with_fault(&scratch.0, Some(plan)).expect("create cache dir"),
+    );
+    let flow = run_control_flow_with(&counter.compiled, &FlowOptions::optimized(), &library, &cache)
+        .expect("a disk-write fault must not fail the flow");
+    assert_eq!(flow.cache_misses, 2);
+    // Only the unfaulted store landed.
+    let disk = DiskCache::open(&scratch.0).expect("reopen");
+    assert_eq!(disk.len(), 1, "the faulted write must not leave an entry");
+    // The in-memory layer still holds both shapes: a warm rerun is all hits.
+    let warm = run_control_flow_with(&counter.compiled, &FlowOptions::optimized(), &library, &cache)
+        .expect("warm flow");
+    assert_eq!(warm.cache_misses, 0);
+    // A pristine cache over the same directory re-synthesizes only the
+    // missing shape and backfills it.
+    let fresh = bmbe_flow::ControllerCache::with_disk(DiskCache::open(&scratch.0).expect("reopen"));
+    let redo = run_control_flow_with(&counter.compiled, &FlowOptions::optimized(), &library, &fresh)
+        .expect("flow after degraded write");
+    assert_eq!(redo.cache_misses, 1, "only the unpersisted shape re-runs");
+    assert_eq!(DiskCache::open(&scratch.0).expect("reopen").len(), 2);
+}
+
+/// An injected disk-read failure is a plain miss (the entry survives for
+/// the next reader): the flow re-synthesizes and still succeeds.
+#[test]
+fn faulted_cache_read_is_a_miss_and_the_flow_succeeds() {
+    use bmbe_flow::DiskCache;
+    let scratch = ScratchDir::new("read");
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let counter = &designs[0];
+    // Populate the directory.
+    let seed_cache = bmbe_flow::ControllerCache::with_disk(
+        DiskCache::open(&scratch.0).expect("create cache dir"),
+    );
+    run_control_flow_with(&counter.compiled, &FlowOptions::optimized(), &library, &seed_cache)
+        .expect("cold flow");
+    let entries = DiskCache::open(&scratch.0).expect("reopen").len();
+    assert!(entries > 0);
+    // Fault the first read of a fresh cache: that shape re-synthesizes.
+    let plan = FaultPlan {
+        phase: FaultPhase::CacheIo,
+        nth: 0,
+        kind: FaultKind::Error,
+    };
+    let cache = bmbe_flow::ControllerCache::with_disk(
+        DiskCache::with_fault(&scratch.0, Some(plan)).expect("reopen"),
+    );
+    let flow = run_control_flow_with(&counter.compiled, &FlowOptions::optimized(), &library, &cache)
+        .expect("a disk-read fault must not fail the flow");
+    assert_eq!(flow.cache_misses, 1, "the unreadable shape re-synthesizes");
+    // The entry was left in place, not evicted.
+    assert_eq!(DiskCache::open(&scratch.0).expect("reopen").len(), entries);
+}
+
+/// A `cache_io` panic (not just a typed error) is caught by the cache
+/// layer's job isolation: the flow still succeeds.
+#[test]
+fn cache_io_panic_is_contained_by_the_cache_layer() {
+    use bmbe_flow::DiskCache;
+    let scratch = ScratchDir::new("panic");
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let plan = FaultPlan {
+        phase: FaultPhase::CacheIo,
+        nth: 0,
+        kind: FaultKind::Panic,
+    };
+    let cache = bmbe_flow::ControllerCache::with_disk(
+        DiskCache::with_fault(&scratch.0, Some(plan)).expect("create cache dir"),
+    );
+    let flow = run_control_flow_with(
+        &designs[0].compiled,
+        &FlowOptions::optimized(),
+        &library,
+        &cache,
+    )
+    .expect("a panicking disk layer must not fail the flow");
+    assert!(flow.cache_misses > 0);
+}

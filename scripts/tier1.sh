@@ -20,7 +20,14 @@
 #   7. sim perf smoke: in a fresh sim_report, the compiled backend's
 #      batched 64-scenario Microprocessor-core run must beat the event
 #      wheel's aggregate events/s by at least 5x (per-lane parity with
-#      the wheel oracle is asserted inside sim_report itself).
+#      the wheel oracle is asserted inside sim_report itself);
+#   8. batch + persistent cache: a batch_report fleet over a scratch
+#      BMBE_CACHE_DIR must emit pure-JSON stdout, synthesize each
+#      distinct shape exactly once, and a second *process* over the same
+#      cache directory must synthesize nothing and run the
+#      Microprocessor core at least 3x faster than the cold process;
+#   9. cache_io fault smoke: with BMBE_FAULT=cache_io:0:err the disk
+#      layer degrades to misses and the same fleet must still succeed.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -111,5 +118,56 @@ if ! awk -v r="$ratio" 'BEGIN { exit !(r >= 5) }'; then
 fi
 echo "tier1: Microprocessor batched compiled backend ${ratio}x the event wheel"
 rm -rf "$fault_dir"
+
+echo "== tier1: batch driver + persistent disk cache =="
+# Scratch cache directory: the gate must never read or pollute a real
+# BMBE_CACHE_DIR the developer has configured.
+cache_dir="$(mktemp -d)"
+batch_cold="${TMPDIR:-/tmp}/bmbe_tier1_batch_cold.jsonl"
+batch_warm="${TMPDIR:-/tmp}/bmbe_tier1_batch_warm.jsonl"
+BMBE_CACHE_DIR="$cache_dir" cargo run --release -p bmbe-bench --bin batch_report -- \
+    --replicas 1 --sim-batch 0 >"$batch_cold"
+# Pure-JSON stdout: every line is one JSON object.
+if grep -qv '^{' "$batch_cold"; then
+    echo "tier1: FAIL: batch_report stdout is not pure JSON:" >&2
+    grep -v '^{' "$batch_cold" >&2
+    exit 1
+fi
+# Exactly-once: the cold fleet synthesized each distinct shape once.
+cold_summary="$(grep '"summary": true' "$batch_cold")"
+distinct="$(printf '%s' "$cold_summary" | sed 's/.*"distinct_shapes": \([0-9]*\).*/\1/')"
+cold_synth="$(printf '%s' "$cold_summary" | sed 's/.*"synthesized": \([0-9]*\).*/\1/')"
+if [ "$distinct" != "$cold_synth" ] || [ "$cold_synth" = "0" ]; then
+    echo "tier1: FAIL: cold batch synthesized $cold_synth of $distinct distinct shapes (must be all, exactly once)" >&2
+    exit 1
+fi
+# Second process, same cache directory: everything resolves from disk.
+BMBE_CACHE_DIR="$cache_dir" cargo run --release -p bmbe-bench --bin batch_report -- \
+    --replicas 1 --sim-batch 0 >"$batch_warm"
+warm_synth="$(grep '"summary": true' "$batch_warm" | sed 's/.*"synthesized": \([0-9]*\).*/\1/')"
+if [ "$warm_synth" != "0" ]; then
+    echo "tier1: FAIL: warm cross-process batch re-synthesized $warm_synth shapes" >&2
+    exit 1
+fi
+# The warm process's Microprocessor job must be at least 3x faster than
+# the cold one's (disk decode vs full synthesis; measured ~8x here).
+cold_s="$(grep '"job": "Microprocessor core#0"' "$batch_cold" | sed 's/.*"wall_s": \([0-9.]*\).*/\1/')"
+warm_s="$(grep '"job": "Microprocessor core#0"' "$batch_warm" | sed 's/.*"wall_s": \([0-9.]*\).*/\1/')"
+if ! awk -v c="$cold_s" -v w="$warm_s" 'BEGIN { exit !(w > 0 && c / w >= 3) }'; then
+    echo "tier1: FAIL: Microprocessor warm disk-cache run ${warm_s}s vs cold ${cold_s}s (< 3x)" >&2
+    exit 1
+fi
+echo "tier1: Microprocessor cold ${cold_s}s vs warm-disk ${warm_s}s (cross-process)"
+
+echo "== tier1: cache_io fault smoke =="
+# A faulted disk layer degrades to cache misses; the fleet must succeed.
+fault_cache_dir="$(mktemp -d)"
+if ! BMBE_FAULT=cache_io:0:err BMBE_CACHE_DIR="$fault_cache_dir" \
+    cargo run --release -p bmbe-bench --bin batch_report -- \
+    --replicas 1 --sim-batch 0 >/dev/null; then
+    echo "tier1: FAIL: batch_report failed under BMBE_FAULT=cache_io:0:err" >&2
+    exit 1
+fi
+rm -rf "$cache_dir" "$fault_cache_dir"
 
 echo "tier1: all gates passed"

@@ -55,5 +55,6 @@ pub use bmbe_flow as flow;
 pub use bmbe_gates as gates;
 pub use bmbe_hsnet as hsnet;
 pub use bmbe_logic as logic;
+pub use bmbe_par as par;
 pub use bmbe_sim as sim;
 pub use bmbe_trace as trace;

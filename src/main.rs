@@ -4,8 +4,14 @@
 //! bmbe ch2bms  FILE.ch   [--dot]        compile CH to a burst-mode spec
 //! bmbe synth   FILE.ch                  ... and synthesize hazard-free logic
 //! bmbe flow    FILE.balsa [--no-opt]    run the full control flow
+//! bmbe batch   FILE.balsa... [--no-opt] run many designs as one batch
 //! bmbe table3                           run the paper's benchmark table
 //! ```
+//!
+//! `batch` runs every file as a job over one shared controller cache
+//! (persistent when `BMBE_CACHE_DIR` is set), deduplicating controller
+//! shapes across the whole fleet, and streams one JSON object per job on
+//! stdout.
 
 use bmbe::bm::synth::{synthesize, MinimizeMode};
 use bmbe::bm::text::{to_bms, to_dot};
@@ -20,7 +26,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bmbe ch2bms FILE.ch [--dot]\n  bmbe synth FILE.ch\n  \
-         bmbe flow FILE.balsa [--no-opt]\n  bmbe table3"
+         bmbe flow FILE.balsa [--no-opt]\n  bmbe batch FILE.balsa... [--no-opt]\n  \
+         bmbe table3"
     );
     ExitCode::FAILURE
 }
@@ -31,6 +38,7 @@ fn main() -> ExitCode {
         Some("ch2bms") => cmd_ch2bms(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
         Some("flow") => cmd_flow(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("table3") => cmd_table3(),
         _ => return usage(),
     };
@@ -114,6 +122,72 @@ fn cmd_flow(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             c.area(),
             c.critical_delay()
         );
+    }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use bmbe::flow::{run_batch, BatchJob, ControllerCache};
+    let optimize = !args.iter().any(|a| a == "--no-opt");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        return Err("missing mini-Balsa files".into());
+    }
+    let mut jobs = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let program = bmbe::balsa::parse(&read_file(path)?)?;
+        let design = bmbe::balsa::compile_procedure(&program.procedures[0])
+            .map_err(|e| format!("{path}: {e}"))?;
+        let mut job = BatchJob::new(path.as_str(), design);
+        if !optimize {
+            job.options = FlowOptions::unoptimized();
+        }
+        job.options = job.options.with_env_fault();
+        jobs.push(job);
+    }
+    // One shared cache for the whole fleet — persistent across invocations
+    // when BMBE_CACHE_DIR points at a cache directory.
+    let cache = ControllerCache::from_env();
+    let threads = bmbe::par::default_threads();
+    let summary = run_batch(&jobs, &Library::cmos035(), &cache, threads);
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    for outcome in &summary.jobs {
+        match outcome {
+            Ok(r) => println!(
+                "{{\"job\": \"{}\", \"design\": \"{}\", \"ok\": true, \
+                 \"controllers\": {}, \"products\": {}, \"control_area\": {:.1}, \
+                 \"cache_hits\": {}, \"synthesized\": {}, \"shared\": {}}}",
+                escape(&r.label),
+                escape(&r.design),
+                r.controllers,
+                r.products,
+                r.control_area,
+                r.cache_hits,
+                r.synthesized,
+                r.shared
+            ),
+            Err(f) => println!(
+                "{{\"job\": \"{}\", \"design\": \"{}\", \"ok\": false, \
+                 \"phase\": \"{}\", \"error\": \"{}\"}}",
+                escape(&f.label),
+                escape(&f.design),
+                escape(f.phase),
+                escape(&f.error)
+            ),
+        }
+    }
+    println!(
+        "{{\"summary\": true, \"jobs\": {}, \"failed\": {}, \"distinct_shapes\": {}, \
+         \"synthesized\": {}, \"shared_waits\": {}, \"cache_hits\": {}}}",
+        summary.jobs.len(),
+        summary.failed(),
+        summary.distinct_shapes,
+        summary.synthesized,
+        summary.shared_waits,
+        summary.cache_hits
+    );
+    if summary.failed() > 0 {
+        return Err(format!("{} of {} jobs failed", summary.failed(), summary.jobs.len()).into());
     }
     Ok(())
 }

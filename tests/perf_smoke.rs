@@ -63,3 +63,45 @@ fn warm_cache_full_flow_stays_within_wall_clock_bound() {
         "warm runs must not re-run the per-shape chain"
     );
 }
+
+/// The cached cold flow on a 2-shape design with no dedup (the clustered
+/// Stack) must stay within noise of the serial uncached flow: its misses
+/// run inline (see `fanout_budget` — one long pole means no fan-out), so
+/// the only extra work is keying and instantiation, which is microseconds
+/// against a multi-millisecond flow. The generous margin absorbs loaded-CI
+/// noise; what this pins is the *absence* of a fan-out or bookkeeping
+/// penalty on small designs (the BENCH_flow.json Stack regression).
+#[test]
+fn stack_cached_cold_flow_is_not_slower_than_serial() {
+    let library = Library::cmos035();
+    let designs = all_designs().expect("shipped designs build");
+    let stack = designs
+        .iter()
+        .find(|d| d.name == "Stack")
+        .expect("Stack benchmark present");
+    let serial_options = FlowOptions::optimized().serial_uncached();
+    let mut cached_options = FlowOptions::optimized();
+    cached_options.threads = Some(1);
+    let mut serial_samples = Vec::new();
+    let mut cached_samples = Vec::new();
+    // Interleave the two sides so drift on a loaded host biases both
+    // equally; compare medians, which shrug off stray slow samples.
+    for _ in 0..9 {
+        let start = Instant::now();
+        run_control_flow_with(&stack.compiled, &serial_options, &library, &ControllerCache::new())
+            .expect("serial flow");
+        serial_samples.push(start.elapsed());
+        let start = Instant::now();
+        run_control_flow_with(&stack.compiled, &cached_options, &library, &ControllerCache::new())
+            .expect("cached flow");
+        cached_samples.push(start.elapsed());
+    }
+    serial_samples.sort();
+    cached_samples.sort();
+    let serial = serial_samples[serial_samples.len() / 2];
+    let cached = cached_samples[cached_samples.len() / 2];
+    assert!(
+        cached <= serial.mul_f64(1.35) + Duration::from_millis(2),
+        "cached cold Stack flow (median {cached:?}) regressed past serial (median {serial:?})"
+    );
+}
