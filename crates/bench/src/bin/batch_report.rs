@@ -7,9 +7,11 @@
 //! human-readable progress goes to stderr under `BMBE_VERBOSE=1`.
 //!
 //! Honours `BMBE_CACHE_DIR` (the persistent disk cache — a second run of
-//! the same fleet resolves every shape from disk), `BMBE_THREADS`, and
+//! the same fleet resolves every shape from disk), `BMBE_THREADS`,
 //! `BMBE_FAULT` (`cache_io` plans degrade disk traffic to misses; synthesis
-//! plans fail the claiming job).
+//! plans fail the claiming job), and `BMBE_TRACE=1` (writes the Chrome +
+//! self-describing JSONL trace pair to `BMBE_TRACE_OUT` on exit, so a
+//! fleet of traced processes leaves streams `trace_report` can merge).
 //!
 //! ```text
 //! batch_report [--replicas N] [--sim-batch K] [--threads T] [--seed S]
@@ -17,37 +19,15 @@
 //!
 //! Exits non-zero when any job fails (after reporting every job).
 
+use bmbe_bench::report::{escape, export_trace_if_enabled, flag, run_main};
 use bmbe_designs::all_designs;
 use bmbe_flow::{run_batch, BatchJob, ControllerCache, FlowOptions};
 use bmbe_gates::Library;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn main() -> ExitCode {
-    match run() {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::FAILURE,
-        Err(e) => {
-            eprintln!("error: batch_report: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-/// Parses `--flag VALUE` as a number, with a default.
-fn flag(args: &[String], name: &str, default: usize) -> Result<usize, String> {
-    match args.iter().position(|a| a == name) {
-        None => Ok(default),
-        Some(i) => args
-            .get(i + 1)
-            .ok_or_else(|| format!("{name} needs a value"))?
-            .parse()
-            .map_err(|e| format!("{name}: {e}")),
-    }
+    run_main("batch_report", run)
 }
 
 fn run() -> Result<bool, String> {
@@ -144,5 +124,9 @@ fn run() -> Result<bool, String> {
         stats.misses,
         summary.wall_s
     );
+    // A traced fleet process leaves its self-describing JSONL stream
+    // behind: concatenating the streams of a cold and a warm run is what
+    // `trace_report` analyzes as one merged fleet trace.
+    export_trace_if_enabled()?;
     Ok(summary.failed() == 0)
 }

@@ -1,0 +1,122 @@
+//! Perf-regression sentinel: diffs freshly generated `BENCH_flow.json` /
+//! `BENCH_sim.json` reports against committed baselines and prints a
+//! pass/fail verdict JSON on stdout, exiting non-zero when any gate is
+//! breached. Gate policies (exact for structural counts, a ratio floor
+//! for timing ratios, nothing for absolute seconds) live in
+//! [`bmbe_bench::trend`].
+//!
+//! ```text
+//! bench_trend [--flow FRESH] [--baseline-flow BASE]
+//!             [--sim FRESH] [--baseline-sim BASE]
+//! ```
+//!
+//! Defaults compare `BENCH_flow.json` / `BENCH_sim.json` in the working
+//! directory against themselves (a schema self-check that always passes
+//! on intact files); CI points `--flow`/`--sim` at a fresh run's output
+//! while the baselines stay at the committed copies. A `--flow`/`--sim`
+//! side is skipped entirely when neither its flag nor its default file is
+//! present.
+//!
+//! Human-readable narration goes to stderr (`BMBE_VERBOSE=1`); stdout is
+//! pure JSON.
+
+use bmbe_bench::report::{escape, flag_str, run_main};
+use bmbe_bench::trend::{compare, Outcome, Spec, FLOW_SPECS, SIM_SPECS};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    run_main("bench_trend", run)
+}
+
+/// One comparison side: resolved paths plus its gate table.
+struct Side {
+    label: &'static str,
+    fresh: String,
+    baseline: String,
+    specs: &'static [Spec],
+}
+
+fn run() -> Result<bool, String> {
+    bmbe_obs::init_from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sides = [
+        Side {
+            label: "flow",
+            fresh: flag_str(&args, "--flow")?.unwrap_or_else(|| "BENCH_flow.json".to_string()),
+            baseline: flag_str(&args, "--baseline-flow")?
+                .unwrap_or_else(|| "BENCH_flow.json".to_string()),
+            specs: FLOW_SPECS,
+        },
+        Side {
+            label: "sim",
+            fresh: flag_str(&args, "--sim")?.unwrap_or_else(|| "BENCH_sim.json".to_string()),
+            baseline: flag_str(&args, "--baseline-sim")?
+                .unwrap_or_else(|| "BENCH_sim.json".to_string()),
+            specs: SIM_SPECS,
+        },
+    ];
+
+    let mut outcome = Outcome::default();
+    let mut compared: Vec<(&'static str, String, String)> = Vec::new();
+    for side in &sides {
+        // A missing *default* baseline just skips the side (a repo may
+        // only commit one of the two reports); an explicitly requested
+        // file that cannot be read is an error.
+        let explicit = args.iter().any(|a| {
+            a == &format!("--{}", side.label) || a == &format!("--baseline-{}", side.label)
+        });
+        let baseline = match std::fs::read_to_string(&side.baseline) {
+            Ok(text) => text,
+            Err(e) if !explicit => {
+                bmbe_obs::vlog!(1, "bench_trend: skipping {}: {e}", side.baseline);
+                continue;
+            }
+            Err(e) => return Err(format!("read {}: {e}", side.baseline)),
+        };
+        let fresh = std::fs::read_to_string(&side.fresh)
+            .map_err(|e| format!("read {}: {e}", side.fresh))?;
+        let side_outcome = compare(&baseline, &fresh, side.specs);
+        bmbe_obs::vlog!(
+            1,
+            "bench_trend: {} ({} vs baseline {}): {} metrics checked, {} breach(es)",
+            side.label,
+            side.fresh,
+            side.baseline,
+            side_outcome.checked,
+            side_outcome.breaches.len()
+        );
+        for breach in &side_outcome.breaches {
+            eprintln!("bench_trend: {}: {breach}", side.label);
+        }
+        compared.push((side.label, side.fresh.clone(), side.baseline.clone()));
+        outcome.merge(side_outcome);
+    }
+    if compared.is_empty() {
+        return Err("no reports to compare (no BENCH_*.json found)".to_string());
+    }
+
+    let mut json = String::from("{\n  \"trend\": true,\n");
+    let _ = writeln!(json, "  \"pass\": {},", outcome.pass());
+    let _ = writeln!(json, "  \"checked\": {},", outcome.checked);
+    let _ = writeln!(json, "  \"compared\": [");
+    for (i, (label, fresh, baseline)) in compared.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"report\": \"{label}\", \"fresh\": \"{}\", \"baseline\": \"{}\"}}",
+            escape(fresh),
+            escape(baseline)
+        );
+        json.push_str(if i + 1 < compared.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"breaches\": [");
+    for (i, breach) in outcome.breaches.iter().enumerate() {
+        let _ = write!(json, "    {}", breach.to_json());
+        json.push_str(if i + 1 < outcome.breaches.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    print!("{json}");
+    Ok(outcome.pass())
+}

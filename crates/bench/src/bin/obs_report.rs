@@ -17,12 +17,13 @@
 //!
 //! This is the smoke gate the tier-1 CI script runs.
 
+use bmbe_bench::report::{escape, run_main, write_trace_files};
 use bmbe_core::components::{decision_wait, sequencer};
 use bmbe_core::opt::verify_acr_compared;
 use bmbe_designs::all_designs;
 use bmbe_flow::{run_control_flow, simulate, to_flow_scenario, FlowOptions};
 use bmbe_gates::Library;
-use bmbe_obs::export::{export_chrome, export_jsonl, validate, validate_json};
+use bmbe_obs::export::{validate, validate_json};
 use bmbe_sim::prims::Delays;
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -38,22 +39,11 @@ const REQUIRED_SPANS: &[&str] = &[
     "sim.run",
 ];
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            // The single structured error line; stdout stays pure JSON.
-            eprintln!("error: obs_report: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    run_main("obs_report", run)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<bool, String> {
     let check = std::env::args().any(|a| a == "--check");
     let fail = |msg: String| format!("--check: {msg}");
     bmbe_obs::init_from_env();
@@ -89,16 +79,7 @@ fn run() -> Result<(), String> {
     bmbe_obs::set_enabled(false);
     let trace = bmbe_obs::flush();
 
-    let out_path = bmbe_obs::trace_out_path();
-    let jsonl_path = match out_path.strip_suffix(".json") {
-        Some(stem) => format!("{stem}.jsonl"),
-        None => format!("{out_path}.jsonl"),
-    };
-    let chrome = export_chrome(&trace);
-    std::fs::write(&out_path, &chrome).map_err(|e| format!("write {out_path}: {e}"))?;
-    let jsonl = export_jsonl(&trace);
-    std::fs::write(&jsonl_path, &jsonl).map_err(|e| format!("write {jsonl_path}: {e}"))?;
-    bmbe_obs::vlog!(1, "wrote {out_path} and {jsonl_path}");
+    let (out_path, jsonl_path) = write_trace_files(&trace)?;
 
     let mut covered: Vec<&str> = REQUIRED_SPANS
         .iter()
@@ -111,9 +92,15 @@ fn run() -> Result<(), String> {
         if let Err(e) = validate(&trace) {
             return Err(fail(format!("trace validation: {e}")));
         }
+        // Validate the files as written, not the in-memory strings: the
+        // check covers the full export-to-disk path consumers read.
+        let chrome = std::fs::read_to_string(&out_path)
+            .map_err(|e| fail(format!("read back {out_path}: {e}")))?;
         if let Err((at, e)) = validate_json(&chrome) {
             return Err(fail(format!("{out_path} is not valid JSON at byte {at}: {e}")));
         }
+        let jsonl = std::fs::read_to_string(&jsonl_path)
+            .map_err(|e| fail(format!("read back {jsonl_path}: {e}")))?;
         for (n, line) in jsonl.lines().enumerate() {
             if let Err((at, e)) = validate_json(line) {
                 return Err(fail(format!("{jsonl_path} line {}: byte {at}: {e}", n + 1)));
@@ -154,5 +141,5 @@ fn run() -> Result<(), String> {
     // Stdout is the machine-readable channel: the summary JSON and nothing
     // else.
     print!("{summary}");
-    Ok(())
+    Ok(true)
 }

@@ -11,6 +11,7 @@
 //! `BENCH_flow.json`); the human-readable tables go to **stderr** via
 //! `bmbe_obs::vlog!` at verbosity ≥ 1 (`BMBE_VERBOSE=1`).
 
+use bmbe_bench::report::{emit_report, run_main};
 use bmbe_designs::all_designs;
 use bmbe_flow::{
     run_control_flow, run_control_flow_with, ControllerCache, FlowOptions, MinimizeBackend,
@@ -101,17 +102,10 @@ fn previous_numbers(design: &str) -> (Option<f64>, Option<f64>) {
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            // The single structured error line; stdout stays pure JSON.
-            eprintln!("error: perf_report: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    run_main("perf_report", run)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<bool, String> {
     bmbe_obs::init_from_env();
     let library = Library::cmos035();
     let designs = all_designs().map_err(|e| format!("shipped designs: {e}"))?;
@@ -343,11 +337,6 @@ fn run() -> Result<(), String> {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_flow.json", &json)
-        .map_err(|e| format!("write BENCH_flow.json: {e}"))?;
-    // Stdout is the machine-readable channel: the JSON report and nothing
-    // else.
-    print!("{json}");
-    bmbe_obs::vlog!(1, "\nwrote BENCH_flow.json");
-    Ok(())
+    emit_report("BENCH_flow.json", &json)?;
+    Ok(true)
 }

@@ -9,6 +9,7 @@
 //! `BENCH_sim.json`); the human-readable tables go to **stderr** via
 //! `bmbe_obs::vlog!` at verbosity ≥ 1 (`BMBE_VERBOSE=1`).
 
+use bmbe_bench::report::{emit_report, run_main};
 use bmbe_core::components::{decision_wait, sequencer};
 use bmbe_core::opt::verify_acr_compared;
 use bmbe_designs::{all_designs, scenario_variants};
@@ -254,17 +255,10 @@ fn verify_rows() -> Result<Vec<VerifyRow>, String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            // The single structured error line; stdout stays pure JSON.
-            eprintln!("error: sim_report: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    run_main("sim_report", run)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<bool, String> {
     bmbe_obs::init_from_env();
     let library = Library::cmos035();
     let delays = Delays::default();
@@ -444,10 +438,6 @@ fn run() -> Result<(), String> {
         json.push_str(if i + 1 < verify.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_sim.json", &json).map_err(|e| format!("write BENCH_sim.json: {e}"))?;
-    // Stdout is the machine-readable channel: the JSON report and nothing
-    // else.
-    print!("{json}");
-    bmbe_obs::vlog!(1, "\nwrote BENCH_sim.json");
-    Ok(())
+    emit_report("BENCH_sim.json", &json)?;
+    Ok(true)
 }

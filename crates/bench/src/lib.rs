@@ -5,6 +5,11 @@
 //! (`table1`, `table2`, `fig3`, `fig4`, `fig5`, `verify43`, `table3`) plus
 //! ablations (`ablation_minmode`, `ablation_mapping`,
 //! `ablation_clustering`), and Criterion micro-benchmarks of the synthesis
-//! algorithms. Paper reference values live in [`paper`].
+//! algorithms. Paper reference values live in [`paper`]; the shared
+//! report-binary epilogue (pure-JSON stdout, `BENCH_*.json` emission,
+//! trace export) lives in [`report`]; the perf-regression gates the
+//! `bench_trend` sentinel applies live in [`trend`].
 
 pub mod paper;
+pub mod report;
+pub mod trend;

@@ -207,7 +207,14 @@ impl<'a> ShapeRegistry<'a> {
                 }
             }
         };
+        let digest = keyed.key.digest();
         if owner {
+            // The claim span carries the shape digest so the fleet
+            // analyzer can attribute waiters' blocked time to this
+            // synthesis (and to its hottest phase below).
+            let _claim_span = bmbe_obs::span!("batch.claim", "batch");
+            bmbe_obs::annotate_num!("shape.digest", digest as i64);
+            bmbe_obs::recorder::note("batch.claim", || format!("digest {digest:016x} claimed"));
             // Claim index across the fleet, for deterministic fault
             // targeting: `BMBE_FAULT=<phase>:<n>` hits the n-th shape any
             // job claims (cache_io plans are handled by the disk layer and
@@ -241,6 +248,9 @@ impl<'a> ShapeRegistry<'a> {
                 }
                 Err(e) => {
                     bmbe_obs::trace_counter!("batch.shapes.failed", 1);
+                    bmbe_obs::recorder::note("batch.claim.failed", || {
+                        format!("digest {digest:016x}: {e}")
+                    });
                     Err(Arc::new(e))
                 }
             };
@@ -249,6 +259,12 @@ impl<'a> ShapeRegistry<'a> {
             self.ready_all(&slot);
             done.map(|a| (a, Resolution::Synthesized))
         } else {
+            // The wait span records the *same* microsecond value that goes
+            // into the `batch.singleflight_wait_us` histogram, so the
+            // analyzer's per-shape attribution sums to the histogram total
+            // exactly.
+            let _wait_span = bmbe_obs::span!("batch.wait", "batch");
+            bmbe_obs::annotate_num!("shape.digest", digest as i64);
             let start = Instant::now();
             let mut state = lock(&slot.state);
             while matches!(*state, SlotState::Running) {
@@ -259,6 +275,7 @@ impl<'a> ShapeRegistry<'a> {
             }
             let waited = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
             bmbe_obs::histogram!("batch.singleflight_wait_us", &WAIT_BUCKETS).observe(waited);
+            bmbe_obs::annotate_num!("wait.us", waited as i64);
             self.shared.fetch_add(1, Ordering::Relaxed);
             bmbe_obs::trace_counter!("batch.shapes.shared", 1);
             match &*state {
@@ -340,6 +357,24 @@ impl std::fmt::Display for JobFailure {
 
 impl std::error::Error for JobFailure {}
 
+/// Drains the flight recorder for a failed job: the dump carries the
+/// failure's design/component/cache_key/phase so forensics correlate with
+/// the structured error, and goes to a file (or stderr), never stdout.
+fn dump_failure(failure: &JobFailure) {
+    bmbe_obs::recorder::note("batch.job.failed", || failure.to_string());
+    bmbe_obs::recorder::dump(
+        "job-failure",
+        &[
+            ("label", failure.label.clone()),
+            ("design", failure.design.clone()),
+            ("component", failure.component.clone()),
+            ("cache_key", failure.cache_key.clone()),
+            ("phase", failure.phase.to_string()),
+            ("error", failure.error.clone()),
+        ],
+    );
+}
+
 /// The whole batch's outcome: per-job results in job order plus the
 /// fleet-wide shape accounting.
 pub struct BatchSummary {
@@ -369,8 +404,21 @@ impl BatchSummary {
 }
 
 /// Runs one job's flow through the registry, then its optional sim stage.
-fn run_job(job: &BatchJob, registry: &ShapeRegistry<'_>, inner: usize) -> Result<JobReport, JobFailure> {
+/// `parent_span` is the fleet's `batch.run` span id, so job spans nest
+/// under it across worker threads.
+fn run_job(
+    job: &BatchJob,
+    registry: &ShapeRegistry<'_>,
+    inner: usize,
+    parent_span: u64,
+) -> Result<JobReport, JobFailure> {
     let start = Instant::now();
+    let _job_span = bmbe_obs::span_with_parent!("batch.job", "batch", parent_span);
+    bmbe_obs::annotate_str!("job.label", &job.label);
+    bmbe_obs::annotate_str!("job.design", job.design.netlist.name());
+    bmbe_obs::recorder::note("batch.job", || {
+        format!("job {} ({}) started", job.label, job.design.netlist.name())
+    });
     let fail = |design: &str, phase: &'static str, error: String| JobFailure {
         label: job.label.clone(),
         design: design.to_string(),
@@ -536,7 +584,8 @@ pub fn run_batch(
     threads: usize,
 ) -> BatchSummary {
     let start = Instant::now();
-    let _span = bmbe_obs::span!("batch.run", "batch");
+    let span = bmbe_obs::span!("batch.run", "batch");
+    let root_span = span.id();
     let registry = ShapeRegistry::new(cache, library);
     let threads = threads.max(1);
     let job_workers = threads.min(jobs.len()).max(1);
@@ -547,7 +596,7 @@ pub fn run_batch(
         job_workers,
         |i, job| format!("batch job {i} ({})", job.label),
         |_, job| {
-            let outcome = run_job(job, &registry, inner);
+            let outcome = run_job(job, &registry, inner, root_span);
             bmbe_obs::trace_gauge!("batch.jobs.pending", add: -1);
             outcome
         },
@@ -567,11 +616,15 @@ pub fn run_batch(
         });
         match &outcome {
             Ok(_) => bmbe_obs::trace_counter!("batch.jobs.completed", 1),
-            Err(_) => bmbe_obs::trace_counter!("batch.jobs.failed", 1),
+            Err(failure) => {
+                bmbe_obs::trace_counter!("batch.jobs.failed", 1);
+                dump_failure(failure);
+            }
         }
         outcome
     })
     .collect();
+    drop(span);
     BatchSummary {
         jobs: results,
         distinct_shapes: registry.distinct_shapes(),

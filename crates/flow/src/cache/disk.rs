@@ -5,10 +5,10 @@
 //! lowercase hex digits). Each file is:
 //!
 //! ```text
-//! +----------+---------+-------------+----------+-----------------+
-//! | magic    | version | payload_len | checksum | payload         |
-//! | 8 bytes  | u32 le  | u64 le      | u64 le   | codec::encode_* |
-//! +----------+---------+-------------+----------+-----------------+
+//! +----------+---------+----------+-------------+-------------+----------+-----------------+
+//! | magic    | version | run_id   | produced_ns | payload_len | checksum | payload         |
+//! | 8 bytes  | u32 le  | u64 le   | u64 le      | u64 le      | u64 le   | codec::encode_* |
+//! +----------+---------+----------+-------------+-------------+----------+-----------------+
 //! ```
 //!
 //! with `checksum = fnv64(payload)` and the payload the deterministic
@@ -17,6 +17,16 @@
 //! 64-bit digest that names the file — lets a load verify that the entry
 //! really is the shape it asked for, so a digest collision degrades to a
 //! miss instead of serving a wrong artifact.
+//!
+//! `run_id`/`produced_ns` are producer **provenance** (format v2): the
+//! [`bmbe_obs::run_id`] of the process that synthesized the entry and the
+//! wall-clock instant it was written. They live in the *file header*, not
+//! the codec payload, so the payload bytes stay a pure function of the
+//! `(key, artifact)` pair — the bit-identical determinism tests compare
+//! payloads across cold/warm/disk paths. A warm fleet process can thus
+//! answer "who produced the entry I just hit" ([`DiskCache::provenance`],
+//! surfaced as the `cache.disk.producer_run` trace event), correlating its
+//! trace with the cold producer's.
 //!
 //! Durability rules:
 //!
@@ -50,15 +60,27 @@ use std::sync::Arc;
 /// First eight bytes of every entry file.
 pub const MAGIC: [u8; 8] = *b"BMBECACH";
 
-/// Current on-disk format version. Bump on any payload layout change;
-/// entries with any other version are evicted on load.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current on-disk format version. Bump on any header or payload layout
+/// change; entries with any other version are evicted on load (v1 entries
+/// from older builds self-heal by re-synthesis). v2 added producer
+/// provenance (`run_id`, `produced_ns`) to the header.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Environment variable naming the cache directory the report binaries
 /// (and [`super::ControllerCache::from_env`]) open.
 pub const CACHE_DIR_ENV: &str = "BMBE_CACHE_DIR";
 
-const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8;
+
+/// Producer provenance stamped into every entry's header: which run wrote
+/// it, and when (wall clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provenance {
+    /// [`bmbe_obs::run_id`] of the producing process.
+    pub run: u64,
+    /// Wall-clock nanoseconds since the Unix epoch at store time.
+    pub produced_ns: u64,
+}
 
 /// Why a load did not return an artifact — used by the durability tests
 /// to distinguish a clean miss from an evicted corruption.
@@ -111,11 +133,16 @@ impl DiskCache {
     ) -> io::Result<DiskCache> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(DiskCache {
+        let cache = DiskCache {
             dir,
             fault: fault.filter(|plan| plan.phase == FaultPhase::CacheIo),
             ops: AtomicUsize::new(0),
-        })
+        };
+        // Recompute the size gauge from what is already on disk, not just
+        // after writes — a warm process that never stores anything must
+        // still report the true cache size.
+        bmbe_obs::trace_gauge!("cache.disk.dir_bytes", cache.dir_bytes() as i64);
+        Ok(cache)
     }
 
     /// Opens the directory named by `BMBE_CACHE_DIR`, if set and non-empty.
@@ -184,17 +211,30 @@ impl DiskCache {
                 return Err(DiskMiss::ReadError);
             }
         };
-        match validate(&bytes).and_then(|payload| {
-            decode_entry(payload).map_err(|e| format!("payload: {e}"))
+        match validate(&bytes).and_then(|(payload, provenance)| {
+            decode_entry(payload)
+                .map(|entry| (entry, provenance))
+                .map_err(|e| format!("payload: {e}"))
         }) {
-            Ok((stored_key, artifact)) if stored_key == *key => {
+            Ok(((stored_key, artifact), provenance)) if stored_key == *key => {
                 bmbe_obs::trace_counter!("cache.disk.hits", 1);
                 bmbe_obs::trace_counter!("cache.disk.bytes_read", bytes.len() as u64);
+                // Correlate this hit with the run that produced the entry
+                // (the cold fleet process, usually a different trace).
+                bmbe_obs::event!("cache.disk.producer_run", provenance.run as i64);
                 Ok(Arc::new(artifact))
             }
             Ok(_) => self.evict(&path, "digest collision: stored key differs"),
             Err(why) => self.evict(&path, &why),
         }
+    }
+
+    /// Reads only the provenance header of the entry for `key` (`None` on
+    /// a missing, short, or foreign-format entry).
+    pub fn provenance(&self, key: &CacheKey) -> Option<Provenance> {
+        let bytes = self.read_entry(&self.entry_path(key)).ok().flatten()?;
+        let (_, provenance) = validate(&bytes).ok()?;
+        Some(provenance)
     }
 
     fn read_entry(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
@@ -219,6 +259,19 @@ impl DiskCache {
             "bmbe-flow: evicted corrupt cache entry {} ({why})",
             path.display()
         );
+        // An eviction is a durability incident: drain the flight recorder
+        // so the corrupt entry's story survives (to a file, never stdout;
+        // skipped when no dump sink is configured — see bmbe_obs::recorder).
+        bmbe_obs::recorder::note("cache.disk.evicted", || {
+            format!("{} ({why})", path.display())
+        });
+        bmbe_obs::recorder::dump(
+            "disk-evict",
+            &[
+                ("entry", path.display().to_string()),
+                ("why", why.to_string()),
+            ],
+        );
         Err(DiskMiss::Evicted)
     }
 
@@ -235,6 +288,8 @@ impl DiskCache {
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
         bytes.extend_from_slice(&MAGIC);
         bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&bmbe_obs::run_id().to_le_bytes());
+        bytes.extend_from_slice(&bmbe_obs::wall_ns().to_le_bytes());
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&fnv64(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
@@ -296,8 +351,9 @@ impl DiskCache {
     }
 }
 
-/// Checks the header and returns the payload slice.
-fn validate(bytes: &[u8]) -> Result<&[u8], String> {
+/// Checks the header and returns the payload slice plus the producer
+/// provenance.
+fn validate(bytes: &[u8]) -> Result<(&[u8], Provenance), String> {
     if bytes.len() < HEADER_LEN {
         return Err(format!("short entry: {} bytes", bytes.len()));
     }
@@ -311,19 +367,23 @@ fn validate(bytes: &[u8]) -> Result<&[u8], String> {
             "format version {version} (this build reads {FORMAT_VERSION})"
         ));
     }
-    let payload_len = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    let provenance = Provenance {
+        run: u64::from_le_bytes(header[12..20].try_into().expect("8 bytes")),
+        produced_ns: u64::from_le_bytes(header[20..28].try_into().expect("8 bytes")),
+    };
+    let payload_len = u64::from_le_bytes(header[28..36].try_into().expect("8 bytes"));
     if payload_len != payload.len() as u64 {
         return Err(format!(
             "truncated: header claims {payload_len} payload bytes, file has {}",
             payload.len()
         ));
     }
-    let checksum = u64::from_le_bytes(header[20..28].try_into().expect("8 bytes"));
+    let checksum = u64::from_le_bytes(header[36..44].try_into().expect("8 bytes"));
     let actual = fnv64(payload);
     if checksum != actual {
         return Err(format!(
             "checksum mismatch: header {checksum:#018x}, payload {actual:#018x}"
         ));
     }
-    Ok(payload)
+    Ok((payload, provenance))
 }

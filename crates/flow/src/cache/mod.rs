@@ -37,7 +37,7 @@
 pub mod codec;
 pub mod disk;
 
-pub use disk::{DiskCache, DiskMiss, CACHE_DIR_ENV};
+pub use disk::{DiskCache, DiskMiss, Provenance, CACHE_DIR_ENV};
 
 use crate::fault::{FaultKind, FaultPhase, FaultPlan};
 use crate::profile::PhaseProfile;

@@ -186,6 +186,11 @@ impl FaultPlan {
         if self.phase != phase {
             return Ok(());
         }
+        // A firing fault is exactly what the flight recorder exists for:
+        // leave a breadcrumb before the panic/error unwinds the job.
+        bmbe_obs::recorder::note("fault.fired", || {
+            format!("phase {} of job {} ({:?})", self.phase, self.nth, self.kind)
+        });
         match self.kind {
             FaultKind::Panic => panic!(
                 "injected fault: panic at phase {} of job {}",

@@ -27,7 +27,8 @@ pub mod templates;
 pub use area::{component_area, datapath_area};
 pub use batch::{run_batch, BatchJob, BatchSummary, JobFailure, JobReport, Resolution, ShapeRegistry};
 pub use cache::{
-    CacheKey, CacheStats, ControllerCache, DiskCache, DiskMiss, KeyedProgram, ShapeError,
+    CacheKey, CacheStats, ControllerCache, DiskCache, DiskMiss, KeyedProgram, Provenance,
+    ShapeError,
     SynthArtifact, CACHE_DIR_ENV,
 };
 pub use csim::{batch_input_ports, compile_sim, simulate_scenarios, CompiledSim};

@@ -231,10 +231,24 @@ impl ShapeError {
     /// failing phase — producing the flow-level error report.
     fn into_flow(self, design: &str, component: &str, key: &CacheKey) -> FlowError {
         let phase = self.phase();
+        let cache_key = format!("{:016x}", key.digest());
+        // Every per-shape flow failure drains the flight recorder with the
+        // same identity fields the typed error carries (file/stderr sink
+        // only — the pure-JSON stdout contract holds; a no-op when no dump
+        // sink is configured).
+        bmbe_obs::recorder::dump(
+            "flow-error",
+            &[
+                ("design", design.to_string()),
+                ("component", component.to_string()),
+                ("cache_key", cache_key.clone()),
+                ("phase", phase.to_string()),
+            ],
+        );
         FlowError::Job {
             design: design.to_string(),
             component: component.to_string(),
-            cache_key: format!("{:016x}", key.digest()),
+            cache_key,
             phase,
             error: self,
         }
@@ -358,6 +372,7 @@ pub fn run_control_flow_with(
     cache: &ControllerCache,
 ) -> Result<FlowResult, FlowError> {
     let _flow_span = bmbe_obs::span!("flow.run", "flow");
+    bmbe_obs::annotate_str!("job.design", design.netlist.name());
     let mut ctrl = {
         let _s = bmbe_obs::span!("flow.translate", "flow");
         balsa_to_ch(&design.netlist)?

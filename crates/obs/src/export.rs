@@ -21,6 +21,11 @@ pub struct Trace {
     pub lanes: Vec<(u32, String)>,
     /// Records dropped to full rings.
     pub dropped: u64,
+    /// The producing process's run id (see [`crate::run_id`]); stamped by
+    /// [`crate::flush`] so the JSONL stream is self-describing.
+    pub run: u64,
+    /// Dynamic string table (annotation values): id `i + 1` → string.
+    pub strings: Vec<String>,
 }
 
 impl Trace {
@@ -37,6 +42,8 @@ impl Trace {
             callsites,
             lanes,
             dropped,
+            run: 0,
+            strings: Vec::new(),
         }
     }
 
@@ -57,6 +64,15 @@ impl Trace {
     /// Whether any record came from the named callsite.
     pub fn has_callsite(&self, name: &str) -> bool {
         self.events.iter().any(|s| self.name(s.rec.callsite) == name)
+    }
+
+    /// Resolves a dynamic string id (the `value` of an `AnnotateStr`
+    /// record) against the string table; empty for unknown ids.
+    pub fn string(&self, id: i64) -> &str {
+        usize::try_from(id)
+            .ok()
+            .and_then(|ix| self.strings.get(ix.wrapping_sub(1)))
+            .map_or("", String::as_str)
     }
 }
 
@@ -128,6 +144,21 @@ pub fn export_chrome(trace: &Trace) -> String {
                  \"args\": {{\"value\": {}}}}}",
                 s.lane, s.rec.value
             ),
+            RecordKind::AnnotateNum => format!(
+                "{{\"ph\": \"i\", \"pid\": 1, \"tid\": {}, \"ts\": {ts:.3}, \"name\": \"{name}\", \
+                 \"cat\": \"{cat}\", \"s\": \"t\", \"args\": {{\"span\": {}, \"value\": {}}}}}",
+                s.lane, s.rec.span, s.rec.value
+            ),
+            RecordKind::AnnotateStr => {
+                let mut escaped = String::new();
+                escape(trace.string(s.rec.value), &mut escaped);
+                format!(
+                    "{{\"ph\": \"i\", \"pid\": 1, \"tid\": {}, \"ts\": {ts:.3}, \
+                     \"name\": \"{name}\", \"cat\": \"{cat}\", \"s\": \"t\", \
+                     \"args\": {{\"span\": {}, \"str\": \"{escaped}\"}}}}",
+                    s.lane, s.rec.span
+                )
+            }
         };
         push(line, &mut out);
     }
@@ -137,15 +168,45 @@ pub fn export_chrome(trace: &Trace) -> String {
 
 /// Renders the trace as one JSON object per line (JSONL): a machine-
 /// greppable event log with names resolved.
+///
+/// The stream is self-describing: the first line is a `meta` record
+/// carrying the producing run's id (`{"kind": "meta", "run": "<16 hex>",
+/// ...}`), so the JSONL files of several fleet processes can be merged by
+/// plain concatenation — every following event line belongs to the most
+/// recent `meta` run, and span ids are only unique *within* one run.
+/// [`crate::analyze`] consumes exactly this format.
 pub fn export_jsonl(trace: &Trace) -> String {
     let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"kind\": \"meta\", \"run\": \"{:016x}\", \"lanes\": {}, \"dropped\": {}}}",
+        trace.run,
+        trace.lanes.len(),
+        trace.dropped
+    );
     for s in &trace.events {
         let kind = match s.rec.kind {
             RecordKind::Open => "open",
             RecordKind::Close => "close",
             RecordKind::Instant => "instant",
             RecordKind::Counter => "counter",
+            RecordKind::AnnotateNum => "annot",
+            RecordKind::AnnotateStr => "annot",
         };
+        if s.rec.kind == RecordKind::AnnotateStr {
+            let mut escaped = String::new();
+            escape(trace.string(s.rec.value), &mut escaped);
+            let _ = writeln!(
+                out,
+                "{{\"kind\": \"annot\", \"name\": \"{}\", \"t_ns\": {}, \"lane\": {}, \
+                 \"span\": {}, \"parent\": 0, \"str\": \"{escaped}\"}}",
+                trace.name(s.rec.callsite),
+                s.rec.t_ns,
+                s.lane,
+                s.rec.span,
+            );
+            continue;
+        }
         let _ = writeln!(
             out,
             "{{\"kind\": \"{kind}\", \"name\": \"{}\", \"t_ns\": {}, \"lane\": {}, \
@@ -200,7 +261,10 @@ pub fn validate(trace: &Trace) -> Result<(), String> {
                 }
                 *closed.entry(s.rec.span).or_insert(0) += 1;
             }
-            RecordKind::Instant | RecordKind::Counter => {}
+            RecordKind::Instant
+            | RecordKind::Counter
+            | RecordKind::AnnotateNum
+            | RecordKind::AnnotateStr => {}
         }
     }
     for (lane, stack) in &stacks {
@@ -450,6 +514,8 @@ mod tests {
             callsites: vec![("root", ""), ("b", ""), ("a", "")],
             lanes: vec![(0, "main".to_string())],
             dropped: 0,
+            run: 0xabcd,
+            strings: Vec::new(),
         }
     }
 

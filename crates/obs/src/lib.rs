@@ -41,8 +41,10 @@
 //! global verbosity level (`BMBE_VERBOSE`, [`set_verbosity`]) — report
 //! binaries keep stdout pure JSON.
 
+pub mod analyze;
 pub mod export;
 pub mod metrics;
+pub mod recorder;
 pub mod ring;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot, RegistryError};
@@ -110,10 +112,106 @@ pub fn trace_out_path() -> String {
     std::env::var("BMBE_TRACE_OUT").unwrap_or_else(|_| "trace.json".to_string())
 }
 
+/// Derives a sibling output path from a `.json` trace path by swapping the
+/// suffix (`trace.json` → `trace.flight.json` for suffix `"flight.json"`,
+/// `trace.json` → `trace.jsonl` for suffix `"jsonl"`). Paths without a
+/// `.json` suffix get `.{suffix}` appended.
+pub fn sibling_out_path(trace_out: &str, suffix: &str) -> String {
+    match trace_out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.{suffix}"),
+        None => format!("{trace_out}.{suffix}"),
+    }
+}
+
 /// Nanoseconds since the process-wide trace epoch (the first call).
 pub fn now_ns() -> u64 {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Wall-clock nanoseconds since the Unix epoch — the "wall phase" stamped
+/// into disk-cache provenance so entries from different processes order.
+pub fn wall_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Run identity
+// ---------------------------------------------------------------------------
+
+/// This process's run id (0 is never handed out). Lazily seeded on first
+/// read; [`set_run_id`] overrides it (tests, coordinated fleets).
+static RUN_ID: AtomicU64 = AtomicU64::new(0);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The fleet-correlation id of this process's run. Seeded once per process
+/// from `BMBE_RUN_ID` (hex) when set, otherwise mixed from the pid and the
+/// wall clock; every trace stream and disk-cache entry this process
+/// produces carries it.
+pub fn run_id() -> u64 {
+    let v = RUN_ID.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let seeded = std::env::var("BMBE_RUN_ID")
+        .ok()
+        .and_then(|s| u64::from_str_radix(s.trim().trim_start_matches("0x"), 16).ok())
+        .filter(|&id| id != 0)
+        .unwrap_or_else(|| {
+            let mix = splitmix64((std::process::id() as u64) ^ splitmix64(wall_ns()));
+            if mix == 0 { 1 } else { mix }
+        });
+    match RUN_ID.compare_exchange(0, seeded, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => seeded,
+        Err(current) => current,
+    }
+}
+
+/// The run id rendered the way every exporter prints it: 16 lowercase hex
+/// digits.
+pub fn run_id_hex() -> String {
+    format!("{:016x}", run_id())
+}
+
+/// Overrides the run id (0 is coerced to 1 so "unset" stays unambiguous).
+/// Tests use this to make two in-process "fleet runs" distinguishable.
+pub fn set_run_id(id: u64) {
+    RUN_ID.store(if id == 0 { 1 } else { id }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic strings (annotation values)
+// ---------------------------------------------------------------------------
+
+fn strings() -> &'static Mutex<Vec<String>> {
+    static STRINGS: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    STRINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Interns a dynamic string (an annotation value such as a design name or
+/// digest), returning its id. Ids start at 1; the table only grows. The set
+/// of annotated values per run is small (job labels, shape digests), so the
+/// linear probe under the lock is fine off the hot path.
+pub fn intern(s: &str) -> u32 {
+    let mut table = strings().lock().expect("obs string lock");
+    if let Some(ix) = table.iter().position(|t| t == s) {
+        return (ix + 1) as u32;
+    }
+    table.push(s.to_string());
+    table.len() as u32
+}
+
+/// A snapshot of the dynamic string table: id `i + 1` → string.
+pub fn string_table() -> Vec<String> {
+    strings().lock().expect("obs string lock").clone()
 }
 
 // ---------------------------------------------------------------------------
@@ -380,12 +478,62 @@ pub fn sample(cs: &'static Callsite, value: i64) {
     with_buffer(|b| b.push(rec));
 }
 
+/// Attaches a numeric annotation to the innermost open span of this thread
+/// (no-op when tracing is disabled or no span is open). Use via
+/// [`annotate_num!`].
+#[inline]
+pub fn annotate_num(cs: &'static Callsite, value: i64) {
+    if !enabled() {
+        return;
+    }
+    let span = current_span();
+    if span == 0 {
+        return;
+    }
+    let rec = Record {
+        kind: RecordKind::AnnotateNum,
+        callsite: cs.id(),
+        span,
+        parent: 0,
+        t_ns: now_ns(),
+        value,
+    };
+    with_buffer(|b| b.push(rec));
+}
+
+/// Attaches a string annotation (interned) to the innermost open span of
+/// this thread (no-op when tracing is disabled or no span is open). Use via
+/// [`annotate_str!`].
+#[inline]
+pub fn annotate_str(cs: &'static Callsite, value: &str) {
+    if !enabled() {
+        return;
+    }
+    let span = current_span();
+    if span == 0 {
+        return;
+    }
+    let rec = Record {
+        kind: RecordKind::AnnotateStr,
+        callsite: cs.id(),
+        span,
+        parent: 0,
+        t_ns: now_ns(),
+        value: intern(value) as i64,
+    };
+    with_buffer(|b| b.push(rec));
+}
+
 /// Drains every thread's ring into one [`export::Trace`] (records sorted by
-/// timestamp, callsite table attached). Call from the collecting thread
+/// timestamp, callsite table attached, run id and dynamic strings stamped
+/// for the self-describing exporters). Call from the collecting thread
 /// after the traced work finishes.
 pub fn flush() -> export::Trace {
     let drained = ring::drain_all();
-    export::Trace::from_drained(drained, callsite_table())
+    let mut trace = export::Trace::from_drained(drained, callsite_table());
+    trace.run = run_id();
+    trace.strings = string_table();
+    trace
 }
 
 // ---------------------------------------------------------------------------
@@ -428,6 +576,27 @@ macro_rules! event {
     ($name:expr, $value:expr) => {{
         static CS: $crate::Callsite = $crate::Callsite::new($name, "");
         $crate::instant(&CS, $value as i64)
+    }};
+}
+
+/// Attaches a numeric annotation to the innermost open span:
+/// `annotate_num!("shape.digest", digest)`. The name is the attribute key;
+/// the value travels with the span through export and the analyzer.
+#[macro_export]
+macro_rules! annotate_num {
+    ($name:expr, $value:expr) => {{
+        static CS: $crate::Callsite = $crate::Callsite::new($name, "annot");
+        $crate::annotate_num(&CS, $value as i64)
+    }};
+}
+
+/// Attaches a string annotation to the innermost open span:
+/// `annotate_str!("job.design", design_name)`.
+#[macro_export]
+macro_rules! annotate_str {
+    ($name:expr, $value:expr) => {{
+        static CS: $crate::Callsite = $crate::Callsite::new($name, "annot");
+        $crate::annotate_str(&CS, $value)
     }};
 }
 

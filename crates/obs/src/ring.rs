@@ -24,6 +24,13 @@ pub enum RecordKind {
     Instant,
     /// A metric sample (`value` is the running total / current value).
     Counter,
+    /// A numeric annotation attached to a span (`span` is the annotated
+    /// span id, `value` the number; the callsite names the attribute).
+    AnnotateNum,
+    /// A string annotation attached to a span (`span` is the annotated
+    /// span id, `value` an id into the dynamic string table; the callsite
+    /// names the attribute).
+    AnnotateStr,
 }
 
 /// One fixed-size trace record. All payloads are numeric; the callsite id

@@ -27,7 +27,16 @@
 #      cache directory must synthesize nothing and run the
 #      Microprocessor core at least 3x faster than the cold process;
 #   9. cache_io fault smoke: with BMBE_FAULT=cache_io:0:err the disk
-#      layer degrades to misses and the same fleet must still succeed.
+#      layer degrades to misses and the same fleet must still succeed;
+#  10. fleet trace correlation: two traced batch_report processes (cold,
+#      then warm over the same scratch cache) each leave a
+#      self-describing JSONL stream; trace_report --check validates every
+#      line and must find a non-empty critical path rooted at batch.run
+#      in the merged cold+warm trace;
+#  11. perf-regression sentinel: bench_trend comparing the fresh
+#      BENCH_flow.json / BENCH_sim.json from step 5/7 against the
+#      committed baselines must pass, and an injected structural
+#      regression (controllers count bumped on a copy) must fail it.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -117,7 +126,8 @@ if ! awk -v r="$ratio" 'BEGIN { exit !(r >= 5) }'; then
     exit 1
 fi
 echo "tier1: Microprocessor batched compiled backend ${ratio}x the event wheel"
-rm -rf "$fault_dir"
+# $fault_dir keeps its fresh BENCH_flow.json / BENCH_sim.json for the
+# bench_trend gate below.
 
 echo "== tier1: batch driver + persistent disk cache =="
 # Scratch cache directory: the gate must never read or pollute a real
@@ -169,5 +179,51 @@ if ! BMBE_FAULT=cache_io:0:err BMBE_CACHE_DIR="$fault_cache_dir" \
     exit 1
 fi
 rm -rf "$cache_dir" "$fault_cache_dir"
+
+echo "== tier1: fleet trace correlation + critical path =="
+# A cold and a warm traced fleet over one scratch cache: each process
+# leaves a self-describing JSONL stream (meta line carries its run ID),
+# and the merged stream must analyze as one logical trace.
+trace_dir="$(mktemp -d)"
+BMBE_TRACE=1 BMBE_TRACE_OUT="$trace_dir/cold.json" BMBE_CACHE_DIR="$trace_dir/cache" \
+    cargo run --release -p bmbe-bench --bin batch_report -- \
+    --replicas 2 --sim-batch 4 >/dev/null
+BMBE_TRACE=1 BMBE_TRACE_OUT="$trace_dir/warm.json" BMBE_CACHE_DIR="$trace_dir/cache" \
+    cargo run --release -p bmbe-bench --bin batch_report -- \
+    --replicas 2 --sim-batch 4 >/dev/null
+for stream in "$trace_dir/cold.jsonl" "$trace_dir/warm.jsonl"; do
+    if [ ! -s "$stream" ]; then
+        echo "tier1: FAIL: traced batch_report left no JSONL stream at $stream" >&2
+        exit 1
+    fi
+done
+# --check validates every JSONL line and requires a non-empty critical
+# path; the report must root that path at the fleet's batch.run span.
+trace_report_out="$trace_dir/trace_report.json"
+cargo run --release -p bmbe-bench --bin trace_report -- --check \
+    "$trace_dir/cold.jsonl" "$trace_dir/warm.jsonl" >"$trace_report_out"
+if ! grep -q '"name": "batch.run"' "$trace_report_out"; then
+    echo "tier1: FAIL: merged fleet critical path does not include batch.run" >&2
+    cat "$trace_report_out" >&2
+    exit 1
+fi
+echo "tier1: merged cold+warm fleet trace has a batch.run critical path"
+
+echo "== tier1: perf-regression sentinel (bench_trend) =="
+# The fresh reports generated by the perf smokes above must clear the
+# committed baselines...
+cargo run --release -p bmbe-bench --bin bench_trend -- \
+    --flow "$fault_dir/BENCH_flow.json" --baseline-flow BENCH_flow.json \
+    --sim "$fault_dir/BENCH_sim.json" --baseline-sim BENCH_sim.json >/dev/null
+# ...and an injected structural regression on a copy must be caught.
+sed 's/"controllers": 12/"controllers": 15/' BENCH_flow.json >"$trace_dir/regressed.json"
+if cargo run --release -p bmbe-bench --bin bench_trend -- \
+    --flow "$trace_dir/regressed.json" --baseline-flow BENCH_flow.json \
+    --sim BENCH_sim.json --baseline-sim BENCH_sim.json >/dev/null; then
+    echo "tier1: FAIL: bench_trend passed an injected controllers regression" >&2
+    exit 1
+fi
+echo "tier1: bench_trend passes the committed baselines and catches the injected regression"
+rm -rf "$fault_dir" "$trace_dir"
 
 echo "tier1: all gates passed"
