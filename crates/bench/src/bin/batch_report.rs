@@ -52,8 +52,11 @@ fn run() -> Result<bool, String> {
                 options: FlowOptions::optimized().with_env_fault(),
                 scenario: Some(d.scenario.clone()),
                 sim_batch,
-                // Vary data per replica so sim batches differ across jobs.
-                seed: seed.wrapping_add(r as u64),
+                // Vary data per (design, replica) so no two jobs in the
+                // fleet draw identical variant sequences — a shared
+                // `seed + r` stream would hand every design of one
+                // replica the same sequence.
+                seed: bmbe_designs::derive_seed(seed, d.name, "", r as u64),
             })
         })
         .collect();

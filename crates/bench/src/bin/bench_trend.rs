@@ -13,9 +13,14 @@
 //! Defaults compare `BENCH_flow.json` / `BENCH_sim.json` in the working
 //! directory against themselves (a schema self-check that always passes
 //! on intact files); CI points `--flow`/`--sim` at a fresh run's output
-//! while the baselines stay at the committed copies. A `--flow`/`--sim`
-//! side is skipped entirely when neither its flag nor its default file is
-//! present.
+//! while the baselines stay at the committed copies.
+//!
+//! An absent or empty baseline is a structured **no-baseline verdict**,
+//! not a parse error: the verdict JSON carries a `no_baseline` array with
+//! one explicit reason per affected side and the run exits non-zero —
+//! a report added without a committed baseline (as the gauntlet's
+//! `BENCH_gauntlet.json` starts life) fails loudly instead of passing
+//! vacuously or dying on a read error.
 //!
 //! Human-readable narration goes to stderr (`BMBE_VERBOSE=1`); stdout is
 //! pure JSON.
@@ -60,23 +65,34 @@ fn run() -> Result<bool, String> {
     let mut outcome = Outcome::default();
     let mut compared: Vec<(&'static str, String, String)> = Vec::new();
     for side in &sides {
-        // A missing *default* baseline just skips the side (a repo may
-        // only commit one of the two reports); an explicitly requested
-        // file that cannot be read is an error.
+        // An absent baseline is a structured no-baseline verdict when the
+        // side was explicitly requested, and a skip when only the default
+        // path is in play *and* the side's fresh report is also absent (a
+        // repo may only commit one of the two reports). A fresh report
+        // with no baseline behind it must fail loudly.
         let explicit = args.iter().any(|a| {
             a == &format!("--{}", side.label) || a == &format!("--baseline-{}", side.label)
         });
         let baseline = match std::fs::read_to_string(&side.baseline) {
             Ok(text) => text,
-            Err(e) if !explicit => {
-                bmbe_obs::vlog!(1, "bench_trend: skipping {}: {e}", side.baseline);
+            Err(e) => {
+                if !explicit && !std::path::Path::new(&side.fresh).exists() {
+                    bmbe_obs::vlog!(1, "bench_trend: skipping {}: {e}", side.baseline);
+                    continue;
+                }
+                let reason = format!("{}: baseline {} unreadable: {e}", side.label, side.baseline);
+                eprintln!("bench_trend: {reason}");
+                outcome.no_baseline.push(reason);
                 continue;
             }
-            Err(e) => return Err(format!("read {}: {e}", side.baseline)),
         };
         let fresh = std::fs::read_to_string(&side.fresh)
             .map_err(|e| format!("read {}: {e}", side.fresh))?;
-        let side_outcome = compare(&baseline, &fresh, side.specs);
+        let mut side_outcome = compare(&baseline, &fresh, side.specs);
+        // Attribute empty-baseline reasons to the side's file.
+        for reason in &mut side_outcome.no_baseline {
+            *reason = format!("{}: {} — {reason}", side.label, side.baseline);
+        }
         bmbe_obs::vlog!(
             1,
             "bench_trend: {} ({} vs baseline {}): {} metrics checked, {} breach(es)",
@@ -89,11 +105,17 @@ fn run() -> Result<bool, String> {
         for breach in &side_outcome.breaches {
             eprintln!("bench_trend: {}: {breach}", side.label);
         }
+        for reason in &side_outcome.no_baseline {
+            eprintln!("bench_trend: {reason}");
+        }
         compared.push((side.label, side.fresh.clone(), side.baseline.clone()));
         outcome.merge(side_outcome);
     }
-    if compared.is_empty() {
-        return Err("no reports to compare (no BENCH_*.json found)".to_string());
+    if compared.is_empty() && outcome.no_baseline.is_empty() {
+        outcome
+            .no_baseline
+            .push("no reports to compare (no BENCH_*.json found)".to_string());
+        eprintln!("bench_trend: no reports to compare (no BENCH_*.json found)");
     }
 
     let mut json = String::from("{\n  \"trend\": true,\n");
@@ -108,6 +130,12 @@ fn run() -> Result<bool, String> {
             escape(baseline)
         );
         json.push_str(if i + 1 < compared.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"no_baseline\": [");
+    for (i, reason) in outcome.no_baseline.iter().enumerate() {
+        let _ = write!(json, "    \"{}\"", escape(reason));
+        json.push_str(if i + 1 < outcome.no_baseline.len() { ",\n" } else { "\n" });
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"breaches\": [");

@@ -129,18 +129,26 @@ pub struct Outcome {
     pub checked: usize,
     /// Gate violations, in baseline order.
     pub breaches: Vec<Breach>,
+    /// Structured "no baseline" reasons: a baseline file that is absent,
+    /// empty, or contains no comparable entries. A sentinel with nothing
+    /// to compare against must fail loudly, not pass vacuously — a fresh
+    /// report added without a committed baseline would otherwise read as
+    /// green forever.
+    pub no_baseline: Vec<String>,
 }
 
 impl Outcome {
-    /// Whether every gate held.
+    /// Whether every gate held — requires both zero breaches and at least
+    /// one usable baseline behind every comparison.
     pub fn pass(&self) -> bool {
-        self.breaches.is_empty()
+        self.breaches.is_empty() && self.no_baseline.is_empty()
     }
 
     /// Folds another file's outcome into this one.
     pub fn merge(&mut self, other: Outcome) {
         self.checked += other.checked;
         self.breaches.extend(other.breaches);
+        self.no_baseline.extend(other.no_baseline);
     }
 }
 
@@ -283,6 +291,13 @@ pub fn compare(baseline: &str, current: &str, specs: &[Spec]) -> Outcome {
             }
         }
     }
+    // A baseline that yielded nothing to check is an empty or schema-less
+    // file, not a clean bill of health.
+    if outcome.checked == 0 {
+        outcome
+            .no_baseline
+            .push("baseline contains no comparable metric entries".to_string());
+    }
     outcome
 }
 
@@ -346,6 +361,31 @@ mod tests {
         let outcome = compare(FLOW, &lost_field, FLOW_SPECS);
         assert_eq!(outcome.breaches.len(), 1);
         assert_eq!(outcome.breaches[0].metric, "cache_hits");
+    }
+
+    #[test]
+    fn empty_baseline_is_a_structured_no_baseline_verdict() {
+        // An empty or schema-less baseline used to yield checked=0 with
+        // zero breaches — a vacuous pass. It must fail with an explicit
+        // reason instead.
+        for baseline in ["", "{}", "{\n  \"bench\": \"flow_e2e\"\n}"] {
+            let outcome = compare(baseline, FLOW, FLOW_SPECS);
+            assert_eq!(outcome.checked, 0);
+            assert!(outcome.breaches.is_empty());
+            assert_eq!(outcome.no_baseline.len(), 1, "baseline {baseline:?}");
+            assert!(!outcome.pass(), "baseline {baseline:?} must not pass");
+        }
+        // A real baseline never trips the verdict.
+        assert!(compare(FLOW, FLOW, FLOW_SPECS).no_baseline.is_empty());
+    }
+
+    #[test]
+    fn merge_carries_no_baseline_reasons() {
+        let mut a = compare(FLOW, FLOW, FLOW_SPECS);
+        assert!(a.pass());
+        a.merge(compare("", FLOW, FLOW_SPECS));
+        assert!(!a.pass());
+        assert_eq!(a.no_baseline.len(), 1);
     }
 
     #[test]

@@ -17,9 +17,11 @@
 //! Each design provides its source, the compiled netlist, the scenario,
 //! and a result check.
 
+pub mod corpus;
 pub mod scenarios;
 pub mod sources;
 pub mod ssem;
 
-pub use scenarios::{all_designs, scenario_variants, variants_of, Design};
+pub use corpus::{generate_corpus, CorpusSpec, GeneratedDesign};
+pub use scenarios::{all_designs, derive_seed, scenario_variants, variants_of, Design};
 pub use ssem::{assemble, Instr};

@@ -172,12 +172,30 @@ pub fn ssem_core() -> Result<Design, DesignError> {
     })
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Derives an independent per-design seed from a fleet-wide root seed, the
+/// design's name, its family parameters, and a stream index (replica round,
+/// variant stream, ...). Two designs in one batch — or two replicas of one
+/// design — therefore never draw the same scenario-variant sequence, which
+/// a plain `root + index` scheme cannot guarantee (every design of a
+/// replica round used to share one stream). The mixing is FNV-1a over the
+/// name and parameter bytes followed by a splitmix64 finalizer, so a
+/// one-character name difference decorrelates the whole stream.
+pub fn derive_seed(root: u64, name: &str, params: &str, index: u64) -> u64 {
+    let mut h = root ^ 0x243f_6a88_85a3_08d3;
+    for b in name.bytes().chain([0u8]).chain(params.bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        h = h.rotate_left(23);
+    }
+    h ^= index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    splitmix64(&mut h)
 }
 
 /// Generates `n` scenario variants of a design's benchmark scenario for
@@ -197,16 +215,25 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// a preloaded program runs to its own halt exactly once, so its done
 /// count cannot be multiplied.
 pub fn scenario_variants(design: &Design, n: usize, seed: u64) -> Vec<DesignScenario> {
-    variants_of(&design.scenario, n, seed)
+    // The per-design stream is derived from the design's name, so two
+    // designs sharing one fleet seed never replay each other's variant
+    // sequence (see [`derive_seed`]).
+    variants_of(&design.scenario, n, derive_seed(seed, design.name, "", 0))
 }
 
 /// [`scenario_variants`] for a bare scenario — the batch driver's sim
 /// stage works from a [`DesignScenario`] supplied per job, without a
 /// [`Design`] wrapper.
 pub fn variants_of(base: &DesignScenario, n: usize, seed: u64) -> Vec<DesignScenario> {
-    let mut rng = seed ^ 0xd6e8_feb8_6659_fd93;
     (0..n)
         .map(|k| {
+            // Each variant draws from its own stream derived from (seed,
+            // variant index): variant k's data is a pure function of the
+            // pair, independent of how many ports earlier variants
+            // randomized — so inserting a port or reordering variants
+            // never reshuffles every later variant's values.
+            let mut rng =
+                seed ^ 0xd6e8_feb8_6659_fd93 ^ (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
             let mut s = base.clone();
             if k > 0 {
                 for (port, values) in &mut s.input_values {
@@ -308,6 +335,37 @@ mod tests {
         for (k, v) in scenario_variants(&ssem, 12, 7).iter().enumerate() {
             assert_eq!(v.done, ssem.scenario.done, "variant {k}");
             assert_eq!(v.activation_cycles, ssem.scenario.activation_cycles);
+        }
+    }
+
+    #[test]
+    fn per_design_streams_are_independent() {
+        // Two designs sharing one fleet seed must not draw identical
+        // variant sequences (the old shared-stream seeding did exactly
+        // that for designs in the same replica round).
+        let stack = stack().unwrap();
+        let wag = wagging_register().unwrap();
+        let sv = scenario_variants(&stack, 8, 42);
+        let wv = scenario_variants(&wag, 8, 42);
+        assert_ne!(sv[1].input_values["din"], wv[1].input_values["i"]);
+        // derive_seed separates name, params, and index dimensions.
+        assert_ne!(derive_seed(1, "a", "", 0), derive_seed(1, "b", "", 0));
+        assert_ne!(derive_seed(1, "a", "n=2", 0), derive_seed(1, "a", "n=3", 0));
+        assert_ne!(derive_seed(1, "a", "", 0), derive_seed(1, "a", "", 1));
+        assert_ne!(derive_seed(1, "ab", "c", 0), derive_seed(1, "a", "bc", 0));
+        assert_eq!(derive_seed(7, "x", "p", 3), derive_seed(7, "x", "p", 3));
+    }
+
+    #[test]
+    fn variant_data_is_a_function_of_seed_and_index() {
+        // Variant k's data must not depend on how many variants were
+        // generated before it: the 6th variant of an 8-variant run equals
+        // the 6th variant of a 64-variant run.
+        let stack = stack().unwrap();
+        let short = variants_of(&stack.scenario, 8, 99);
+        let long = variants_of(&stack.scenario, 64, 99);
+        for k in 0..8 {
+            assert_eq!(short[k].input_values, long[k].input_values, "variant {k}");
         }
     }
 

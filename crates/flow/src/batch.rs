@@ -428,90 +428,9 @@ fn run_job(
         error,
     };
     let design_name = job.design.netlist.name().to_string();
-    let mut ctrl = balsa_to_ch(&job.design.netlist)
-        .map_err(|e| fail(&design_name, "translate", e.to_string()))?;
-    let components_before = ctrl.components.len();
-    let cluster_report = job
-        .options
-        .optimize
-        .then(|| ctrl.t2_clustering(&job.options.cluster));
-    let templates = if job.options.use_templates {
-        template_table(&job.design.netlist)
-    } else {
-        Default::default()
-    };
-
-    // Resolve unique shapes in deterministic component order, so the first
-    // failing component is the one the serial pipeline would report.
-    let keyed: Vec<KeyedProgram> = ctrl
-        .components
-        .iter()
-        .map(|comp| {
-            KeyedProgram::new(
-                &comp.program,
-                job.options.minimize_mode,
-                job.options.minimize_backend,
-                job.options.map_objective,
-                job.options.map_style,
-            )
-        })
-        .collect();
-    let mut shapes: HashMap<&CacheKey, Arc<SynthArtifact>> = HashMap::new();
-    let (mut hits, mut synthesized, mut shared) = (0usize, 0usize, 0usize);
-    let mut phases = PhaseProfile::default();
-    for (comp, k) in ctrl.components.iter().zip(&keyed) {
-        if shapes.contains_key(&k.key) {
-            continue;
-        }
-        match registry.resolve(k, &job.options, inner) {
-            Ok((artifact, resolution)) => {
-                match resolution {
-                    Resolution::Hit => hits += 1,
-                    Resolution::Synthesized => {
-                        // Owners alone account the synthesis time, mirroring
-                        // the pipeline's "cache hits contribute nothing".
-                        phases.accumulate(&artifact.profile);
-                        synthesized += 1;
-                    }
-                    Resolution::Shared => shared += 1,
-                }
-                shapes.insert(&k.key, artifact);
-            }
-            Err(e) => {
-                return Err(JobFailure {
-                    label: job.label.clone(),
-                    design: design_name,
-                    component: comp.name.clone(),
-                    cache_key: format!("{:016x}", k.key.digest()),
-                    phase: e.phase(),
-                    error: e.to_string(),
-                })
-            }
-        }
-    }
-    registry.cache.record(hits + shared, synthesized);
-
-    let controllers: Vec<ControllerArtifact> = ctrl
-        .components
-        .iter()
-        .zip(&keyed)
-        .map(|(comp, k)| {
-            let template = templates.get(&comp.name).copied();
-            instantiate(&shapes[&k.key], k, &comp.name, &comp.program, template)
-        })
-        .collect();
-    let control_area = controllers.iter().map(ControllerArtifact::area).sum();
-    let flow = FlowResult {
-        design: design_name.clone(),
-        components_before,
-        controllers,
-        cluster_report,
-        control_area,
-        cache_hits: hits + shared,
-        cache_misses: synthesized,
-        threads_used: inner,
-        phases,
-    };
+    let (flow, shape_stats) =
+        flow_through_registry(&job.label, &job.design, &job.options, registry, inner)?;
+    let components_before = flow.components_before;
 
     let (mut sim_lanes, mut sim_completed) = (0usize, 0usize);
     if let (Some(scenario), true) = (&job.scenario, job.sim_batch > 0) {
@@ -557,14 +476,149 @@ fn run_job(
         controllers: flow.controllers.len(),
         products: flow.total_products(),
         control_area: flow.control_area,
-        distinct_shapes: shapes.len(),
-        cache_hits: hits,
-        synthesized,
-        shared,
+        distinct_shapes: shape_stats.distinct,
+        cache_hits: shape_stats.hits,
+        synthesized: shape_stats.synthesized,
+        shared: shape_stats.shared,
         sim_lanes,
         sim_completed,
         wall_s: start.elapsed().as_secs_f64(),
     })
+}
+
+/// How one design's shapes resolved through the registry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShapeStats {
+    /// Distinct shape digests in the design.
+    pub distinct: usize,
+    /// Shapes served from the shared cache (memory or disk).
+    pub hits: usize,
+    /// Shapes this caller synthesized (it claimed the flight).
+    pub synthesized: usize,
+    /// Shapes reused from another caller's in-flight synthesis.
+    pub shared: usize,
+}
+
+/// Runs one design's flow — translate, cluster, key, resolve each unique
+/// shape through the registry, instantiate — and returns the
+/// [`FlowResult`] plus how its shapes resolved.
+///
+/// This is the per-design half of [`run_job`], shared with the
+/// differential gauntlet so corpus designs route through exactly the
+/// singleflight + shared-cache path the batch fleet uses.
+///
+/// # Errors
+///
+/// Returns a [`JobFailure`] naming the design, component, cache key, and
+/// phase on any translate or synthesis error.
+pub fn flow_through_registry(
+    label: &str,
+    design: &CompiledDesign,
+    options: &FlowOptions,
+    registry: &ShapeRegistry<'_>,
+    inner: usize,
+) -> Result<(FlowResult, ShapeStats), JobFailure> {
+    let fail = |design: &str, phase: &'static str, error: String| JobFailure {
+        label: label.to_string(),
+        design: design.to_string(),
+        component: String::new(),
+        cache_key: String::new(),
+        phase,
+        error,
+    };
+    let design_name = design.netlist.name().to_string();
+    let mut ctrl = balsa_to_ch(&design.netlist)
+        .map_err(|e| fail(&design_name, "translate", e.to_string()))?;
+    let components_before = ctrl.components.len();
+    let cluster_report = options
+        .optimize
+        .then(|| ctrl.t2_clustering(&options.cluster));
+    let templates = if options.use_templates {
+        template_table(&design.netlist)
+    } else {
+        Default::default()
+    };
+
+    // Resolve unique shapes in deterministic component order, so the first
+    // failing component is the one the serial pipeline would report.
+    let keyed: Vec<KeyedProgram> = ctrl
+        .components
+        .iter()
+        .map(|comp| {
+            KeyedProgram::new(
+                &comp.program,
+                options.minimize_mode,
+                options.minimize_backend,
+                options.map_objective,
+                options.map_style,
+            )
+        })
+        .collect();
+    let mut shapes: HashMap<&CacheKey, Arc<SynthArtifact>> = HashMap::new();
+    let (mut hits, mut synthesized, mut shared) = (0usize, 0usize, 0usize);
+    let mut phases = PhaseProfile::default();
+    for (comp, k) in ctrl.components.iter().zip(&keyed) {
+        if shapes.contains_key(&k.key) {
+            continue;
+        }
+        match registry.resolve(k, options, inner) {
+            Ok((artifact, resolution)) => {
+                match resolution {
+                    Resolution::Hit => hits += 1,
+                    Resolution::Synthesized => {
+                        // Owners alone account the synthesis time, mirroring
+                        // the pipeline's "cache hits contribute nothing".
+                        phases.accumulate(&artifact.profile);
+                        synthesized += 1;
+                    }
+                    Resolution::Shared => shared += 1,
+                }
+                shapes.insert(&k.key, artifact);
+            }
+            Err(e) => {
+                return Err(JobFailure {
+                    label: label.to_string(),
+                    design: design_name,
+                    component: comp.name.clone(),
+                    cache_key: format!("{:016x}", k.key.digest()),
+                    phase: e.phase(),
+                    error: e.to_string(),
+                })
+            }
+        }
+    }
+    registry.cache.record(hits + shared, synthesized);
+
+    let controllers: Vec<ControllerArtifact> = ctrl
+        .components
+        .iter()
+        .zip(&keyed)
+        .map(|(comp, k)| {
+            let template = templates.get(&comp.name).copied();
+            instantiate(&shapes[&k.key], k, &comp.name, &comp.program, template)
+        })
+        .collect();
+    let control_area = controllers.iter().map(ControllerArtifact::area).sum();
+    let flow = FlowResult {
+        design: design_name,
+        components_before,
+        controllers,
+        cluster_report,
+        control_area,
+        cache_hits: hits + shared,
+        cache_misses: synthesized,
+        threads_used: inner,
+        phases,
+    };
+    Ok((
+        flow,
+        ShapeStats {
+            distinct: shapes.len(),
+            hits,
+            synthesized,
+            shared,
+        },
+    ))
 }
 
 /// Runs a batch of design jobs over a shared cache, sharding distinct

@@ -429,7 +429,11 @@ impl CompiledSim {
         let start = Instant::now();
         let r = self.circuit.run(&spec);
         let wall_s = start.elapsed().as_secs_f64();
-        let total_events: u64 = r.lane_events.iter().sum();
+        // Live lanes only: in a partial batch the dead padding is masked
+        // out of every write (and asserted event-free at harvest), so the
+        // gauge and the per-outcome stats report the work of the `n`
+        // scenarios actually run, not of 64 lanes.
+        let total_events = r.live_events();
         let events_per_s = if wall_s > 0.0 {
             total_events as f64 / wall_s
         } else {

@@ -18,6 +18,7 @@ pub mod cache;
 pub mod csim;
 pub mod experiment;
 pub mod fault;
+pub mod gauntlet;
 pub mod pipeline;
 pub mod profile;
 pub mod simbuild;
@@ -25,7 +26,11 @@ pub mod table3;
 pub mod templates;
 
 pub use area::{component_area, datapath_area};
-pub use batch::{run_batch, BatchJob, BatchSummary, JobFailure, JobReport, Resolution, ShapeRegistry};
+pub use batch::{
+    flow_through_registry, run_batch, BatchJob, BatchSummary, JobFailure, JobReport, Resolution,
+    ShapeRegistry, ShapeStats,
+};
+pub use gauntlet::{run_gauntlet, Finding, GauntletConfig, GauntletReport, OracleCounts};
 pub use cache::{
     CacheKey, CacheStats, ControllerCache, DiskCache, DiskMiss, KeyedProgram, Provenance,
     ShapeError,

@@ -131,6 +131,64 @@ fn partial_batches_match_the_oracle() {
     }
 }
 
+/// Partial-batch throughput accounting counts live lanes only: each
+/// lane's event count equals its singleton-batch run (the dead padding
+/// contributes nothing), `stats.lanes` reports the live count, and the
+/// batch events/s figure is exactly the live-lane event sum over the
+/// batch wall time.
+#[test]
+fn partial_batch_stats_count_live_lanes_only() {
+    let designs = all_designs().expect("designs build");
+    let stack = designs.iter().find(|d| d.name == "Stack").unwrap();
+    let flow = flows(std::slice::from_ref(stack)).remove(0);
+    let delays = Delays::default();
+    let scenarios = variants(stack, 5, 11);
+    let batch = simulate_scenarios(
+        &stack.compiled,
+        &flow,
+        &scenarios,
+        &delays,
+        SimBackend::Compiled,
+        1,
+        None,
+    );
+    assert_eq!(batch.len(), 5);
+    let mut live_sum = 0u64;
+    for (lane, slot) in batch.iter().enumerate() {
+        let o = slot.as_ref().expect("batch lane");
+        // Each lane's events match the same scenario run as a singleton
+        // batch — a dead-lane contribution would break the equality.
+        let solo = simulate_scenarios(
+            &stack.compiled,
+            &flow,
+            std::slice::from_ref(&scenarios[lane]),
+            &delays,
+            SimBackend::Compiled,
+            1,
+            None,
+        );
+        let solo = solo[0].as_ref().expect("singleton lane");
+        assert_eq!(
+            o.events, solo.events,
+            "lane {lane}: batched event count differs from its singleton run"
+        );
+        assert_eq!(o.stats.lanes, 5, "lane {lane}: stats.lanes must be the live count");
+        live_sum += o.events;
+    }
+    // events/s is the live-lane sum over the batch wall: every outcome of
+    // the batch reports the same figure, and multiplying it back by the
+    // wall recovers the live event total (not a 64-lane-padded one).
+    let stats = &batch[0].as_ref().unwrap().stats;
+    if stats.wall_s > 0.0 {
+        let recovered = stats.events_per_s * stats.wall_s;
+        let err = (recovered - live_sum as f64).abs() / live_sum as f64;
+        assert!(
+            err < 1e-6,
+            "events_per_s * wall_s = {recovered}, want {live_sum} (rel err {err})"
+        );
+    }
+}
+
 /// Compiled results are bit-identical whatever the worker-thread count:
 /// the circuit is compiled once and wave evaluation is order-independent.
 #[test]

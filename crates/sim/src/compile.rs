@@ -604,6 +604,19 @@ pub struct RunResult {
     pub memories: HashMap<u32, Vec<Vec<u64>>>,
 }
 
+impl RunResult {
+    /// Total applied wire changes across the batch's **live** lanes.
+    ///
+    /// `lane_events` holds one entry per live lane (the dead padding of a
+    /// partial batch is masked out of every write and asserted
+    /// event-free at harvest), so this sum is the correct numerator for
+    /// any events-per-second figure: a 5-lane batch reports the work of 5
+    /// scenarios, not 64.
+    pub fn live_events(&self) -> u64 {
+        self.lane_events.iter().sum()
+    }
+}
+
 /// A compiled circuit: immutable specification shared by any number of
 /// batched runs (compile once, run many batches).
 #[derive(Debug)]
@@ -1250,6 +1263,17 @@ impl RunState {
     }
 
     fn harvest(self, c: &CompiledCircuit, n: usize) -> RunResult {
+        // Live-lane accounting contract: a partial batch pads the 64-wide
+        // words with dead lanes, but every scheduled write is masked with
+        // `live` before it lands, so the padding can never accrue events.
+        // Everything harvested below is truncated to the `n` live lanes —
+        // consumers of `lane_events` (the events/s gauge, `SimStats`)
+        // therefore count live lanes only, never the padding.
+        debug_assert!(
+            self.lane_events[n..].iter().all(|&e| e == 0),
+            "dead padded lanes accrued events: {:?}",
+            &self.lane_events[n..]
+        );
         let mut consumer_received = HashMap::new();
         let mut sync_counts = HashMap::new();
         let mut driver_completions = HashMap::new();

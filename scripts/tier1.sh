@@ -35,8 +35,18 @@
 #      in the merged cold+warm trace;
 #  11. perf-regression sentinel: bench_trend comparing the fresh
 #      BENCH_flow.json / BENCH_sim.json from step 5/7 against the
-#      committed baselines must pass, and an injected structural
-#      regression (controllers count bumped on a copy) must fail it.
+#      committed baselines must pass, an injected structural
+#      regression (controllers count bumped on a copy) must fail it,
+#      and an empty baseline must produce the structured no-baseline
+#      verdict (nonzero exit, explicit reason) instead of a vacuous
+#      pass or a parse error;
+#  12. differential gauntlet: a fixed-seed corpus slice of >= 200
+#      generated designs (parametric families + random mini-Balsa
+#      programs) must run clean through all five oracle pairs (heap vs
+#      wheel, compiled vs wheel, on-the-fly vs materialized
+#      verification, serial vs parallel, faulted vs clean), and an
+#      injected divergence must be caught and reported as a structured
+#      finding carrying its replay seed.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -224,6 +234,58 @@ if cargo run --release -p bmbe-bench --bin bench_trend -- \
     exit 1
 fi
 echo "tier1: bench_trend passes the committed baselines and catches the injected regression"
+# An empty baseline is a structured no-baseline verdict, not a vacuous
+# pass or a parse error.
+printf '{}' >"$trace_dir/empty.json"
+trend_out="$trace_dir/trend_no_baseline.json"
+if cargo run --release -p bmbe-bench --bin bench_trend -- \
+    --flow "$fault_dir/BENCH_flow.json" --baseline-flow "$trace_dir/empty.json" \
+    --sim BENCH_sim.json --baseline-sim BENCH_sim.json >"$trend_out"; then
+    echo "tier1: FAIL: bench_trend passed against an empty baseline" >&2
+    exit 1
+fi
+if ! grep -q '"no_baseline": \[$' "$trend_out" || ! grep -q 'no comparable metric entries' "$trend_out"; then
+    echo "tier1: FAIL: empty baseline did not produce a structured no_baseline verdict" >&2
+    cat "$trend_out" >&2
+    exit 1
+fi
+echo "tier1: bench_trend reports an empty baseline as a structured no-baseline verdict"
 rm -rf "$fault_dir" "$trace_dir"
+
+echo "== tier1: differential gauntlet (generated corpus) =="
+# A fixed-seed corpus slice through all five oracle pairs, routed through
+# a scratch disk cache (the realistic hit distribution ROADMAP item 3
+# asks for). The report must be clean: zero findings, every pair
+# exercised.
+gauntlet_dir="$(mktemp -d)"
+(cd "$gauntlet_dir" && BMBE_CACHE_DIR="$gauntlet_dir/cache" cargo run --release \
+    --manifest-path "$repo_root/Cargo.toml" \
+    -p bmbe-bench --bin gauntlet_report -- --seed 1 --designs 200 >/dev/null)
+gauntlet_json="$gauntlet_dir/BENCH_gauntlet.json"
+if ! grep -q '"designs": 200' "$gauntlet_json" \
+    || ! grep -q '"all_pairs_exercised": true' "$gauntlet_json" \
+    || ! grep -q '"findings": \[\]' "$gauntlet_json"; then
+    echo "tier1: FAIL: gauntlet slice was not clean:" >&2
+    cat "$gauntlet_json" >&2
+    exit 1
+fi
+echo "tier1: 200-design gauntlet clean across all five oracle pairs"
+# Injected-divergence smoke: a perturbed compiled outcome must be caught
+# by the real detection path and reported with its replay seed.
+if (cd "$gauntlet_dir" && cargo run --release \
+    --manifest-path "$repo_root/Cargo.toml" \
+    -p bmbe-bench --bin gauntlet_report -- --seed 1 --designs 20 --inject 7 >/dev/null 2>&1); then
+    echo "tier1: FAIL: gauntlet_report passed with an injected divergence" >&2
+    exit 1
+fi
+if ! grep -q '"oracle": "compiled_vs_wheel"' "$gauntlet_json" \
+    || ! grep -q '"replay": "bmbe gauntlet --seed 1 --designs 20 --only ' "$gauntlet_json" \
+    || ! grep -q '"seed": [0-9]' "$gauntlet_json"; then
+    echo "tier1: FAIL: injected divergence not reported with a replay seed:" >&2
+    cat "$gauntlet_json" >&2
+    exit 1
+fi
+echo "tier1: injected divergence caught and reported with its replay seed"
+rm -rf "$gauntlet_dir"
 
 echo "tier1: all gates passed"

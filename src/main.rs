@@ -6,12 +6,21 @@
 //! bmbe flow    FILE.balsa [--no-opt]    run the full control flow
 //! bmbe batch   FILE.balsa... [--no-opt] run many designs as one batch
 //! bmbe table3                           run the paper's benchmark table
+//! bmbe gauntlet [--seed S] [--designs N] [--only NAME] [--inject I]
+//!                                       run the differential gauntlet
 //! ```
 //!
 //! `batch` runs every file as a job over one shared controller cache
 //! (persistent when `BMBE_CACHE_DIR` is set), deduplicating controller
 //! shapes across the whole fleet, and streams one JSON object per job on
 //! stdout.
+//!
+//! `gauntlet` generates a seeded corpus slice and runs every design
+//! through all five differential oracle pairs (see
+//! `bmbe::flow::gauntlet`), printing one JSON object per finding plus a
+//! summary; a finding's `seed`, `family`, and `params` fields make
+//! `bmbe gauntlet --seed S --designs N --only NAME` a one-command
+//! reproduction.
 
 use bmbe::bm::synth::{synthesize, MinimizeMode};
 use bmbe::bm::text::{to_bms, to_dot};
@@ -27,7 +36,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bmbe ch2bms FILE.ch [--dot]\n  bmbe synth FILE.ch\n  \
          bmbe flow FILE.balsa [--no-opt]\n  bmbe batch FILE.balsa... [--no-opt]\n  \
-         bmbe table3"
+         bmbe table3\n  \
+         bmbe gauntlet [--seed S] [--designs N] [--only NAME] [--inject I]"
     );
     ExitCode::FAILURE
 }
@@ -40,6 +50,7 @@ fn main() -> ExitCode {
         Some("flow") => cmd_flow(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("table3") => cmd_table3(),
+        Some("gauntlet") => cmd_gauntlet(&args[1..]),
         _ => return usage(),
     };
     match result {
@@ -188,6 +199,74 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     );
     if summary.failed() > 0 {
         return Err(format!("{} of {} jobs failed", summary.failed(), summary.jobs.len()).into());
+    }
+    Ok(())
+}
+
+fn cmd_gauntlet(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use bmbe::flow::{run_gauntlet, ControllerCache, GauntletConfig};
+    let mut cfg = GauntletConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--seed" => cfg.seed = val("--seed")?.parse()?,
+            "--designs" => cfg.designs = val("--designs")?.parse()?,
+            "--threads" => cfg.threads = val("--threads")?.parse()?,
+            "--only" => cfg.only = Some(val("--only")?.to_string()),
+            "--inject" => cfg.inject = Some(val("--inject")?.parse()?),
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    let cache = ControllerCache::from_env();
+    let report = run_gauntlet(&cfg, &Library::cmos035(), &cache)?;
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    for f in &report.findings {
+        println!(
+            "{{\"finding\": true, \"oracle\": \"{}\", \"design\": \"{}\", \
+             \"family\": \"{}\", \"params\": \"{}\", \"seed\": {}, \
+             \"replay\": \"bmbe gauntlet --seed {} --designs {} --only {}\", \
+             \"detail\": \"{}\"}}",
+            escape(f.oracle),
+            escape(&f.design),
+            escape(&f.family),
+            escape(&f.params),
+            f.seed,
+            report.seed,
+            report.designs,
+            escape(&f.design),
+            escape(&f.detail)
+        );
+    }
+    println!(
+        "{{\"summary\": true, \"seed\": {}, \"designs\": {}, \"findings\": {}, \
+         \"heap_vs_wheel\": {}, \"compiled_vs_wheel\": {}, \"otf_vs_materialized\": {}, \
+         \"serial_vs_parallel\": {}, \"fault_vs_clean\": {}, \
+         \"cache_hits\": {}, \"synthesized\": {}, \"shared\": {}, \"wall_s\": {:.3}}}",
+        report.seed,
+        report.designs,
+        report.findings.len(),
+        report.checks.heap_vs_wheel,
+        report.checks.compiled_vs_wheel,
+        report.checks.otf_vs_materialized,
+        report.checks.serial_vs_parallel,
+        report.checks.fault_vs_clean,
+        report.cache_hits,
+        report.synthesized,
+        report.shared,
+        report.wall_s
+    );
+    if !report.clean() {
+        return Err(format!(
+            "gauntlet found {} divergence(s) across {} designs",
+            report.findings.len(),
+            report.designs
+        )
+        .into());
     }
     Ok(())
 }
